@@ -1,0 +1,67 @@
+//! Wall-clock benchmarks of the whole-graph CPU drivers (the real rayon
+//! backend) on the dataset analogues.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cnc_cpu::{par_bmp, par_merge_baseline, par_mps, seq_bmp, seq_mps, BmpMode, ParConfig};
+use cnc_graph::datasets::{Dataset, Scale};
+use cnc_graph::reorder;
+use cnc_intersect::{MpsConfig, NullMeter};
+
+fn bench_drivers(c: &mut Criterion) {
+    for d in [Dataset::TwS, Dataset::FrS] {
+        let g = reorder::degree_descending(&d.build(Scale::Tiny)).graph;
+        let edges = g.num_directed_edges() as u64;
+        let mut group = c.benchmark_group(format!("drivers_{}", d.name()));
+        group.throughput(Throughput::Elements(edges));
+        group.sample_size(20);
+
+        group.bench_function("seq_mps", |b| {
+            b.iter(|| seq_mps(&g, &MpsConfig::default(), &mut NullMeter))
+        });
+        group.bench_function("seq_bmp_rf", |b| {
+            b.iter(|| seq_bmp(&g, BmpMode::rf_scaled(g.num_vertices()), &mut NullMeter))
+        });
+        let par = ParConfig::default();
+        group.bench_function("par_baseline_m", |b| {
+            b.iter(|| par_merge_baseline(&g, &par))
+        });
+        group.bench_function("par_mps", |b| {
+            b.iter(|| par_mps(&g, &MpsConfig::default(), &par))
+        });
+        group.bench_function("par_bmp", |b| {
+            b.iter(|| par_bmp(&g, BmpMode::Plain, &par))
+        });
+        group.bench_function("par_bmp_rf", |b| {
+            b.iter(|| par_bmp(&g, BmpMode::rf_scaled(g.num_vertices()), &par))
+        });
+        group.finish();
+    }
+}
+
+fn bench_simd_levels(c: &mut Criterion) {
+    use cnc_intersect::SimdLevel;
+    let g = Dataset::FrS.build(Scale::Tiny);
+    let mut group = c.benchmark_group("mps_simd_levels_fr");
+    group.sample_size(20);
+    for level in [SimdLevel::Scalar, SimdLevel::Sse4, SimdLevel::Avx2, SimdLevel::Avx512] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(level.label()),
+            &level,
+            |b, &level| {
+                let cfg = MpsConfig::with_simd(level);
+                b.iter(|| seq_mps(&g, &cfg, &mut NullMeter))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    targets = bench_drivers, bench_simd_levels
+}
+criterion_main!(benches);

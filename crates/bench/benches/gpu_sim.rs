@@ -1,0 +1,57 @@
+//! Wall-clock benchmarks of the GPU *simulator itself* — how fast the
+//! functional simulation executes on the host (not the modeled device
+//! times, which the `repro` binary reports).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cnc_gpu::{GpuAlgo, GpuRunConfig, GpuRunner};
+use cnc_graph::datasets::{Dataset, Scale};
+use cnc_graph::reorder;
+
+fn bench_kernels(c: &mut Criterion) {
+    let g = reorder::degree_descending(&Dataset::TwS.build(Scale::Tiny)).graph;
+    let gpu = GpuRunner::titan_xp_for(Dataset::TwS.capacity_scale(&g));
+    let mut group = c.benchmark_group("gpu_sim_tw");
+    group.throughput(Throughput::Elements(g.num_directed_edges() as u64));
+    group.sample_size(10);
+    for (algo, label) in [
+        (GpuAlgo::Mps, "mps"),
+        (GpuAlgo::Bmp { rf: false }, "bmp"),
+        (GpuAlgo::Bmp { rf: true }, "bmp_rf"),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &algo, |b, &algo| {
+            b.iter(|| gpu.run(&g, algo, &GpuRunConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_multipass_overhead(c: &mut Criterion) {
+    let g = Dataset::FrS.build(Scale::Tiny);
+    let gpu = GpuRunner::titan_xp_for(Dataset::FrS.capacity_scale(&g));
+    let mut group = c.benchmark_group("gpu_sim_multipass_fr");
+    group.sample_size(10);
+    for passes in [1usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(passes),
+            &passes,
+            |b, &passes| {
+                let cfg = GpuRunConfig {
+                    passes: Some(passes),
+                    ..GpuRunConfig::default()
+                };
+                b.iter(|| gpu.run(&g, GpuAlgo::Mps, &cfg))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    targets = bench_kernels, bench_multipass_overhead
+}
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Wall-clock microbenchmarks of the set-intersection kernels on the host:
+//! the baseline merge M, vectorized block merge VB (real AVX2/AVX-512 when
+//! available), pivot-skip PS, the MPS hybrid, and the bitmap probes.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cnc_intersect::{
+    bmp_count, merge_count, mps_count, ps_count, rf_count, vb_count, Bitmap, NullMeter, RfBitmap,
+    SimdLevel,
+};
+
+fn sorted_set(rng: &mut StdRng, len: usize, universe: u32) -> Vec<u32> {
+    let mut v: Vec<u32> = (0..len * 2).map(|_| rng.gen_range(0..universe)).collect();
+    v.sort_unstable();
+    v.dedup();
+    v.truncate(len);
+    v
+}
+
+fn bench_balanced(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = sorted_set(&mut rng, 4096, 40_000);
+    let b = sorted_set(&mut rng, 4096, 40_000);
+    let mut group = c.benchmark_group("balanced_4096x4096");
+    group.throughput(Throughput::Elements((a.len() + b.len()) as u64));
+    group.bench_function("merge_M", |bench| {
+        bench.iter(|| merge_count(&a, &b, &mut NullMeter))
+    });
+    for level in [SimdLevel::Sse4, SimdLevel::Avx2, SimdLevel::Avx512] {
+        group.bench_with_input(
+            BenchmarkId::new("vb", level.label()),
+            &level,
+            |bench, &level| bench.iter(|| vb_count(&a, &b, level, &mut NullMeter)),
+        );
+    }
+    group.bench_function("ps", |bench| {
+        bench.iter(|| ps_count(&a, &b, &mut NullMeter))
+    });
+    group.bench_function("mps_hybrid", |bench| {
+        bench.iter(|| mps_count(&a, &b, 50, SimdLevel::detect(), &mut NullMeter))
+    });
+    group.finish();
+}
+
+fn bench_skewed(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let big = sorted_set(&mut rng, 200_000, 1_000_000);
+    let small = sorted_set(&mut rng, 128, 1_000_000);
+    let mut group = c.benchmark_group("skewed_200000x128");
+    group.throughput(Throughput::Elements(small.len() as u64));
+    group.bench_function("merge_M", |bench| {
+        bench.iter(|| merge_count(&big, &small, &mut NullMeter))
+    });
+    group.bench_function("ps", |bench| {
+        bench.iter(|| ps_count(&big, &small, &mut NullMeter))
+    });
+    group.bench_function("mps_hybrid", |bench| {
+        bench.iter(|| mps_count(&big, &small, 50, SimdLevel::detect(), &mut NullMeter))
+    });
+    group.finish();
+}
+
+fn bench_bitmap(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 1_000_000usize;
+    let indexed = sorted_set(&mut rng, 20_000, n as u32);
+    let probe = sorted_set(&mut rng, 4096, n as u32);
+    let mut bm = Bitmap::new(n);
+    bm.set_list(&indexed, &mut NullMeter);
+    let mut rf = RfBitmap::with_ratio(n, cnc_intersect::scaled_rf_ratio(n));
+    rf.set_list(&indexed, &mut NullMeter);
+    let mut group = c.benchmark_group("bitmap_probe_4096");
+    group.throughput(Throughput::Elements(probe.len() as u64));
+    group.bench_function("bmp", |bench| {
+        bench.iter(|| bmp_count(&bm, &probe, &mut NullMeter))
+    });
+    group.bench_function("bmp_rf", |bench| {
+        bench.iter(|| rf_count(&rf, &probe, &mut NullMeter))
+    });
+    group.bench_function("construct_and_clear", |bench| {
+        let mut fresh = Bitmap::new(n);
+        bench.iter(|| {
+            fresh.set_list(&indexed, &mut NullMeter);
+            fresh.clear_list(&indexed, &mut NullMeter);
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    targets = bench_balanced, bench_skewed, bench_bitmap
+}
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [--scale tiny|small|medium] [--out DIR] [EXPERIMENT...]
+//! repro all                  # everything, paper order
+//! repro table4 fig10         # a subset
+//! repro --list               # available experiment ids
+//! ```
+//!
+//! Each experiment prints an aligned table (with the paper's reference
+//! numbers as notes) and, when `--out` is given, writes a CSV per
+//! experiment.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use cnc_bench::experiments::{self, Ctx};
+use cnc_graph::datasets::Scale;
+
+struct Args {
+    scale: Scale,
+    out: Option<PathBuf>,
+    experiments: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut scale = Scale::Small;
+    let mut out = None;
+    let mut experiments = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = argv.next().ok_or("--scale needs a value")?;
+                scale = match v.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "medium" => Scale::Medium,
+                    other => return Err(format!("unknown scale {other:?}")),
+                };
+            }
+            "--out" => {
+                out = Some(PathBuf::from(argv.next().ok_or("--out needs a value")?));
+            }
+            "--list" => {
+                for e in experiments::ALL {
+                    println!("{e}");
+                }
+                std::process::exit(0);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--scale tiny|small|medium] [--out DIR] [EXPERIMENT...|all]"
+                );
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
+        experiments = experiments::ALL.iter().map(|s| s.to_string()).collect();
+    }
+    Ok(Args {
+        scale,
+        out,
+        experiments,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ctx = Ctx::new(args.scale);
+    println!(
+        "# aecnc repro — scale={:?}, experiments: {}",
+        args.scale,
+        args.experiments.join(", ")
+    );
+    let mut failed = false;
+    for name in &args.experiments {
+        let t0 = Instant::now();
+        match experiments::run(name, &ctx) {
+            Some(table) => {
+                println!("\n{}", table.to_text());
+                println!(
+                    "  ({} generated in {:.1}s)",
+                    name,
+                    t0.elapsed().as_secs_f64()
+                );
+                if let Some(dir) = &args.out {
+                    if let Err(e) = table.write_csv(dir) {
+                        eprintln!("repro: failed to write {name}.csv: {e}");
+                        failed = true;
+                    }
+                }
+            }
+            None => {
+                eprintln!("repro: unknown experiment {name:?} (try --list)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

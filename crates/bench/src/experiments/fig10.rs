@@ -1,0 +1,136 @@
+//! **Figure 10** — elapsed time of the optimized algorithms on all three
+//! processors across the five datasets: the paper's headline comparison.
+
+use cnc_gpu::{GpuAlgo, GpuRunConfig, GpuRunner};
+use cnc_knl::ModeledProcessor;
+use cnc_machine::MemMode;
+use cnc_graph::datasets::Dataset;
+
+use crate::output::{fmt_secs, ExpOutput};
+use crate::profiles::ProfileSet;
+
+use super::Ctx;
+
+/// Modeled elapsed seconds of the six optimized configurations on one
+/// dataset: `(CPU-MPS, CPU-BMP, KNL-MPS, KNL-BMP, GPU-MPS, GPU-BMP)`.
+pub fn six_configs(ps: &ProfileSet) -> [f64; 6] {
+    let cpu = ModeledProcessor::cpu_for(ps.capacity_scale);
+    let knl = ModeledProcessor::knl_for(ps.capacity_scale);
+    let gpu = GpuRunner::titan_xp_for(ps.capacity_scale);
+    let cfg = GpuRunConfig::default();
+    let cpu_mps = cpu.time_profile(&ps.mps_avx2, 56, MemMode::Ddr).seconds;
+    let cpu_bmp = cpu.time_profile(&ps.bmp_rf, 56, MemMode::Ddr).seconds;
+    let knl_mps = knl
+        .time_profile(&ps.mps_avx512, 256, MemMode::McdramFlat)
+        .seconds;
+    let knl_bmp = knl
+        .time_profile(&ps.bmp_rf, 64, MemMode::McdramFlat)
+        .seconds;
+    let gpu_mps = gpu.run(&ps.graph, GpuAlgo::Mps, &cfg).report.total_seconds;
+    let gpu_bmp = gpu
+        .run(&ps.reordered, GpuAlgo::Bmp { rf: true }, &cfg)
+        .report
+        .total_seconds;
+    [cpu_mps, cpu_bmp, knl_mps, knl_bmp, gpu_mps, gpu_bmp]
+}
+
+/// Configuration labels in column order.
+pub const CONFIGS: [&str; 6] = [
+    "CPU-MPS", "CPU-BMP", "KNL-MPS", "KNL-BMP", "GPU-MPS", "GPU-BMP",
+];
+
+/// Produce the figure's series.
+pub fn run(ctx: &Ctx) -> ExpOutput {
+    let mut header: Vec<&str> = vec!["dataset"];
+    header.extend(CONFIGS);
+    header.push("best");
+    header.push("worst");
+    let mut t = ExpOutput::new(
+        "fig10",
+        "Optimized algorithms on three processors, five datasets (modeled)",
+        &header,
+    );
+    for d in Dataset::ALL {
+        let ps = ctx.profiles(d);
+        let secs = six_configs(&ps);
+        let best = secs
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let worst = secs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let mut row = vec![d.name().to_string()];
+        row.extend(secs.iter().map(|&s| fmt_secs(s)));
+        row.push(CONFIGS[best].into());
+        row.push(CONFIGS[worst].into());
+        t.row(row);
+    }
+    t.note("paper findings: CPU favors BMP; KNL favors MPS; GPU favors BMP; best overall is KNL-MPS or GPU-BMP; GPU-MPS is always slowest");
+    t.note("paper: 21.5s for TW (GPU-BMP), 34s for FR (KNL-MPS); best-vs-best within 2.5x across processors");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnc_graph::datasets::Scale;
+
+    #[test]
+    fn headline_findings_hold() {
+        let ctx = Ctx::new(Scale::Tiny);
+        // The per-processor preferences on the two technique datasets.
+        for d in [Dataset::TwS, Dataset::FrS] {
+            let ps = ctx.profiles(d);
+            let [cpu_mps, cpu_bmp, knl_mps, knl_bmp, gpu_mps, gpu_bmp] = six_configs(&ps);
+            assert!(knl_mps < knl_bmp, "{}: KNL favors MPS", d.name());
+            assert!(gpu_bmp < gpu_mps, "{}: GPU favors BMP", d.name());
+            if d == Dataset::TwS {
+                // CPU favors BMP on the skewed graph (paper: 40.4 vs 70.3).
+                assert!(cpu_bmp < cpu_mps, "tw-s: CPU favors BMP");
+                // GPU-BMP is the overall winner (paper: 21.5 s, 1.9x over
+                // CPU-BMP), GPU-MPS the overall loser.
+                assert!(gpu_bmp < cpu_bmp && gpu_bmp < knl_mps, "tw-s: GPU-BMP best");
+                let others = [cpu_mps, cpu_bmp, knl_mps, knl_bmp, gpu_bmp];
+                assert!(
+                    others.iter().all(|&o| o <= gpu_mps),
+                    "tw-s: GPU-MPS must be slowest"
+                );
+            } else {
+                // FR: the paper's crossover — KNL-MPS wins on the large
+                // uniform graph (multi-pass UM migration hurts the GPU).
+                assert!(knl_mps < gpu_bmp, "fr-s: KNL-MPS best (paper: 34 s)");
+                assert!(knl_mps < cpu_bmp && knl_mps < cpu_mps, "fr-s: KNL-MPS best");
+                // Documented deviation (EXPERIMENTS.md): on FR our modeled
+                // CPU-MPS edges out CPU-BMP (the paper has them within 7%),
+                // and KNL-BMP — the paper's second-worst configuration —
+                // swaps ranks with GPU-MPS. Both bad configurations must
+                // still be the two slowest.
+                let mut all = [cpu_mps, cpu_bmp, knl_mps, knl_bmp, gpu_mps, gpu_bmp];
+                all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                assert!(gpu_mps >= all[4], "fr-s: GPU-MPS in the slowest two");
+                assert!(knl_bmp >= all[4], "fr-s: KNL-BMP in the slowest two");
+                assert!(
+                    cpu_bmp < cpu_mps * 2.0,
+                    "fr-s: CPU-BMP within 2x of CPU-MPS (paper: within 7%)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn five_rows_with_best_and_worst() {
+        let ctx = Ctx::new(Scale::Tiny);
+        let t = run(&ctx);
+        assert_eq!(t.rows.len(), 5);
+        for row in &t.rows {
+            assert!(CONFIGS.contains(&row[7].as_str()));
+            assert!(CONFIGS.contains(&row[8].as_str()));
+        }
+    }
+}

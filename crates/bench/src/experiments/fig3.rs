@@ -1,0 +1,83 @@
+//! **Figure 3** — effect of degree-skew handling (single-threaded):
+//! baseline M vs MPS (pivot-skip, no vectorization) vs BMP on the modeled
+//! CPU and KNL.
+
+use cnc_knl::ModeledProcessor;
+use cnc_machine::MemMode;
+
+use crate::output::{fmt_secs, fmt_x, ExpOutput};
+
+use super::{Ctx, TECHNIQUE_DATASETS};
+
+/// Produce the figure's series.
+pub fn run(ctx: &Ctx) -> ExpOutput {
+    let mut t = ExpOutput::new(
+        "fig3",
+        "Degree-skew handling, single-threaded (modeled)",
+        &[
+            "dataset",
+            "processor",
+            "M",
+            "MPS",
+            "BMP",
+            "MPS vs M",
+            "BMP vs M",
+        ],
+    );
+    for d in TECHNIQUE_DATASETS {
+        let ps = ctx.profiles(d);
+        for (label, proc_) in [
+            ("CPU", ModeledProcessor::cpu_for(ps.capacity_scale)),
+            ("KNL", ModeledProcessor::knl_for(ps.capacity_scale)),
+        ] {
+            let tm = proc_.time_profile(&ps.m, 1, MemMode::Ddr).seconds;
+            let tmps = proc_.time_profile(&ps.mps_scalar, 1, MemMode::Ddr).seconds;
+            let tbmp = proc_.time_profile(&ps.bmp, 1, MemMode::Ddr).seconds;
+            t.row(vec![
+                ps.dataset.name().into(),
+                label.into(),
+                fmt_secs(tm),
+                fmt_secs(tmps),
+                fmt_secs(tbmp),
+                fmt_x(tm / tmps),
+                fmt_x(tm / tbmp),
+            ]);
+        }
+    }
+    t.note("paper (TW): MPS 3.6x/7.1x and BMP 20.1x/29.3x over M on CPU/KNL");
+    t.note("paper (FR): MPS ≈ M; BMP 2.5x (CPU) and 1.1x (KNL)");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnc_graph::datasets::Scale;
+
+    fn parse_x(s: &str) -> f64 {
+        s.trim_end_matches('x').parse().unwrap()
+    }
+
+    #[test]
+    fn shapes_match_paper() {
+        let ctx = Ctx::new(Scale::Tiny);
+        let t = run(&ctx);
+        assert_eq!(t.rows.len(), 4);
+        for row in &t.rows {
+            let mps_gain = parse_x(&row[5]);
+            let bmp_gain = parse_x(&row[6]);
+            match row[0].as_str() {
+                // Skew-heavy: both techniques must win clearly, BMP more.
+                "tw-s" => {
+                    assert!(mps_gain > 1.4, "{row:?}");
+                    assert!(bmp_gain > mps_gain, "{row:?}");
+                }
+                // Near-uniform: MPS ≈ M (no skew to exploit).
+                "fr-s" => {
+                    assert!((0.8..=1.6).contains(&mps_gain), "{row:?}");
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! **Figure 4** — effect of vectorization (single-threaded): MPS vs
+//! vectorized MPS (AVX2 on the CPU, AVX-512 on the KNL) vs BMP.
+
+use cnc_knl::ModeledProcessor;
+use cnc_machine::MemMode;
+
+use crate::output::{fmt_secs, fmt_x, ExpOutput};
+
+use super::{Ctx, TECHNIQUE_DATASETS};
+
+/// Produce the figure's series.
+pub fn run(ctx: &Ctx) -> ExpOutput {
+    let mut t = ExpOutput::new(
+        "fig4",
+        "Vectorization, single-threaded (modeled)",
+        &[
+            "dataset",
+            "processor",
+            "MPS",
+            "MPS-V",
+            "BMP",
+            "V gain",
+            "MPS-V vs BMP",
+        ],
+    );
+    for d in TECHNIQUE_DATASETS {
+        let ps = ctx.profiles(d);
+        let rows = [
+            ("CPU", ModeledProcessor::cpu_for(ps.capacity_scale), &ps.mps_avx2),
+            ("KNL", ModeledProcessor::knl_for(ps.capacity_scale), &ps.mps_avx512),
+        ];
+        for (label, proc_, vec_profile) in rows {
+            let t_mps = proc_.time_profile(&ps.mps_scalar, 1, MemMode::Ddr).seconds;
+            let t_v = proc_.time_profile(vec_profile, 1, MemMode::Ddr).seconds;
+            let t_bmp = proc_.time_profile(&ps.bmp, 1, MemMode::Ddr).seconds;
+            t.row(vec![
+                ps.dataset.name().into(),
+                label.into(),
+                fmt_secs(t_mps),
+                fmt_secs(t_v),
+                fmt_secs(t_bmp),
+                fmt_x(t_mps / t_v),
+                fmt_x(t_bmp / t_v),
+            ]);
+        }
+    }
+    t.note("paper: AVX2 gains 1.9-2.0x on the CPU; AVX-512 gains 2.5-2.6x on the KNL");
+    t.note("paper: vectorized MPS still loses to BMP on TW but beats it ~2.1x on FR (KNL)");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnc_graph::datasets::Scale;
+
+    fn parse_x(s: &str) -> f64 {
+        s.trim_end_matches('x').parse().unwrap()
+    }
+
+    #[test]
+    fn vectorization_gains_and_knl_advantage() {
+        let ctx = Ctx::new(Scale::Tiny);
+        let t = run(&ctx);
+        let mut cpu_gain = 0.0;
+        let mut knl_gain = 0.0;
+        for row in &t.rows {
+            let gain = parse_x(&row[5]);
+            assert!(gain > 1.1, "vectorization must help: {row:?}");
+            if row[0] == "fr-s" {
+                match row[1].as_str() {
+                    "CPU" => cpu_gain = gain,
+                    "KNL" => knl_gain = gain,
+                    _ => {}
+                }
+            }
+        }
+        assert!(
+            knl_gain > cpu_gain,
+            "wider registers gain more on KNL: {knl_gain} vs {cpu_gain}"
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! **Figure 6** — effect of bitmap range filtering (parallel): BMP vs
+//! BMP-RF vs MPS on the modeled CPU and KNL.
+
+use cnc_knl::ModeledProcessor;
+use cnc_machine::MemMode;
+
+use crate::output::{fmt_secs, fmt_x, ExpOutput};
+
+use super::{Ctx, TECHNIQUE_DATASETS};
+
+/// Produce the figure's series.
+pub fn run(ctx: &Ctx) -> ExpOutput {
+    let mut t = ExpOutput::new(
+        "fig6",
+        "Bitmap range filtering, parallel (modeled)",
+        &[
+            "dataset",
+            "processor",
+            "MPS-V+P",
+            "BMP+P",
+            "BMP+P+RF",
+            "RF gain",
+        ],
+    );
+    for d in TECHNIQUE_DATASETS {
+        let ps = ctx.profiles(d);
+        let rows = [
+            (
+                "CPU",
+                ModeledProcessor::cpu_for(ps.capacity_scale),
+                &ps.mps_avx2,
+                56usize,
+            ),
+            (
+                "KNL",
+                ModeledProcessor::knl_for(ps.capacity_scale),
+                &ps.mps_avx512,
+                64usize,
+            ),
+        ];
+        for (label, proc_, mps_profile, threads) in rows {
+            let t_mps = proc_.time_profile(mps_profile, threads, MemMode::Ddr).seconds;
+            let t_bmp = proc_.time_profile(&ps.bmp, threads, MemMode::Ddr).seconds;
+            let t_rf = proc_.time_profile(&ps.bmp_rf, threads, MemMode::Ddr).seconds;
+            t.row(vec![
+                ps.dataset.name().into(),
+                label.into(),
+                fmt_secs(t_mps),
+                fmt_secs(t_bmp),
+                fmt_secs(t_rf),
+                fmt_x(t_bmp / t_rf),
+            ]);
+        }
+    }
+    t.note("paper: RF ≈ 1x on TW but 1.9x (CPU) / 2.1x (KNL) on FR — uniform graphs have sparse matches across a wide id range");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnc_graph::datasets::Scale;
+
+    fn parse_x(s: &str) -> f64 {
+        s.trim_end_matches('x').parse().unwrap()
+    }
+
+    #[test]
+    fn rf_helps_most_on_uniform_graph() {
+        let ctx = Ctx::new(Scale::Tiny);
+        let t = run(&ctx);
+        let gain = |ds: &str, p: &str| {
+            t.rows
+                .iter()
+                .find(|r| r[0] == ds && r[1] == p)
+                .map(|r| parse_x(&r[5]))
+                .unwrap()
+        };
+        for p in ["CPU", "KNL"] {
+            assert!(
+                gain("fr-s", p) > 1.15,
+                "RF must pay off on the uniform graph ({p}): {}",
+                gain("fr-s", p)
+            );
+            assert!(
+                gain("fr-s", p) > gain("tw-s", p) * 0.9,
+                "RF gains more (or similar) on FR than TW ({p})"
+            );
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! **Figure 7** — effect of MCDRAM utilization on the KNL: DDR vs flat vs
+//! cache modes for fully-optimized MPS and BMP.
+
+use cnc_knl::ModeledProcessor;
+use cnc_machine::MemMode;
+
+use crate::output::{fmt_secs, fmt_x, ExpOutput};
+
+use super::{Ctx, TECHNIQUE_DATASETS};
+
+/// Produce the figure's series.
+pub fn run(ctx: &Ctx) -> ExpOutput {
+    let mut t = ExpOutput::new(
+        "fig7",
+        "MCDRAM utilization on the KNL (modeled)",
+        &[
+            "dataset",
+            "algorithm",
+            "DDR",
+            "Flat",
+            "Cache",
+            "Flat gain",
+        ],
+    );
+    for d in TECHNIQUE_DATASETS {
+        let ps = ctx.profiles(d);
+        let knl = ModeledProcessor::knl_for(ps.capacity_scale);
+        // Each algorithm at its operating point: MPS 256 threads, BMP 64.
+        for (algo, profile, threads) in
+            [("MPS-V+P", &ps.mps_avx512, 256usize), ("BMP+P+RF", &ps.bmp_rf, 64)]
+        {
+            let ddr = knl.time_profile(profile, threads, MemMode::Ddr).seconds;
+            let flat = knl.time_profile(profile, threads, MemMode::McdramFlat).seconds;
+            let cache = knl
+                .time_profile(profile, threads, MemMode::McdramCache)
+                .seconds;
+            t.row(vec![
+                ps.dataset.name().into(),
+                algo.into(),
+                fmt_secs(ddr),
+                fmt_secs(flat),
+                fmt_secs(cache),
+                fmt_x(ddr / flat),
+            ]);
+        }
+    }
+    t.note("paper: MPS-Flat 1.6x/1.8x over DDR; BMP-Flat only 1.2x/1.3x (latency-sensitive)");
+    t.note("paper: cache mode slightly slower than flat (data movement overhead)");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnc_graph::datasets::Scale;
+
+    fn parse_x(s: &str) -> f64 {
+        s.trim_end_matches('x').parse().unwrap()
+    }
+
+    #[test]
+    fn hbw_shapes_match_paper() {
+        let ctx = Ctx::new(Scale::Tiny);
+        let t = run(&ctx);
+        for d in ["tw-s", "fr-s"] {
+            let mps = t
+                .rows
+                .iter()
+                .find(|r| r[0] == d && r[1] == "MPS-V+P")
+                .unwrap();
+            let bmp = t
+                .rows
+                .iter()
+                .find(|r| r[0] == d && r[1] == "BMP+P+RF")
+                .unwrap();
+            let g_mps = parse_x(&mps[5]);
+            let g_bmp = parse_x(&bmp[5]);
+            assert!(g_mps > 1.15, "MPS must gain from HBW on {d}: {g_mps}");
+            assert!(
+                g_bmp < g_mps,
+                "BMP gains less from bandwidth on {d}: {g_bmp} vs {g_mps}"
+            );
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! **Figure 8** — effect of the number of passes on GPU elapsed time.
+//! Too few passes on the big graph → unified-memory thrashing; more passes
+//! than estimated → mild re-streaming overhead.
+
+use cnc_gpu::{GpuAlgo, GpuRunConfig, GpuRunner};
+
+use crate::output::{fmt_secs, ExpOutput};
+
+use super::{Ctx, TECHNIQUE_DATASETS};
+
+/// Pass counts swept (the paper sweeps around its estimate).
+pub const PASS_POINTS: [usize; 5] = [1, 2, 3, 4, 6];
+
+/// Produce the figure's series.
+pub fn run(ctx: &Ctx) -> ExpOutput {
+    let mut t = ExpOutput::new(
+        "fig8",
+        "GPU elapsed time vs number of passes (modeled)",
+        &[
+            "dataset",
+            "algorithm",
+            "passes",
+            "estimated",
+            "kernel time",
+            "UM faults",
+        ],
+    );
+    for d in TECHNIQUE_DATASETS {
+        let ps = ctx.profiles(d);
+        let gpu = GpuRunner::titan_xp_for(ps.capacity_scale);
+        for (algo, label, graph) in [
+            (GpuAlgo::Mps, "MPS", &ps.graph),
+            (GpuAlgo::Bmp { rf: false }, "BMP", &ps.reordered),
+        ] {
+            // Discover the estimate from a default run.
+            let est = gpu.run(graph, algo, &GpuRunConfig::default()).report.plan.passes;
+            for passes in PASS_POINTS {
+                let run = gpu.run(
+                    graph,
+                    algo,
+                    &GpuRunConfig {
+                        passes: Some(passes),
+                        ..GpuRunConfig::default()
+                    },
+                );
+                t.row(vec![
+                    ps.dataset.name().into(),
+                    label.into(),
+                    passes.to_string(),
+                    if passes == est { "<=est".into() } else { String::new() },
+                    fmt_secs(run.report.kernel.seconds),
+                    run.report.faults.to_string(),
+                ]);
+            }
+        }
+    }
+    t.note("paper: on TW both curves rise slightly with more passes; on FR, BMP with <3 passes thrashes (aborted after 1h)");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnc_graph::datasets::Scale;
+
+    fn secs(s: &str) -> f64 {
+        if let Some(v) = s.strip_suffix("us") {
+            v.parse::<f64>().unwrap() * 1e-6
+        } else if let Some(v) = s.strip_suffix("ms") {
+            v.parse::<f64>().unwrap() * 1e-3
+        } else {
+            s.trim_end_matches('s').parse().unwrap()
+        }
+    }
+
+    #[test]
+    fn thrashing_cliff_on_fr_bmp() {
+        let ctx = Ctx::new(Scale::Tiny);
+        let t = run(&ctx);
+        let time = |ds: &str, algo: &str, p: usize| {
+            t.rows
+                .iter()
+                .find(|r| r[0] == ds && r[1] == algo && r[2] == p.to_string())
+                .map(|r| secs(&r[4]))
+                .unwrap()
+        };
+        let faults = |ds: &str, algo: &str, p: usize| -> u64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == ds && r[1] == algo && r[2] == p.to_string())
+                .map(|r| r[5].parse().unwrap())
+                .unwrap()
+        };
+        // FR-BMP at 1 pass must fault far more than at enough passes
+        // (Figure 8's failure region).
+        assert!(
+            faults("fr-s", "BMP", 1) > 3 * faults("fr-s", "BMP", 4),
+            "thrashing must explode faults: {} vs {}",
+            faults("fr-s", "BMP", 1),
+            faults("fr-s", "BMP", 4)
+        );
+        assert!(
+            time("fr-s", "BMP", 1) > 2.0 * time("fr-s", "BMP", 4),
+            "thrashing must dominate elapsed time"
+        );
+        // On the smaller TW everything fits: pass count changes little.
+        let t1 = time("tw-s", "MPS", 1);
+        let t6 = time("tw-s", "MPS", 6);
+        assert!(t6 < 3.0 * t1, "TW-MPS must not cliff: {t1} vs {t6}");
+    }
+}

@@ -1,0 +1,120 @@
+//! **Figure 9** — block size tuning: warps per thread block from 1 to 32
+//! for GPU MPS and BMP.
+
+use cnc_gpu::{GpuAlgo, GpuRunConfig, GpuRunner, LaunchConfig};
+
+use crate::output::{fmt_secs, ExpOutput};
+
+use super::{Ctx, TECHNIQUE_DATASETS};
+
+/// Warps-per-block sweep points.
+pub const WARP_POINTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Produce the figure's series.
+pub fn run(ctx: &Ctx) -> ExpOutput {
+    let mut t = ExpOutput::new(
+        "fig9",
+        "Block size tuning: warps per thread block (modeled)",
+        &[
+            "dataset",
+            "algorithm",
+            "warps/block",
+            "occupancy",
+            "bitmaps",
+            "passes",
+            "kernel time",
+        ],
+    );
+    for d in TECHNIQUE_DATASETS {
+        let ps = ctx.profiles(d);
+        let gpu = GpuRunner::titan_xp_for(ps.capacity_scale);
+        for (algo, label, graph) in [
+            (GpuAlgo::Mps, "MPS", &ps.graph),
+            (GpuAlgo::Bmp { rf: false }, "BMP", &ps.reordered),
+        ] {
+            for wpb in WARP_POINTS {
+                let cfg = GpuRunConfig {
+                    launch: LaunchConfig {
+                        warps_per_block: wpb,
+                        skew_threshold: 50,
+                    },
+                    ..GpuRunConfig::default()
+                };
+                let run = gpu.run(graph, algo, &cfg);
+                let bitmaps = if matches!(algo, GpuAlgo::Bmp { .. }) {
+                    gpu.spec.bitmap_pool_size(wpb).to_string()
+                } else {
+                    "-".into()
+                };
+                t.row(vec![
+                    ps.dataset.name().into(),
+                    label.into(),
+                    wpb.to_string(),
+                    format!("{:.0}%", 100.0 * gpu.spec.occupancy(wpb)),
+                    bitmaps,
+                    run.report.passes.to_string(),
+                    fmt_secs(run.report.kernel.seconds),
+                ]);
+            }
+        }
+    }
+    t.note("paper: MPS curves are flat (memory-bound); BMP improves 1→4 warps (occupancy), and on FR 32 warps is 2x faster than 4 (fewer bitmaps → fewer passes)");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnc_graph::datasets::Scale;
+
+    fn secs(s: &str) -> f64 {
+        if let Some(v) = s.strip_suffix("us") {
+            v.parse::<f64>().unwrap() * 1e-6
+        } else if let Some(v) = s.strip_suffix("ms") {
+            v.parse::<f64>().unwrap() * 1e-3
+        } else {
+            s.trim_end_matches('s').parse().unwrap()
+        }
+    }
+
+    #[test]
+    fn block_size_shapes() {
+        let ctx = Ctx::new(Scale::Tiny);
+        let t = run(&ctx);
+        let time = |ds: &str, algo: &str, wpb: usize| {
+            t.rows
+                .iter()
+                .find(|r| r[0] == ds && r[1] == algo && r[2] == wpb.to_string())
+                .map(|r| secs(&r[6]))
+                .unwrap()
+        };
+        // BMP: 4 warps/block must beat 1 (occupancy hides probe latency) —
+        // unless already bandwidth-bound, in which case they tie; require
+        // no regression and a win on at least one dataset.
+        let mut bmp_wins = 0;
+        for ds in ["tw-s", "fr-s"] {
+            assert!(
+                time(ds, "BMP", 4) <= time(ds, "BMP", 1) * 1.05,
+                "{ds}: BMP must not regress 1→4 warps"
+            );
+            if time(ds, "BMP", 4) < time(ds, "BMP", 1) * 0.9 {
+                bmp_wins += 1;
+            }
+        }
+        assert!(bmp_wins >= 1, "occupancy must matter somewhere");
+        // MPS is insensitive to block size.
+        for ds in ["tw-s", "fr-s"] {
+            let spread = time(ds, "MPS", 32) / time(ds, "MPS", 1);
+            assert!((0.5..=2.0).contains(&spread), "{ds}: MPS spread {spread}");
+        }
+        // Bitmap pool shrinks with bigger blocks (the Figure 9 FR effect).
+        let bitmaps = |wpb: usize| -> usize {
+            t.rows
+                .iter()
+                .find(|r| r[0] == "fr-s" && r[1] == "BMP" && r[2] == wpb.to_string())
+                .map(|r| r[4].parse().unwrap())
+                .unwrap()
+        };
+        assert!(bitmaps(32) < bitmaps(4));
+    }
+}

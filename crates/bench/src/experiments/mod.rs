@@ -1,0 +1,85 @@
+//! One module per table/figure of the paper's evaluation.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use cnc_graph::datasets::{Dataset, Scale};
+
+use crate::output::ExpOutput;
+use crate::profiles::ProfileSet;
+
+pub mod fig10;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+
+/// Shared experiment context: the scale plus a per-dataset profile cache so
+/// each algorithm is executed/instrumented once per process.
+pub struct Ctx {
+    /// Dataset scale for this run.
+    pub scale: Scale,
+    cache: RefCell<HashMap<Dataset, Rc<ProfileSet>>>,
+}
+
+impl Ctx {
+    /// A context at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        Self {
+            scale,
+            cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The cached profile set for a dataset (built on first use).
+    pub fn profiles(&self, d: Dataset) -> Rc<ProfileSet> {
+        if let Some(p) = self.cache.borrow().get(&d) {
+            return Rc::clone(p);
+        }
+        let p = Rc::new(ProfileSet::build(d, self.scale));
+        self.cache.borrow_mut().insert(d, Rc::clone(&p));
+        p
+    }
+}
+
+/// The two datasets the paper uses for the per-technique studies.
+pub const TECHNIQUE_DATASETS: [Dataset; 2] = [Dataset::TwS, Dataset::FrS];
+
+/// All experiment ids, in paper order.
+pub const ALL: &[&str] = &[
+    "table1", "table2", "fig3", "fig4", "fig5", "table3", "fig6", "fig7", "table4", "table5",
+    "table6", "fig8", "table7", "fig9", "fig10",
+];
+
+/// Run one experiment by id.
+pub fn run(name: &str, ctx: &Ctx) -> Option<ExpOutput> {
+    Some(match name {
+        "table1" => table1::run(ctx),
+        "table2" => table2::run(ctx),
+        "table3" => table3::run(ctx),
+        "table4" => table4::run(ctx),
+        "table5" => table5::run(ctx),
+        "table6" => table6::run(ctx),
+        "table7" => table7::run(ctx),
+        "fig3" => fig3::run(ctx),
+        "fig4" => fig4::run(ctx),
+        "fig5" => fig5::run(ctx),
+        "fig6" => fig6::run(ctx),
+        "fig7" => fig7::run(ctx),
+        "fig8" => fig8::run(ctx),
+        "fig9" => fig9::run(ctx),
+        "fig10" => fig10::run(ctx),
+        _ => return None,
+    })
+}

@@ -1,0 +1,149 @@
+//! **Table 4** — cumulative technique comparison against the baseline M:
+//! `T_M`, `T_MPS`, `T_MPS+V`, `T_MPS+V+P`, `T_MPS+V+P+HBW`, `T_BMP`,
+//! `T_BMP+P`, `T_BMP+P+RF`, `T_BMP+P+RF+HBW`, plus the best speedups.
+
+use cnc_knl::ModeledProcessor;
+use cnc_machine::MemMode;
+
+use crate::output::{fmt_secs, fmt_x, ExpOutput};
+use crate::profiles::ProfileSet;
+
+use super::{Ctx, TECHNIQUE_DATASETS};
+
+/// The modeled seconds for every Table 4 row on one processor.
+pub struct Column {
+    /// Processor label.
+    pub processor: &'static str,
+    /// `(row label, seconds)` in paper order; HBW rows are `None` on the
+    /// CPU (no MCDRAM).
+    pub rows: Vec<(&'static str, Option<f64>)>,
+}
+
+/// Compute one Table 4 column.
+pub fn column(ps: &ProfileSet, processor: &'static str) -> Column {
+    let (proc_, full_threads, vec_profile, has_hbw, bmp_threads) = match processor {
+        "CPU" => (
+            ModeledProcessor::cpu_for(ps.capacity_scale),
+            56usize,
+            &ps.mps_avx2,
+            false,
+            56usize,
+        ),
+        "KNL" => (
+            ModeledProcessor::knl_for(ps.capacity_scale),
+            256,
+            &ps.mps_avx512,
+            true,
+            64,
+        ),
+        _ => panic!("unknown processor {processor}"),
+    };
+    let tp = |p, threads, mode| proc_.time_profile(p, threads, mode).seconds;
+    let rows = vec![
+        ("T_M", Some(tp(&ps.m, 1, MemMode::Ddr))),
+        ("T_MPS", Some(tp(&ps.mps_scalar, 1, MemMode::Ddr))),
+        ("T_MPS+V", Some(tp(vec_profile, 1, MemMode::Ddr))),
+        ("T_MPS+V+P", Some(tp(vec_profile, full_threads, MemMode::Ddr))),
+        (
+            "T_MPS+V+P+HBW",
+            has_hbw.then(|| tp(vec_profile, full_threads, MemMode::McdramFlat)),
+        ),
+        ("T_BMP", Some(tp(&ps.bmp, 1, MemMode::Ddr))),
+        ("T_BMP+P", Some(tp(&ps.bmp, bmp_threads, MemMode::Ddr))),
+        ("T_BMP+P+RF", Some(tp(&ps.bmp_rf, bmp_threads, MemMode::Ddr))),
+        (
+            "T_BMP+P+RF+HBW",
+            has_hbw.then(|| tp(&ps.bmp_rf, bmp_threads, MemMode::McdramFlat)),
+        ),
+    ];
+    Column { processor, rows }
+}
+
+/// Produce the table.
+pub fn run(ctx: &Ctx) -> ExpOutput {
+    let mut t = ExpOutput::new(
+        "table4",
+        "Cumulative technique comparison vs baseline M (modeled seconds)",
+        &["row", "TW/CPU", "TW/KNL", "FR/CPU", "FR/KNL"],
+    );
+    let mut columns = Vec::new();
+    for d in TECHNIQUE_DATASETS {
+        let ps = ctx.profiles(d);
+        columns.push(column(&ps, "CPU"));
+        columns.push(column(&ps, "KNL"));
+    }
+    let labels: Vec<&str> = columns[0].rows.iter().map(|(l, _)| *l).collect();
+    for (i, label) in labels.iter().enumerate() {
+        let mut row = vec![label.to_string()];
+        for col in &columns {
+            row.push(col.rows[i].1.map_or("N/A".into(), fmt_secs));
+        }
+        t.row(row);
+    }
+    // Best speedups over M, matching the table's last two rows.
+    let mut mps_row = vec!["best MPS speedup".to_string()];
+    let mut bmp_row = vec!["best BMP speedup".to_string()];
+    for col in &columns {
+        let m = col.rows[0].1.unwrap();
+        let best_mps = col.rows[1..5]
+            .iter()
+            .filter_map(|(_, s)| *s)
+            .fold(f64::INFINITY, f64::min);
+        let best_bmp = col.rows[5..]
+            .iter()
+            .filter_map(|(_, s)| *s)
+            .fold(f64::INFINITY, f64::min);
+        mps_row.push(fmt_x(m / best_mps));
+        bmp_row.push(fmt_x(m / best_bmp));
+    }
+    t.row(mps_row);
+    t.row(bmp_row);
+    t.note("paper (TW): best MPS speedup 286x (CPU) / 2057x (KNL); best BMP 497x / 1583x");
+    t.note("paper (FR): best MPS speedup 66x / 330x; best BMP 71x / 121x");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnc_graph::datasets::{Dataset, Scale};
+
+    #[test]
+    fn techniques_accumulate_monotonically_on_tw() {
+        let ctx = Ctx::new(Scale::Tiny);
+        let ps = ctx.profiles(Dataset::TwS);
+        for proc_ in ["CPU", "KNL"] {
+            let col = column(&ps, proc_);
+            let sec = |label: &str| {
+                col.rows
+                    .iter()
+                    .find(|(l, _)| *l == label)
+                    .and_then(|(_, s)| *s)
+            };
+            // Each added technique must not slow the skewed dataset down.
+            let tm = sec("T_M").unwrap();
+            let tmps = sec("T_MPS").unwrap();
+            let tv = sec("T_MPS+V").unwrap();
+            let tp = sec("T_MPS+V+P").unwrap();
+            assert!(tmps < tm, "{proc_}: DSH must help on TW");
+            assert!(tv < tmps, "{proc_}: V must help");
+            assert!(tp < tv, "{proc_}: P must help");
+            let tbmp = sec("T_BMP").unwrap();
+            let tbp = sec("T_BMP+P").unwrap();
+            assert!(tbmp < tm && tbp < tbmp, "{proc_}: BMP chain");
+            if proc_ == "KNL" {
+                assert!(sec("T_MPS+V+P+HBW").unwrap() < tp, "HBW helps MPS");
+            } else {
+                assert!(sec("T_MPS+V+P+HBW").is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn full_table_has_eleven_rows() {
+        let ctx = Ctx::new(Scale::Tiny);
+        let t = run(&ctx);
+        assert_eq!(t.rows.len(), 11); // 9 technique rows + 2 speedup rows
+        assert!(t.rows[9][0].contains("MPS"));
+    }
+}

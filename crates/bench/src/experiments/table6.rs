@@ -1,0 +1,77 @@
+//! **Table 6** — memory consumption of the GPU data structures and the
+//! estimated number of passes.
+
+use cnc_gpu::{estimate_passes, titan_xp, DeviceBitmapPool, LaunchConfig};
+
+use crate::output::{fmt_bytes, ExpOutput};
+
+use super::{Ctx, TECHNIQUE_DATASETS};
+
+/// Produce the table.
+pub fn run(ctx: &Ctx) -> ExpOutput {
+    let mut t = ExpOutput::new(
+        "table6",
+        "GPU memory consumption and estimated passes",
+        &[
+            "dataset",
+            "algorithm",
+            "Mem_CSR",
+            "Mem_B_A",
+            "budget/pass",
+            "est. passes",
+        ],
+    );
+    let launch = LaunchConfig::default();
+    for d in TECHNIQUE_DATASETS {
+        let ps = ctx.profiles(d);
+        let spec = titan_xp().scaled(ps.capacity_scale);
+        for algo in ["MPS", "BMP"] {
+            let bitmap_bytes = if algo == "BMP" {
+                DeviceBitmapPool::new(
+                    spec.bitmap_pool_size(launch.warps_per_block),
+                    ps.graph.num_vertices(),
+                )
+                .device_bytes()
+            } else {
+                0
+            };
+            let plan = estimate_passes(&ps.graph, &spec, bitmap_bytes);
+            t.row(vec![
+                ps.dataset.name().into(),
+                algo.into(),
+                fmt_bytes(plan.csr_bytes),
+                fmt_bytes(plan.bitmap_bytes),
+                fmt_bytes(plan.budget_bytes),
+                plan.passes.to_string(),
+            ]);
+        }
+    }
+    t.note("paper: TW fits in one pass for both algorithms; FR needs 2 (MPS) and 3 (BMP) passes");
+    t.note("device capacities are scaled by the dataset's size ratio so the CSR/global-memory proportions match the paper");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnc_graph::datasets::Scale;
+
+    #[test]
+    fn pass_shape_matches_paper() {
+        let ctx = Ctx::new(Scale::Tiny);
+        let t = run(&ctx);
+        let passes = |ds: &str, algo: &str| -> usize {
+            t.rows
+                .iter()
+                .find(|r| r[0] == ds && r[1] == algo)
+                .map(|r| r[5].parse().unwrap())
+                .unwrap()
+        };
+        // The Table 6 shape: FR-BMP needs the most passes; BMP never needs
+        // fewer than MPS (the bitmap pool only shrinks the budget).
+        assert!(passes("fr-s", "BMP") >= passes("fr-s", "MPS"));
+        assert!(passes("fr-s", "BMP") >= passes("tw-s", "BMP"));
+        assert!(passes("fr-s", "BMP") >= 2, "FR must not fit in one BMP pass");
+        assert!(passes("tw-s", "MPS") <= 2);
+    }
+}

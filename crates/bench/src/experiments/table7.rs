@@ -1,0 +1,56 @@
+//! **Table 7** — effect of bitmap range filtering on the GPU (small bitmap
+//! in shared memory).
+
+use cnc_gpu::{GpuAlgo, GpuRunConfig, GpuRunner};
+
+use crate::output::{fmt_secs, fmt_x, ExpOutput};
+
+use super::{Ctx, TECHNIQUE_DATASETS};
+
+/// Produce the table.
+pub fn run(ctx: &Ctx) -> ExpOutput {
+    let mut t = ExpOutput::new(
+        "table7",
+        "GPU bitmap range filtering (modeled)",
+        &["dataset", "BMP", "BMP-RF", "RF speedup", "global probes saved"],
+    );
+    for d in TECHNIQUE_DATASETS {
+        let ps = ctx.profiles(d);
+        let gpu = GpuRunner::titan_xp_for(ps.capacity_scale);
+        let cfg = GpuRunConfig::default();
+        let plain = gpu.run(&ps.reordered, GpuAlgo::Bmp { rf: false }, &cfg);
+        let rf = gpu.run(&ps.reordered, GpuAlgo::Bmp { rf: true }, &cfg);
+        assert_eq!(plain.counts, rf.counts);
+        let saved = 100.0
+            * (1.0
+                - rf.report.stats.scattered_trans as f64
+                    / plain.report.stats.scattered_trans.max(1) as f64);
+        t.row(vec![
+            ps.dataset.name().into(),
+            fmt_secs(plain.report.kernel.seconds),
+            fmt_secs(rf.report.kernel.seconds),
+            fmt_x(plain.report.kernel.seconds / rf.report.kernel.seconds),
+            format!("{saved:.0}%"),
+        ]);
+    }
+    t.note("paper: RF speeds BMP up 1.9x on both TW and FR (fewer global memory loads)");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnc_graph::datasets::Scale;
+
+    #[test]
+    fn rf_reduces_probes_and_time() {
+        let ctx = Ctx::new(Scale::Tiny);
+        let t = run(&ctx);
+        for row in &t.rows {
+            let x: f64 = row[3].trim_end_matches('x').parse().unwrap();
+            assert!(x >= 1.0, "RF must not slow the GPU down: {row:?}");
+            let saved: f64 = row[4].trim_end_matches('%').parse().unwrap();
+            assert!(saved > 10.0, "RF must cut global probes: {row:?}");
+        }
+    }
+}

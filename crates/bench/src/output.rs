@@ -1,0 +1,199 @@
+//! Tabular experiment output: aligned text and CSV.
+
+use std::io::Write;
+use std::path::Path;
+
+/// One experiment's output: a named table with a header, rows, and notes
+/// comparing against the paper.
+#[derive(Debug, Clone, Default)]
+pub struct ExpOutput {
+    /// Experiment id (e.g. `table4`, `fig8`).
+    pub name: String,
+    /// Human title.
+    pub title: String,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Row cells (each row matches the header length).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (paper reference values, substitutions).
+    pub notes: Vec<String>,
+}
+
+impl ExpOutput {
+    /// A new empty table.
+    pub fn new(name: &str, title: &str, header: &[&str]) -> Self {
+        Self {
+            name: name.into(),
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row; panics on arity mismatch.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {} — {}\n", self.name, self.title));
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::new();
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<w$}"));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("  note: {note}\n"));
+        }
+        out
+    }
+
+    /// Render as CSV (notes become `#` comment lines).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        for note in &self.notes {
+            out.push_str(&format!("# {note}\n"));
+        }
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the CSV next to the others in `dir` as `<name>.csv`.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut f = std::fs::File::create(dir.join(format!("{}.csv", self.name)))?;
+        f.write_all(self.to_csv().as_bytes())
+    }
+}
+
+/// Format seconds with sensible precision across magnitudes.
+pub fn fmt_secs(s: f64) -> String {
+    if s == 0.0 {
+        "0".into()
+    } else if s < 1e-4 {
+        format!("{:.2}us", s * 1e6)
+    } else if s < 0.1 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{s:.3}s")
+    }
+}
+
+/// Format a speedup ratio.
+pub fn fmt_x(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}x")
+    } else {
+        format!("{x:.1}x")
+    }
+}
+
+/// Format byte counts.
+pub fn fmt_bytes(b: u64) -> String {
+    const KB: f64 = 1024.0;
+    let b = b as f64;
+    if b >= KB * KB * KB {
+        format!("{:.2}GB", b / (KB * KB * KB))
+    } else if b >= KB * KB {
+        format!("{:.2}MB", b / (KB * KB))
+    } else if b >= KB {
+        format!("{:.1}KB", b / KB)
+    } else {
+        format!("{b:.0}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_rendering_aligns() {
+        let mut t = ExpOutput::new("t", "demo", &["a", "long-header", "c"]);
+        t.row(vec!["1".into(), "2".into(), "3".into()]);
+        t.row(vec!["10".into(), "20".into(), "30".into()]);
+        t.note("a note");
+        let s = t.to_text();
+        assert!(s.contains("## t — demo"));
+        assert!(s.contains("long-header"));
+        assert!(s.contains("note: a note"));
+        assert_eq!(s.lines().count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = ExpOutput::new("t", "demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = ExpOutput::new("t", "demo", &["a,b", "c"]);
+        t.row(vec!["x\"y".into(), "z".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"x\"\"y\""));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_secs(0.0), "0");
+        assert_eq!(fmt_secs(2.5e-6), "2.50us");
+        assert_eq!(fmt_secs(0.0025), "2.50ms");
+        assert_eq!(fmt_secs(12.3456), "12.346s");
+        assert_eq!(fmt_x(3.12), "3.1x");
+        assert_eq!(fmt_x(2057.0), "2057x");
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2048), "2.0KB");
+        assert_eq!(fmt_bytes(5 << 20), "5.00MB");
+        assert_eq!(fmt_bytes(3 << 30), "3.00GB");
+    }
+}

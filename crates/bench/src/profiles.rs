@@ -1,0 +1,77 @@
+//! Cached work profiles per dataset — every algorithm is profiled once and
+//! the machine models price the same profile under many configurations.
+
+use cnc_graph::datasets::{Dataset, Scale};
+use cnc_graph::{reorder, CsrGraph};
+use cnc_knl::{profile_of, ModeledAlgo};
+use cnc_machine::WorkProfile;
+
+/// All the profiles the shared-memory experiments need for one dataset.
+///
+/// BMP profiles are taken on the degree-descending-reordered graph (the
+/// paper's required preprocessing); merge-family profiles on the graph as
+/// generated.
+pub struct ProfileSet {
+    /// The dataset.
+    pub dataset: Dataset,
+    /// The generated graph.
+    pub graph: CsrGraph,
+    /// Degree-descending relabeled graph (BMP's input).
+    pub reordered: CsrGraph,
+    /// Capacity scale vs the paper's original dataset.
+    pub capacity_scale: f64,
+    /// Baseline M.
+    pub m: WorkProfile,
+    /// MPS without vectorization.
+    pub mps_scalar: WorkProfile,
+    /// MPS with 8-lane VB (the CPU's AVX2).
+    pub mps_avx2: WorkProfile,
+    /// MPS with 16-lane VB (the KNL's AVX-512).
+    pub mps_avx512: WorkProfile,
+    /// Plain BMP.
+    pub bmp: WorkProfile,
+    /// Range-filtered BMP.
+    pub bmp_rf: WorkProfile,
+}
+
+impl ProfileSet {
+    /// Build the graph and profile all six algorithm configurations.
+    pub fn build(dataset: Dataset, scale: Scale) -> Self {
+        let graph = dataset.build(scale);
+        let reordered = reorder::degree_descending(&graph).graph;
+        let capacity_scale = dataset.capacity_scale(&graph);
+        let prof = |g: &CsrGraph, a: &ModeledAlgo| profile_of(g, a).1;
+        let n = graph.num_vertices();
+        Self {
+            capacity_scale,
+            m: prof(&graph, &ModeledAlgo::MergeBaseline),
+            mps_scalar: prof(&graph, &ModeledAlgo::mps_scalar()),
+            mps_avx2: prof(&graph, &ModeledAlgo::mps_avx2()),
+            mps_avx512: prof(&graph, &ModeledAlgo::mps_avx512()),
+            bmp: prof(&reordered, &ModeledAlgo::bmp_plain()),
+            bmp_rf: prof(&reordered, &ModeledAlgo::bmp_rf(n)),
+            dataset,
+            graph,
+            reordered,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_set_builds_consistently() {
+        let ps = ProfileSet::build(Dataset::LjS, Scale::Tiny);
+        assert!(ps.m.total_ops() >= ps.mps_scalar.total_ops());
+        assert!(ps.mps_avx512.vector_ops > 0.0);
+        assert!(ps.bmp.ws_replicated_per_thread);
+        assert!(!ps.m.ws_replicated_per_thread);
+        assert!(ps.capacity_scale > 0.0 && ps.capacity_scale < 1.0);
+        assert_eq!(
+            ps.graph.num_directed_edges(),
+            ps.reordered.num_directed_edges()
+        );
+    }
+}

@@ -1,0 +1,416 @@
+//! Derived analytics over the all-edge counts — the applications the
+//! paper's introduction motivates (structural clustering, similarity
+//! queries, recommendation).
+
+use cnc_graph::CsrGraph;
+
+/// A borrow of a graph plus its count array with derived-metric accessors.
+#[derive(Debug, Clone, Copy)]
+pub struct CncView<'a> {
+    graph: &'a CsrGraph,
+    counts: &'a [u32],
+}
+
+impl<'a> CncView<'a> {
+    /// Bind counts to their graph. Panics on length mismatch.
+    pub fn new(graph: &'a CsrGraph, counts: &'a [u32]) -> Self {
+        assert_eq!(
+            counts.len(),
+            graph.num_directed_edges(),
+            "counts must have one entry per directed edge slot"
+        );
+        Self { graph, counts }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &CsrGraph {
+        self.graph
+    }
+
+    /// The raw per-edge-offset counts.
+    pub fn counts(&self) -> &[u32] {
+        self.counts
+    }
+
+    /// The common neighbor count of an adjacent pair, `None` if `(u, v)` is
+    /// not an edge.
+    pub fn count(&self, u: u32, v: u32) -> Option<u32> {
+        self.graph.edge_offset(u, v).map(|eid| self.counts[eid])
+    }
+
+    /// Total triangles: `Σ cnt / 6` (each triangle is counted once per
+    /// directed edge slot of its three edges — Section 2.2.2).
+    pub fn triangle_count(&self) -> u64 {
+        self.counts.iter().map(|&c| c as u64).sum::<u64>() / 6
+    }
+
+    /// Jaccard similarity of an edge's endpoints:
+    /// `|N(u) ∩ N(v)| / |N(u) ∪ N(v)|`.
+    pub fn jaccard(&self, eid: usize) -> f64 {
+        let (u, v) = self.endpoints(eid);
+        let inter = self.counts[eid] as f64;
+        let union = (self.graph.degree(u) + self.graph.degree(v)) as f64 - inter;
+        if union == 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+
+    /// Cosine similarity of the endpoint neighborhoods:
+    /// `|N(u) ∩ N(v)| / sqrt(d_u · d_v)`.
+    pub fn cosine(&self, eid: usize) -> f64 {
+        let (u, v) = self.endpoints(eid);
+        let d = (self.graph.degree(u) as f64 * self.graph.degree(v) as f64).sqrt();
+        if d == 0.0 {
+            0.0
+        } else {
+            self.counts[eid] as f64 / d
+        }
+    }
+
+    /// SCAN structural similarity (Xu et al., the clustering the paper's
+    /// citations [8, 9, 27] compute from these counts):
+    /// `(cnt + 2) / sqrt((d_u + 1)(d_v + 1))` — the `+`s account for the
+    /// closed neighborhoods containing `u` and `v` themselves.
+    pub fn structural_similarity(&self, eid: usize) -> f64 {
+        let (u, v) = self.endpoints(eid);
+        let denom =
+            ((self.graph.degree(u) as f64 + 1.0) * (self.graph.degree(v) as f64 + 1.0)).sqrt();
+        (self.counts[eid] as f64 + 2.0) / denom
+    }
+
+    /// Endpoints of an edge offset.
+    pub fn endpoints(&self, eid: usize) -> (u32, u32) {
+        let mut hint = 0u32;
+        let u = self.graph.find_src(eid, &mut hint);
+        (u, self.graph.dst()[eid])
+    }
+
+    /// ε-neighborhood of `u` under structural similarity: the neighbors `v`
+    /// with `σ(u, v) ≥ eps` — the core primitive of SCAN clustering.
+    pub fn eps_neighborhood(&self, u: u32, eps: f64) -> Vec<u32> {
+        self.graph
+            .offset_range(u)
+            .filter(|&eid| self.structural_similarity(eid) >= eps)
+            .map(|eid| self.graph.dst()[eid])
+            .collect()
+    }
+
+    /// Rank a vertex's neighbors-of-neighbors for recommendation: among the
+    /// 2-hop candidates, order adjacent pairs by common neighbor count
+    /// descending. Returns `(neighbor, count)` pairs for `u`'s edges —
+    /// the "customers also bought" primitive of the intro's co-purchasing
+    /// scenario.
+    pub fn ranked_neighbors(&self, u: u32) -> Vec<(u32, u32)> {
+        let mut out: Vec<(u32, u32)> = self
+            .graph
+            .offset_range(u)
+            .map(|eid| (self.graph.dst()[eid], self.counts[eid]))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// The actual common neighbors of an adjacent pair (not just the count),
+    /// materialized on demand with the hybrid kernel. `None` if `(u, v)` is
+    /// not an edge. Used to *explain* a similarity or recommendation.
+    pub fn common_neighbors(&self, u: u32, v: u32) -> Option<Vec<u32>> {
+        self.graph.edge_offset(u, v)?;
+        let mut out = Vec::new();
+        cnc_intersect::mps_collect(
+            self.graph.neighbors(u),
+            self.graph.neighbors(v),
+            50,
+            &mut out,
+            &mut cnc_intersect::NullMeter,
+        );
+        Some(out)
+    }
+
+    /// Adamic–Adar index of an adjacent pair: `Σ_{w ∈ N(u)∩N(v)} 1/ln(d_w)`
+    /// — the classic link-strength score that down-weights common neighbors
+    /// that are themselves hubs. `None` if `(u, v)` is not an edge.
+    ///
+    /// Materializes the common neighbors with the hybrid kernel, so the
+    /// cost is `O(min(d_u, d_v))`-ish per query on top of the counts.
+    pub fn adamic_adar(&self, u: u32, v: u32) -> Option<f64> {
+        let shared = self.common_neighbors(u, v)?;
+        Some(
+            shared
+                .iter()
+                .map(|&w| {
+                    let d = self.graph.degree(w) as f64;
+                    // Degree-1 common neighbors are impossible (w touches
+                    // both u and v), so ln(d) ≥ ln 2 > 0.
+                    1.0 / d.ln()
+                })
+                .sum(),
+        )
+    }
+
+    /// Resource-allocation index: `Σ_{w ∈ N(u)∩N(v)} 1/d_w` — like
+    /// Adamic–Adar with a harsher hub penalty. `None` if `(u, v)` is not an
+    /// edge.
+    pub fn resource_allocation(&self, u: u32, v: u32) -> Option<f64> {
+        let shared = self.common_neighbors(u, v)?;
+        Some(
+            shared
+                .iter()
+                .map(|&w| 1.0 / self.graph.degree(w) as f64)
+                .sum(),
+        )
+    }
+
+    /// Local clustering coefficient of `u`: the fraction of pairs of `u`'s
+    /// neighbors that are themselves connected,
+    /// `Σ_{v ∈ N(u)} cnt[e(u,v)] / (d_u (d_u − 1))`.
+    pub fn local_clustering_coefficient(&self, u: u32) -> f64 {
+        let d = self.graph.degree(u);
+        if d < 2 {
+            return 0.0;
+        }
+        let closed: u64 = self
+            .graph
+            .offset_range(u)
+            .map(|eid| self.counts[eid] as u64)
+            .sum();
+        closed as f64 / (d as f64 * (d as f64 - 1.0))
+    }
+
+    /// Global clustering coefficient (transitivity): `3·triangles / #wedges`
+    /// where a wedge is an ordered path of length 2.
+    pub fn global_clustering_coefficient(&self) -> f64 {
+        let wedges: u64 = (0..self.graph.num_vertices() as u32)
+            .map(|u| {
+                let d = self.graph.degree(u) as u64;
+                d.saturating_sub(1) * d / 2
+            })
+            .sum();
+        if wedges == 0 {
+            return 0.0;
+        }
+        3.0 * self.triangle_count() as f64 / wedges as f64
+    }
+
+    /// The `k` strongest edges in the whole graph by a similarity function
+    /// (each undirected edge reported once, as `(u, v, score)` with
+    /// `u < v`).
+    pub fn top_k_edges_by(&self, k: usize, score: impl Fn(&Self, usize) -> f64) -> Vec<(u32, u32, f64)> {
+        let mut scored: Vec<(u32, u32, f64)> = Vec::new();
+        for (eid, u, v) in self.graph.iter_edges() {
+            if u < v {
+                scored.push((u, v, score(self, eid)));
+            }
+        }
+        scored.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(a.0.cmp(&b.0).then(a.1.cmp(&b.1))));
+        scored.truncate(k);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::reference_counts;
+    use cnc_graph::{generators, CsrGraph, EdgeList};
+
+    fn view_of(g: &CsrGraph) -> (Vec<u32>, &CsrGraph) {
+        (reference_counts(g), g)
+    }
+
+    #[test]
+    fn triangle_count_on_known_graphs() {
+        // K4 has 4 triangles; a path has none; clique_chain(3, 5): 3 * C(5,3).
+        let k4 = CsrGraph::from_edge_list(&generators::complete(4));
+        let (c, g) = view_of(&k4);
+        assert_eq!(CncView::new(g, &c).triangle_count(), 4);
+
+        let p = CsrGraph::from_edge_list(&generators::path(10));
+        let (c, g) = view_of(&p);
+        assert_eq!(CncView::new(g, &c).triangle_count(), 0);
+
+        let cc = CsrGraph::from_edge_list(&generators::clique_chain(3, 5));
+        let (c, g) = view_of(&cc);
+        assert_eq!(CncView::new(g, &c).triangle_count(), 3 * 10);
+    }
+
+    #[test]
+    fn similarity_metrics_on_triangle_with_tail() {
+        let g = CsrGraph::from_edge_list(&EdgeList::from_pairs([
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (2, 3),
+        ]));
+        let c = reference_counts(&g);
+        let v = CncView::new(&g, &c);
+        let e01 = g.edge_offset(0, 1).unwrap();
+        // cnt = 1, d0 = d1 = 2: jaccard 1/3, cosine 1/2.
+        assert!((v.jaccard(e01) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((v.cosine(e01) - 0.5).abs() < 1e-12);
+        // SCAN: (1+2)/sqrt(3*3) = 1.
+        assert!((v.structural_similarity(e01) - 1.0).abs() < 1e-12);
+        let e23 = g.edge_offset(2, 3).unwrap();
+        assert_eq!(v.count(2, 3), Some(0));
+        assert!(v.jaccard(e23) < 1e-12);
+        assert_eq!(v.count(0, 3), None);
+    }
+
+    #[test]
+    fn eps_neighborhood_filters_by_similarity() {
+        // Clique 0-1-2-3 with a pendant 4 on vertex 0: within the clique
+        // similarities are high, the pendant edge is weak.
+        let mut el = generators::complete(4);
+        el.push(0, 4);
+        let g = CsrGraph::from_edge_list(&el);
+        let c = reference_counts(&g);
+        let v = CncView::new(&g, &c);
+        let strong = v.eps_neighborhood(0, 0.7);
+        assert!(strong.contains(&1) && strong.contains(&2) && strong.contains(&3));
+        assert!(!strong.contains(&4));
+        // With eps = 0 everything qualifies.
+        assert_eq!(v.eps_neighborhood(0, 0.0).len(), 4);
+    }
+
+    #[test]
+    fn ranked_neighbors_orders_by_count() {
+        // Vertex 0 in a clique-with-pendant: clique edges have 2 common
+        // neighbors, the pendant has 0.
+        let mut el = generators::complete(4);
+        el.push(0, 4);
+        let g = CsrGraph::from_edge_list(&el);
+        let c = reference_counts(&g);
+        let v = CncView::new(&g, &c);
+        let ranked = v.ranked_neighbors(0);
+        assert_eq!(ranked.len(), 4);
+        assert_eq!(ranked.last().unwrap().0, 4, "pendant ranks last");
+        assert!(ranked.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per directed edge")]
+    fn length_mismatch_panics() {
+        let g = CsrGraph::from_edge_list(&generators::path(3));
+        let c = vec![0u32; 1];
+        let _ = CncView::new(&g, &c);
+    }
+
+    #[test]
+    fn common_neighbors_explains_counts() {
+        let g = CsrGraph::from_edge_list(&generators::complete(6));
+        let c = reference_counts(&g);
+        let v = CncView::new(&g, &c);
+        let shared = v.common_neighbors(0, 1).unwrap();
+        assert_eq!(shared, vec![2, 3, 4, 5]);
+        assert_eq!(shared.len() as u32, v.count(0, 1).unwrap());
+        assert_eq!(v.common_neighbors(0, 99), None);
+    }
+
+    #[test]
+    fn clustering_coefficients() {
+        // K4: every vertex and the whole graph have coefficient 1.
+        let g = CsrGraph::from_edge_list(&generators::complete(4));
+        let c = reference_counts(&g);
+        let v = CncView::new(&g, &c);
+        for u in 0..4 {
+            assert!((v.local_clustering_coefficient(u) - 1.0).abs() < 1e-12);
+        }
+        assert!((v.global_clustering_coefficient() - 1.0).abs() < 1e-12);
+
+        // A path has no triangles: all coefficients zero.
+        let p = CsrGraph::from_edge_list(&generators::path(10));
+        let c = reference_counts(&p);
+        let v = CncView::new(&p, &c);
+        assert_eq!(v.local_clustering_coefficient(1), 0.0);
+        assert_eq!(v.global_clustering_coefficient(), 0.0);
+        // Degree-1 endpoints are defined as 0.
+        assert_eq!(v.local_clustering_coefficient(0), 0.0);
+    }
+
+    #[test]
+    fn local_coefficient_on_triangle_with_tail() {
+        // Vertex 2 has neighbors {0, 1, 3}; only (0,1) of its three
+        // neighbor pairs is connected → coefficient 1/3.
+        let g = CsrGraph::from_edge_list(&EdgeList::from_pairs([
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (2, 3),
+        ]));
+        let c = reference_counts(&g);
+        let v = CncView::new(&g, &c);
+        assert!((v.local_clustering_coefficient(2) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_prediction_indices() {
+        // Triangle 0-1-2 plus tail 2-3: edge (0,1) has exactly one common
+        // neighbor, vertex 2 with degree 3.
+        let g = CsrGraph::from_edge_list(&EdgeList::from_pairs([
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (2, 3),
+        ]));
+        let c = reference_counts(&g);
+        let v = CncView::new(&g, &c);
+        let aa = v.adamic_adar(0, 1).unwrap();
+        assert!((aa - 1.0 / 3f64.ln()).abs() < 1e-12);
+        let ra = v.resource_allocation(0, 1).unwrap();
+        assert!((ra - 1.0 / 3.0).abs() < 1e-12);
+        // No common neighbors → zero; non-edge → None.
+        assert_eq!(v.adamic_adar(2, 3), Some(0.0));
+        assert_eq!(v.resource_allocation(0, 3), None);
+    }
+
+    #[test]
+    fn adamic_adar_penalizes_hub_mediated_ties() {
+        // Pair (a, b) shares a low-degree mediator; pair (c, d) shares a
+        // hub: AA must rank the first tie stronger.
+        let mut el = EdgeList::new(30);
+        // a=0, b=1 share mediator 2 (degree 2 + edges to a,b only).
+        el.push(0, 2);
+        el.push(1, 2);
+        el.push(0, 1);
+        // c=3, d=4 share hub 5 connected to everything else.
+        el.push(3, 5);
+        el.push(4, 5);
+        el.push(3, 4);
+        for x in 6..30 {
+            el.push(5, x);
+        }
+        let g = CsrGraph::from_edge_list(&el);
+        let c = reference_counts(&g);
+        let v = CncView::new(&g, &c);
+        let strong = v.adamic_adar(0, 1).unwrap();
+        let weak = v.adamic_adar(3, 4).unwrap();
+        assert!(
+            strong > 2.0 * weak,
+            "low-degree mediator must outweigh hub: {strong} vs {weak}"
+        );
+        // Plain counts cannot tell them apart.
+        assert_eq!(v.count(0, 1), v.count(3, 4));
+    }
+
+    #[test]
+    fn top_k_edges_ranks_by_score() {
+        let mut el = generators::complete(4); // strong core
+        el.push(0, 4); // weak pendant
+        let g = CsrGraph::from_edge_list(&el);
+        let c = reference_counts(&g);
+        let v = CncView::new(&g, &c);
+        let top = v.top_k_edges_by(3, |view, eid| view.jaccard(eid));
+        assert_eq!(top.len(), 3);
+        // Every reported edge is canonical (u < v) and from the clique.
+        for (u, vv, score) in &top {
+            assert!(u < vv);
+            assert!(*vv <= 3, "pendant edge must not rank in the top 3");
+            assert!(*score > 0.0);
+        }
+        // Scores are non-increasing.
+        assert!(top.windows(2).all(|w| w[0].2 >= w[1].2));
+        // Asking for more than exists returns all edges.
+        assert_eq!(v.top_k_edges_by(100, |view, eid| view.cosine(eid)).len(), 7);
+    }
+}

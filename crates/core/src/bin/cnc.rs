@@ -1,0 +1,197 @@
+//! `cnc` — command-line all-edge common neighbor counting.
+//!
+//! ```text
+//! cnc count  GRAPH [--algo mps|bmp|bmp-rf|m] [--platform cpu|cpu-seq|knl|gpu]
+//!            [--out FILE] [--stats]
+//! cnc stats  GRAPH
+//! cnc scan   GRAPH [--eps 0.6] [--mu 3]
+//! cnc truss  GRAPH
+//! ```
+//!
+//! `GRAPH` is a SNAP-style edge-list text file (`u v` per line, `#`
+//! comments) or a binary CSR written by `cnc-graph::io::write_csr`
+//! (detected by magic). `--out` writes the per-edge counts as
+//! `u v count` lines (canonical `u < v` edges once each).
+
+use std::io::{BufWriter, Write};
+use std::process::ExitCode;
+
+use cnc_core::{scan, truss_decomposition, Algorithm, CncView, Platform, Runner};
+use cnc_graph::stats::{skew_percentage, GraphStats};
+use cnc_graph::{io, CsrGraph};
+
+fn load_graph(path: &str) -> Result<CsrGraph, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if bytes.starts_with(b"CNCCSR01") {
+        io::read_csr(bytes.as_slice()).map_err(|e| format!("bad binary CSR {path}: {e}"))
+    } else {
+        let el = io::read_edge_list(bytes.as_slice())
+            .map_err(|e| format!("bad edge list {path}: {e}"))?;
+        Ok(CsrGraph::from_edge_list(&el))
+    }
+}
+
+fn parse_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        eprintln!("cnc: {flag} needs a value");
+        std::process::exit(2);
+    }
+    args.remove(pos);
+    Some(args.remove(pos))
+}
+
+fn parse_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+fn print_stats(g: &CsrGraph) {
+    let s = GraphStats::of(g);
+    println!("|V|            {}", s.num_vertices);
+    println!("|E| (und.)     {}", g.num_undirected_edges());
+    println!("avg degree     {:.2}", s.avg_degree);
+    println!("max degree     {}", s.max_degree);
+    println!("skewed (>50x)  {:.1}%", skew_percentage(g, 50));
+    println!("CSR bytes      {}", g.csr_bytes());
+}
+
+fn run() -> Result<(), String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprintln!(
+            "usage: cnc <count|stats|scan|truss> GRAPH [--algo A] [--platform P] [--out F] [--eps E] [--mu M] [--stats]"
+        );
+        return Ok(());
+    }
+    let command = args.remove(0);
+    let algo = match parse_flag(&mut args, "--algo").as_deref() {
+        None | Some("bmp-rf") => Algorithm::bmp_rf(),
+        Some("bmp") => Algorithm::bmp(),
+        Some("mps") => Algorithm::mps(),
+        Some("m") => Algorithm::MergeBaseline,
+        Some(other) => return Err(format!("unknown --algo {other:?}")),
+    };
+    let out_path = parse_flag(&mut args, "--out");
+    let eps: f64 = parse_flag(&mut args, "--eps")
+        .map(|s| s.parse().map_err(|e| format!("bad --eps: {e}")))
+        .transpose()?
+        .unwrap_or(0.6);
+    let mu: usize = parse_flag(&mut args, "--mu")
+        .map(|s| s.parse().map_err(|e| format!("bad --mu: {e}")))
+        .transpose()?
+        .unwrap_or(3);
+    let want_stats = parse_switch(&mut args, "--stats");
+    let platform_name = parse_flag(&mut args, "--platform").unwrap_or_else(|| "cpu".into());
+    let graph_path = args
+        .first()
+        .ok_or_else(|| "missing GRAPH argument".to_string())?;
+    let g = load_graph(graph_path)?;
+    // Modeled platforms need a capacity scale; for ad-hoc files use the
+    // graph's ratio to the paper's twitter dataset as a sensible default.
+    let scale = (g.num_undirected_edges() as f64 / 684_500_375.0).min(1.0);
+    let platform = match platform_name.as_str() {
+        "cpu" => Platform::cpu_parallel(),
+        "cpu-seq" => Platform::CpuSequential,
+        "knl" => Platform::knl_flat(scale),
+        "gpu" => Platform::gpu(scale),
+        other => return Err(format!("unknown --platform {other:?}")),
+    };
+
+    match command.as_str() {
+        "stats" => {
+            print_stats(&g);
+            Ok(())
+        }
+        "count" => {
+            let result = Runner::new(platform, algo).run(&g);
+            let view = result.view(&g);
+            eprintln!(
+                "counted {} edge slots in {:.1} ms wall{}",
+                result.counts.len(),
+                result.wall_seconds * 1e3,
+                result
+                    .modeled_seconds
+                    .map(|s| format!(" ({:.3} ms modeled)", s * 1e3))
+                    .unwrap_or_default()
+            );
+            eprintln!("triangles: {}", view.triangle_count());
+            if want_stats {
+                print_stats(&g);
+            }
+            if let Some(path) = out_path {
+                let f = std::fs::File::create(&path)
+                    .map_err(|e| format!("cannot create {path}: {e}"))?;
+                if path.ends_with(".bin") {
+                    // Binary counts aligned to the CSR's directed edge
+                    // slots (load with cnc_graph::io::read_counts).
+                    cnc_graph::io::write_counts(&result.counts, f)
+                        .map_err(|e| e.to_string())?;
+                } else {
+                    let mut w = BufWriter::new(f);
+                    for (eid, u, v) in g.iter_edges() {
+                        if u < v {
+                            writeln!(w, "{u}\t{v}\t{}", result.counts[eid])
+                                .map_err(|e| e.to_string())?;
+                        }
+                    }
+                    w.flush().map_err(|e| e.to_string())?;
+                }
+                eprintln!("wrote {path}");
+            }
+            Ok(())
+        }
+        "scan" => {
+            let result = Runner::new(platform, algo).run(&g);
+            let view = result.view(&g);
+            let r = scan(&view, eps, mu);
+            println!(
+                "SCAN(eps={eps}, mu={mu}): {} clusters; cores {}, borders {}, hubs {}, outliers {}",
+                r.num_clusters,
+                r.count_role(cnc_core::Role::Core),
+                r.count_role(cnc_core::Role::Border),
+                r.count_role(cnc_core::Role::Hub),
+                r.count_role(cnc_core::Role::Outlier),
+            );
+            let mut sizes: Vec<usize> = (0..r.num_clusters as i32)
+                .map(|c| r.members(c).len())
+                .collect();
+            sizes.sort_unstable_by(|a, b| b.cmp(a));
+            println!("largest clusters: {:?}", &sizes[..sizes.len().min(10)]);
+            Ok(())
+        }
+        "truss" => {
+            let result = Runner::new(platform, algo).run(&g);
+            let r = truss_decomposition(&g, &result.counts);
+            println!("max trussness: {}", r.max_k);
+            for k in 3..=r.max_k {
+                let edges = r.truss_edge_count(&g, k);
+                if edges > 0 {
+                    println!("  {k}-truss: {edges} edges");
+                }
+            }
+            // Also report the densest layer's clustering quality.
+            let view = CncView::new(&g, &result.counts);
+            println!(
+                "global clustering coefficient: {:.4}",
+                view.global_clustering_coefficient()
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cnc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # aecnc — All-Edge Common Neighbor Counting on three processors
+//!
+//! The public API of this reproduction of Che et al., *Accelerating
+//! All-Edge Common Neighbor Counting on Three Processors* (ICPP 2019).
+//!
+//! Given an undirected graph, compute `cnt[e(u,v)] = |N(u) ∩ N(v)|` for
+//! every edge, using either of the paper's two algorithm families (**MPS**,
+//! **BMP**) on any of its three processors — the real multicore CPU
+//! (rayon), the modeled KNL, or the simulated GPU:
+//!
+//! ```
+//! use cnc_core::{Algorithm, Platform, Runner};
+//! use cnc_graph::{generators, CsrGraph};
+//!
+//! let g = CsrGraph::from_edge_list(&generators::clique_chain(4, 8));
+//! let result = Runner::new(Platform::cpu_parallel(), Algorithm::bmp_rf())
+//!     .reorder(true)
+//!     .run(&g);
+//!
+//! // Exact counts for every directed edge slot, plus derived analytics.
+//! let view = result.view(&g);
+//! assert_eq!(view.triangle_count(), 4 * 56); // four K8 cliques
+//! ```
+//!
+//! The building blocks are exposed by the sibling crates:
+//! `cnc-graph` (CSR storage, generators, datasets), `cnc-intersect`
+//! (set-intersection kernels), `cnc-cpu` (parallel drivers), `cnc-machine`
+//! (machine models), `cnc-knl` (modeled KNL), and `cnc-gpu` (GPU
+//! simulator).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytics;
+pub mod incremental;
+pub mod remap;
+pub mod runner;
+pub mod scan;
+pub mod truss;
+pub mod verify;
+
+pub use analytics::CncView;
+pub use incremental::IncrementalCnc;
+pub use scan::{scan, scan_parallel, Role, ScanResult};
+pub use truss::{truss_decomposition, TrussResult};
+pub use runner::{Algorithm, CncResult, Platform, RfChoice, RunDetail, Runner};
+pub use verify::{reference_counts, verify_counts, VerifyError};

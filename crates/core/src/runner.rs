@@ -1,0 +1,390 @@
+//! The unified platform × algorithm runner.
+
+use std::time::Instant;
+
+use cnc_cpu::{
+    par_bmp, par_merge_baseline, par_mps, seq_bmp, seq_merge_baseline, seq_mps, BmpMode, ParConfig,
+};
+use cnc_gpu::{GpuAlgo, GpuReport, GpuRunConfig, GpuRunner};
+use cnc_graph::{reorder, CsrGraph};
+use cnc_intersect::{MpsConfig, NullMeter};
+use cnc_knl::{ModeledAlgo, ModeledProcessor};
+use cnc_machine::{MemMode, ModelReport};
+
+use crate::analytics::CncView;
+use crate::remap::counts_to_original;
+
+/// Range-filter selection for BMP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RfChoice {
+    /// No range filtering.
+    Off,
+    /// Scale-aware ratio (`cnc_intersect::scaled_rf_ratio`) — the paper's
+    /// "fits in L1" rule at any graph size.
+    Scaled,
+    /// Explicit ratio (power of two).
+    Ratio(usize),
+}
+
+impl RfChoice {
+    fn mode(self, num_vertices: usize) -> BmpMode {
+        match self {
+            RfChoice::Off => BmpMode::Plain,
+            RfChoice::Scaled => BmpMode::rf_scaled(num_vertices),
+            RfChoice::Ratio(r) => BmpMode::RangeFiltered { ratio: r },
+        }
+    }
+}
+
+/// The algorithm to run (Section 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// The unoptimized merge baseline **M**.
+    MergeBaseline,
+    /// **MPS**: hybrid vectorized block merge + pivot skip.
+    Mps(MpsConfig),
+    /// **BMP**: dynamic bitmap index.
+    Bmp(RfChoice),
+}
+
+impl Algorithm {
+    /// MPS with auto-detected SIMD and the paper-default threshold.
+    pub fn mps() -> Self {
+        Algorithm::Mps(MpsConfig::default())
+    }
+
+    /// BMP with the scale-aware range filter.
+    pub fn bmp_rf() -> Self {
+        Algorithm::Bmp(RfChoice::Scaled)
+    }
+
+    /// BMP without range filtering.
+    pub fn bmp() -> Self {
+        Algorithm::Bmp(RfChoice::Off)
+    }
+
+    /// Paper-style label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::MergeBaseline => "M",
+            Algorithm::Mps(_) => "MPS",
+            Algorithm::Bmp(RfChoice::Off) => "BMP",
+            Algorithm::Bmp(_) => "BMP-RF",
+        }
+    }
+}
+
+/// The processor to run on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Platform {
+    /// The real host CPU, sequential (measured wall-clock).
+    CpuSequential,
+    /// The real host CPU with the rayon skeleton (measured wall-clock).
+    CpuParallel(ParConfig),
+    /// The modeled 28-core CPU server (exact counts, modeled time).
+    CpuModel {
+        /// Modeled thread count.
+        threads: usize,
+        /// Capacity-scaling factor (see `Dataset::capacity_scale`).
+        capacity_scale: f64,
+    },
+    /// The modeled KNL (exact counts, modeled time).
+    Knl {
+        /// Modeled thread count (up to 256).
+        threads: usize,
+        /// MCDRAM mode.
+        mode: MemMode,
+        /// Capacity-scaling factor.
+        capacity_scale: f64,
+    },
+    /// The simulated GPU (exact counts, modeled time).
+    Gpu {
+        /// Kernel launch and pass configuration.
+        config: GpuRunConfig,
+        /// Capacity-scaling factor.
+        capacity_scale: f64,
+    },
+}
+
+impl Platform {
+    /// Real-CPU parallel execution with defaults.
+    pub fn cpu_parallel() -> Self {
+        Platform::CpuParallel(ParConfig::default())
+    }
+
+    /// Modeled KNL at its best configuration (256 threads, MCDRAM flat).
+    pub fn knl_flat(capacity_scale: f64) -> Self {
+        Platform::Knl {
+            threads: 256,
+            mode: MemMode::McdramFlat,
+            capacity_scale,
+        }
+    }
+
+    /// Simulated GPU with default launch parameters.
+    pub fn gpu(capacity_scale: f64) -> Self {
+        Platform::Gpu {
+            config: GpuRunConfig::default(),
+            capacity_scale,
+        }
+    }
+}
+
+/// Platform-specific detail attached to a result.
+#[derive(Debug, Clone)]
+pub enum RunDetail {
+    /// Real execution: nothing beyond the wall clock.
+    Measured,
+    /// Modeled shared-memory processor report.
+    Modeled(ModelReport),
+    /// GPU simulator report.
+    Gpu(Box<GpuReport>),
+}
+
+/// The outcome of a counting run.
+#[derive(Debug, Clone)]
+pub struct CncResult {
+    /// One count per directed edge slot of the *input* graph.
+    pub counts: Vec<u32>,
+    /// Host wall-clock seconds for the whole run (including simulation
+    /// overhead — not a performance number for modeled platforms).
+    pub wall_seconds: f64,
+    /// Modeled elapsed seconds, for modeled platforms.
+    pub modeled_seconds: Option<f64>,
+    /// Platform-specific details.
+    pub detail: RunDetail,
+}
+
+impl CncResult {
+    /// Bind the counts to their graph for derived analytics.
+    pub fn view<'a>(&'a self, g: &'a CsrGraph) -> CncView<'a> {
+        CncView::new(g, &self.counts)
+    }
+}
+
+/// A configured platform × algorithm run.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    platform: Platform,
+    algorithm: Algorithm,
+    reorder: bool,
+}
+
+impl Runner {
+    /// A runner for the given platform and algorithm. Degree-descending
+    /// reordering defaults to on for BMP (its complexity bound needs it)
+    /// and off otherwise.
+    pub fn new(platform: Platform, algorithm: Algorithm) -> Self {
+        let reorder = matches!(algorithm, Algorithm::Bmp(_));
+        Self {
+            platform,
+            algorithm,
+            reorder,
+        }
+    }
+
+    /// Override the degree-descending reordering preprocessing. Counts are
+    /// always returned in the *input* graph's edge offsets.
+    pub fn reorder(mut self, yes: bool) -> Self {
+        self.reorder = yes;
+        self
+    }
+
+    /// Execute on `g`.
+    pub fn run(&self, g: &CsrGraph) -> CncResult {
+        let t0 = Instant::now();
+        if self.reorder {
+            let r = reorder::degree_descending(g);
+            let mut result = self.run_directly(&r.graph);
+            result.counts = counts_to_original(g, &r, &result.counts);
+            result.wall_seconds = t0.elapsed().as_secs_f64();
+            result
+        } else {
+            let mut result = self.run_directly(g);
+            result.wall_seconds = t0.elapsed().as_secs_f64();
+            result
+        }
+    }
+
+    fn run_directly(&self, g: &CsrGraph) -> CncResult {
+        match &self.platform {
+            Platform::CpuSequential => {
+                let mut m = NullMeter;
+                let counts = match &self.algorithm {
+                    Algorithm::MergeBaseline => seq_merge_baseline(g, &mut m),
+                    Algorithm::Mps(cfg) => seq_mps(g, cfg, &mut m),
+                    Algorithm::Bmp(rf) => seq_bmp(g, rf.mode(g.num_vertices()), &mut m),
+                };
+                CncResult {
+                    counts,
+                    wall_seconds: 0.0,
+                    modeled_seconds: None,
+                    detail: RunDetail::Measured,
+                }
+            }
+            Platform::CpuParallel(par) => {
+                let counts = match &self.algorithm {
+                    Algorithm::MergeBaseline => par_merge_baseline(g, par),
+                    Algorithm::Mps(cfg) => par_mps(g, cfg, par),
+                    Algorithm::Bmp(rf) => par_bmp(g, rf.mode(g.num_vertices()), par),
+                };
+                CncResult {
+                    counts,
+                    wall_seconds: 0.0,
+                    modeled_seconds: None,
+                    detail: RunDetail::Measured,
+                }
+            }
+            Platform::CpuModel {
+                threads,
+                capacity_scale,
+            } => {
+                let proc_ = ModeledProcessor::cpu_for(*capacity_scale);
+                let run = proc_.run(g, &self.modeled_algo(g), *threads, MemMode::Ddr);
+                CncResult {
+                    counts: run.counts,
+                    wall_seconds: 0.0,
+                    modeled_seconds: Some(run.report.seconds),
+                    detail: RunDetail::Modeled(run.report),
+                }
+            }
+            Platform::Knl {
+                threads,
+                mode,
+                capacity_scale,
+            } => {
+                let proc_ = ModeledProcessor::knl_for(*capacity_scale);
+                let run = proc_.run(g, &self.modeled_algo(g), *threads, *mode);
+                CncResult {
+                    counts: run.counts,
+                    wall_seconds: 0.0,
+                    modeled_seconds: Some(run.report.seconds),
+                    detail: RunDetail::Modeled(run.report),
+                }
+            }
+            Platform::Gpu {
+                config,
+                capacity_scale,
+            } => {
+                let gpu = GpuRunner::titan_xp_for(*capacity_scale);
+                let algo = match &self.algorithm {
+                    // The GPU has no separate plain-merge baseline in the
+                    // paper; the MKernel path with threshold ∞ is M.
+                    Algorithm::MergeBaseline | Algorithm::Mps(_) => GpuAlgo::Mps,
+                    Algorithm::Bmp(rf) => GpuAlgo::Bmp {
+                        rf: !matches!(rf, RfChoice::Off),
+                    },
+                };
+                let mut cfg = *config;
+                if matches!(self.algorithm, Algorithm::MergeBaseline) {
+                    cfg.launch.skew_threshold = u32::MAX;
+                }
+                let run = gpu.run(g, algo, &cfg);
+                CncResult {
+                    counts: run.counts,
+                    wall_seconds: 0.0,
+                    modeled_seconds: Some(run.report.total_seconds),
+                    detail: RunDetail::Gpu(Box::new(run.report)),
+                }
+            }
+        }
+    }
+
+    fn modeled_algo(&self, g: &CsrGraph) -> ModeledAlgo {
+        match &self.algorithm {
+            Algorithm::MergeBaseline => ModeledAlgo::MergeBaseline,
+            Algorithm::Mps(cfg) => ModeledAlgo::Mps {
+                simd: cfg.simd,
+                threshold: cfg.skew_threshold,
+            },
+            Algorithm::Bmp(rf) => ModeledAlgo::Bmp {
+                mode: rf.mode(g.num_vertices()),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{reference_counts, verify_counts};
+    use cnc_graph::datasets::{Dataset, Scale};
+    use cnc_graph::generators;
+
+    fn platforms(scale: f64) -> Vec<Platform> {
+        vec![
+            Platform::CpuSequential,
+            Platform::cpu_parallel(),
+            Platform::CpuModel {
+                threads: 56,
+                capacity_scale: scale,
+            },
+            Platform::knl_flat(scale),
+            Platform::Knl {
+                threads: 64,
+                mode: MemMode::Ddr,
+                capacity_scale: scale,
+            },
+            Platform::gpu(scale),
+        ]
+    }
+
+    #[test]
+    fn every_platform_algorithm_combination_is_exact() {
+        let g = Dataset::LjS.build(Scale::Tiny);
+        let scale = Dataset::LjS.capacity_scale(&g);
+        let want = reference_counts(&g);
+        for platform in platforms(scale) {
+            for algorithm in [Algorithm::MergeBaseline, Algorithm::mps(), Algorithm::bmp(), Algorithm::bmp_rf()] {
+                let r = Runner::new(platform.clone(), algorithm).run(&g);
+                assert_eq!(
+                    r.counts,
+                    want,
+                    "platform={platform:?} algorithm={}",
+                    algorithm.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reorder_toggle_does_not_change_counts() {
+        let g = CsrGraph::from_edge_list(&generators::hub_web(300, 6.0, 2, 0.4, 3));
+        for reorder in [false, true] {
+            let r = Runner::new(Platform::cpu_parallel(), Algorithm::bmp_rf())
+                .reorder(reorder)
+                .run(&g);
+            assert!(verify_counts(&g, &r.counts).is_ok(), "reorder={reorder}");
+        }
+    }
+
+    #[test]
+    fn modeled_platforms_report_modeled_time() {
+        let g = Dataset::FrS.build(Scale::Tiny);
+        let scale = Dataset::FrS.capacity_scale(&g);
+        let knl = Runner::new(Platform::knl_flat(scale), Algorithm::mps()).run(&g);
+        assert!(knl.modeled_seconds.unwrap() > 0.0);
+        assert!(matches!(knl.detail, RunDetail::Modeled(_)));
+        let gpu = Runner::new(Platform::gpu(scale), Algorithm::bmp_rf()).run(&g);
+        assert!(gpu.modeled_seconds.unwrap() > 0.0);
+        assert!(matches!(gpu.detail, RunDetail::Gpu(_)));
+        let cpu = Runner::new(Platform::cpu_parallel(), Algorithm::mps()).run(&g);
+        assert!(cpu.modeled_seconds.is_none());
+        assert!(cpu.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Algorithm::MergeBaseline.label(), "M");
+        assert_eq!(Algorithm::mps().label(), "MPS");
+        assert_eq!(Algorithm::bmp().label(), "BMP");
+        assert_eq!(Algorithm::bmp_rf().label(), "BMP-RF");
+    }
+
+    #[test]
+    fn view_round_trip() {
+        let g = CsrGraph::from_edge_list(&generators::clique_chain(4, 8));
+        let r = Runner::new(Platform::cpu_parallel(), Algorithm::bmp_rf()).run(&g);
+        assert_eq!(r.view(&g).triangle_count(), 4 * 56);
+    }
+}

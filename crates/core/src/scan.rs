@@ -1,0 +1,445 @@
+//! SCAN structural graph clustering (Xu et al., KDD 2007) on top of the
+//! all-edge common neighbor counts.
+//!
+//! This is the application the paper's motivation and citations
+//! ([8, 9, 21, 25–27]) compute the counts *for*: pSCAN, SCAN++, ppSCAN and
+//! friends all reduce to (1) the per-edge structural similarities — which
+//! are a direct function of `cnt[e(u,v)]` — and (2) a clustering sweep over
+//! them. With the counts in hand, the sweep is linear in `|E|`.
+//!
+//! Definitions (with closed neighborhoods, as in the original paper):
+//!
+//! * structural similarity `σ(u,v) = (cnt[e(u,v)] + 2) / √((d_u+1)(d_v+1))`;
+//! * `(ε, μ)`-core: a vertex with ≥ μ vertices in its closed ε-neighborhood
+//!   (itself plus neighbors with σ ≥ ε);
+//! * clusters: connected components of cores under σ ≥ ε edges, plus every
+//!   non-core vertex ε-reachable from a core (a *border*);
+//! * leftover vertices are **hubs** if they neighbor two or more different
+//!   clusters, **outliers** otherwise.
+
+use cnc_graph::CsrGraph;
+
+use crate::analytics::CncView;
+
+/// A vertex's role in the SCAN decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// An (ε, μ)-core inside a cluster.
+    Core,
+    /// A non-core member attached to a cluster.
+    Border,
+    /// Unclustered, bridging ≥ 2 clusters.
+    Hub,
+    /// Unclustered, bridging < 2 clusters.
+    Outlier,
+}
+
+/// The result of a SCAN run.
+#[derive(Debug, Clone)]
+pub struct ScanResult {
+    /// Cluster id per vertex; `-1` for hubs/outliers.
+    pub cluster: Vec<i32>,
+    /// Role per vertex.
+    pub role: Vec<Role>,
+    /// Number of clusters found.
+    pub num_clusters: usize,
+    /// The parameters used.
+    pub eps: f64,
+    /// The parameters used.
+    pub mu: usize,
+}
+
+impl ScanResult {
+    /// Vertices of one cluster.
+    pub fn members(&self, cluster_id: i32) -> Vec<u32> {
+        self.cluster
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == cluster_id)
+            .map(|(v, _)| v as u32)
+            .collect()
+    }
+
+    /// Count of vertices with a given role.
+    pub fn count_role(&self, role: Role) -> usize {
+        self.role.iter().filter(|&&r| r == role).count()
+    }
+}
+
+/// Run SCAN over a graph with precomputed counts.
+///
+/// `eps ∈ (0, 1]` is the similarity threshold, `mu ≥ 2` the core size
+/// (counting the vertex itself, per the original definition).
+pub fn scan(view: &CncView<'_>, eps: f64, mu: usize) -> ScanResult {
+    assert!((0.0..=1.0).contains(&eps), "eps must be in (0, 1]");
+    assert!(mu >= 2, "mu must be at least 2");
+    let g: &CsrGraph = view.graph();
+    let n = g.num_vertices();
+
+    // ε-neighbor adjacency is reused several times: precompute the strong
+    // flag per directed edge slot.
+    let strong: Vec<bool> = (0..g.num_directed_edges())
+        .map(|eid| view.structural_similarity(eid) >= eps)
+        .collect();
+    let strong_neighbors = |u: u32| {
+        g.offset_range(u)
+            .filter(|&eid| strong[eid])
+            .map(|eid| g.dst()[eid])
+    };
+
+    let is_core: Vec<bool> = (0..n as u32)
+        .map(|u| strong_neighbors(u).count() + 1 >= mu)
+        .collect();
+
+    // Clusters = components of cores over strong edges; borders attach.
+    let mut cluster = vec![-1i32; n];
+    let mut num_clusters = 0usize;
+    for seed in 0..n as u32 {
+        if !is_core[seed as usize] || cluster[seed as usize] != -1 {
+            continue;
+        }
+        let id = num_clusters as i32;
+        num_clusters += 1;
+        cluster[seed as usize] = id;
+        let mut stack = vec![seed];
+        while let Some(u) = stack.pop() {
+            debug_assert!(is_core[u as usize]);
+            for v in strong_neighbors(u) {
+                if cluster[v as usize] == -1 {
+                    cluster[v as usize] = id;
+                    if is_core[v as usize] {
+                        stack.push(v);
+                    }
+                } else if is_core[v as usize] && cluster[v as usize] != id {
+                    // Cannot happen: strong edges between cores merge
+                    // components in one DFS.
+                    debug_assert_eq!(cluster[v as usize], id);
+                }
+            }
+        }
+    }
+
+    // Roles: hubs bridge ≥ 2 distinct clusters among their (plain)
+    // neighbors, outliers fewer.
+    let role: Vec<Role> = (0..n as u32)
+        .map(|u| {
+            if cluster[u as usize] != -1 {
+                if is_core[u as usize] {
+                    Role::Core
+                } else {
+                    Role::Border
+                }
+            } else {
+                let mut seen: Option<i32> = None;
+                let mut bridges = false;
+                for &v in g.neighbors(u) {
+                    let c = cluster[v as usize];
+                    if c == -1 {
+                        continue;
+                    }
+                    match seen {
+                        None => seen = Some(c),
+                        Some(s) if s != c => {
+                            bridges = true;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                if bridges {
+                    Role::Hub
+                } else {
+                    Role::Outlier
+                }
+            }
+        })
+        .collect();
+
+    ScanResult {
+        cluster,
+        role,
+        num_clusters,
+        eps,
+        mu,
+    }
+}
+
+/// A sequential union-find with path halving (the cluster-merging core of
+/// the parallel SCAN below).
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Union by smaller root id keeps cluster numbering deterministic.
+            let (lo, hi) = (ra.min(rb), ra.max(rb));
+            self.parent[hi as usize] = lo;
+        }
+    }
+}
+
+/// Parallel SCAN: identical output to [`scan`], with the two embarrassingly
+/// parallel phases (per-edge similarity thresholding, per-vertex core
+/// detection) on rayon and the cluster merge as a union-find sweep — the
+/// structure of the pruning-based parallel SCAN family the paper's
+/// citation \[9\] describes (minus the pruning, which the precomputed
+/// counts make unnecessary).
+pub fn scan_parallel(view: &CncView<'_>, eps: f64, mu: usize) -> ScanResult {
+    use rayon::prelude::*;
+    assert!((0.0..=1.0).contains(&eps), "eps must be in (0, 1]");
+    assert!(mu >= 2, "mu must be at least 2");
+    let g: &CsrGraph = view.graph();
+    let n = g.num_vertices();
+
+    // Phase 1 (parallel): strong-edge flags.
+    let strong: Vec<bool> = (0..g.num_directed_edges())
+        .into_par_iter()
+        .map(|eid| view.structural_similarity(eid) >= eps)
+        .collect();
+    // Phase 2 (parallel): cores.
+    let is_core: Vec<bool> = (0..n as u32)
+        .into_par_iter()
+        .map(|u| {
+            let strong_deg = g.offset_range(u).filter(|&eid| strong[eid]).count();
+            strong_deg + 1 >= mu
+        })
+        .collect();
+    // Phase 3: union cores over strong core-core edges.
+    let mut uf = UnionFind::new(n);
+    for u in 0..n as u32 {
+        if !is_core[u as usize] {
+            continue;
+        }
+        for eid in g.offset_range(u) {
+            let v = g.dst()[eid];
+            if strong[eid] && v > u && is_core[v as usize] {
+                uf.union(u, v);
+            }
+        }
+    }
+    // Phase 4: number clusters by root order (matching the sequential DFS's
+    // seed order: the smallest core id of a component is its seed) and
+    // attach borders.
+    let mut cluster = vec![-1i32; n];
+    let mut num_clusters = 0usize;
+    let mut root_to_id: std::collections::HashMap<u32, i32> = std::collections::HashMap::new();
+    for u in 0..n as u32 {
+        if is_core[u as usize] {
+            let root = uf.find(u);
+            let id = *root_to_id.entry(root).or_insert_with(|| {
+                let id = num_clusters as i32;
+                num_clusters += 1;
+                id
+            });
+            cluster[u as usize] = id;
+        }
+    }
+    // Borders: non-cores strongly connected to a core take the smallest
+    // adjacent core's cluster — identical to the DFS attachment because a
+    // non-core reached from several clusters is taken by the first
+    // (smallest-seed) cluster that reaches it in seed order.
+    let border_of: Vec<i32> = (0..n as u32)
+        .into_par_iter()
+        .map(|u| {
+            if is_core[u as usize] {
+                return cluster[u as usize];
+            }
+            g.offset_range(u)
+                .filter(|&eid| strong[eid] && is_core[g.dst()[eid] as usize])
+                .map(|eid| cluster[g.dst()[eid] as usize])
+                .min()
+                .unwrap_or(-1)
+        })
+        .collect();
+    let cluster: Vec<i32> = border_of;
+
+    let role: Vec<Role> = (0..n as u32)
+        .into_par_iter()
+        .map(|u| {
+            if cluster[u as usize] != -1 {
+                if is_core[u as usize] {
+                    Role::Core
+                } else {
+                    Role::Border
+                }
+            } else {
+                let mut seen: Option<i32> = None;
+                let mut bridges = false;
+                for &v in g.neighbors(u) {
+                    let c = cluster[v as usize];
+                    if c == -1 {
+                        continue;
+                    }
+                    match seen {
+                        None => seen = Some(c),
+                        Some(s) if s != c => {
+                            bridges = true;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                if bridges {
+                    Role::Hub
+                } else {
+                    Role::Outlier
+                }
+            }
+        })
+        .collect();
+
+    ScanResult {
+        cluster,
+        role,
+        num_clusters,
+        eps,
+        mu,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::reference_counts;
+    use cnc_graph::{generators, CsrGraph, EdgeList};
+
+    fn run_scan(g: &CsrGraph, eps: f64, mu: usize) -> ScanResult {
+        let counts = reference_counts(g);
+        let view = CncView::new(g, &counts);
+        scan(&view, eps, mu)
+    }
+
+    #[test]
+    fn two_cliques_two_clusters() {
+        // Two K5s joined by one bridge edge.
+        let g = CsrGraph::from_edge_list(&generators::clique_chain(2, 5));
+        let r = run_scan(&g, 0.7, 3);
+        assert_eq!(r.num_clusters, 2);
+        // Every clique member lands in its clique's cluster.
+        for v in 0..5 {
+            assert_eq!(r.cluster[v], r.cluster[0]);
+        }
+        for v in 5..10 {
+            assert_eq!(r.cluster[v], r.cluster[5]);
+        }
+        assert_ne!(r.cluster[0], r.cluster[5]);
+        assert!(r.count_role(Role::Core) >= 8);
+    }
+
+    #[test]
+    fn path_graph_has_no_clusters_at_high_eps() {
+        let g = CsrGraph::from_edge_list(&generators::path(20));
+        let r = run_scan(&g, 0.95, 3);
+        assert_eq!(r.num_clusters, 0);
+        assert_eq!(r.count_role(Role::Outlier), 20);
+    }
+
+    #[test]
+    fn hub_between_two_communities() {
+        // Two K4s {0..4} and {5..9} sharing no edge, plus vertex 10
+        // connected to one member of each: 10 must be classified a Hub.
+        let mut el = EdgeList::new(11);
+        for base in [0u32, 5] {
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    el.push(base + i, base + j);
+                }
+            }
+        }
+        el.push(10, 0);
+        el.push(10, 5);
+        let g = CsrGraph::from_edge_list(&el);
+        let r = run_scan(&g, 0.7, 3);
+        assert_eq!(r.num_clusters, 2);
+        assert_eq!(r.role[10], Role::Hub);
+    }
+
+    #[test]
+    fn outlier_attached_to_one_community() {
+        let mut el = generators::complete(5);
+        el.push(0, 5); // degree-1 pendant: weak σ, not a border at high eps
+        let g = CsrGraph::from_edge_list(&el);
+        let r = run_scan(&g, 0.8, 3);
+        assert_eq!(r.num_clusters, 1);
+        assert_eq!(r.role[5], Role::Outlier);
+    }
+
+    #[test]
+    fn low_eps_absorbs_borders() {
+        let mut el = generators::complete(5);
+        el.push(0, 5);
+        let g = CsrGraph::from_edge_list(&el);
+        // At a permissive threshold the pendant becomes a border member.
+        let r = run_scan(&g, 0.3, 3);
+        assert_eq!(r.num_clusters, 1);
+        assert_eq!(r.role[5], Role::Border);
+        assert_eq!(r.cluster[5], r.cluster[0]);
+    }
+
+    #[test]
+    fn members_and_counts_are_consistent() {
+        let g = CsrGraph::from_edge_list(&generators::clique_chain(3, 6));
+        let r = run_scan(&g, 0.6, 3);
+        let total: usize = (0..r.num_clusters as i32).map(|c| r.members(c).len()).sum();
+        let clustered = r.cluster.iter().filter(|&&c| c >= 0).count();
+        assert_eq!(total, clustered);
+        assert_eq!(
+            r.count_role(Role::Core) + r.count_role(Role::Border),
+            clustered
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mu must be at least 2")]
+    fn mu_validation() {
+        let g = CsrGraph::from_edge_list(&generators::complete(3));
+        let _ = run_scan(&g, 0.5, 1);
+    }
+
+    #[test]
+    fn deterministic_cluster_ids() {
+        let g = CsrGraph::from_edge_list(&generators::chung_lu(200, 8.0, 2.2, 5));
+        let a = run_scan(&g, 0.5, 3);
+        let b = run_scan(&g, 0.5, 3);
+        assert_eq!(a.cluster, b.cluster);
+    }
+
+    #[test]
+    fn parallel_scan_equals_sequential() {
+        for (el, eps, mu) in [
+            (generators::clique_chain(4, 8), 0.6, 3usize),
+            (generators::chung_lu(300, 9.0, 2.2, 7), 0.5, 3),
+            (generators::hub_web(250, 5.0, 2, 0.4, 2), 0.4, 4),
+            (generators::gnm(200, 900, 1), 0.3, 2),
+            (generators::path(30), 0.9, 3),
+        ] {
+            let g = CsrGraph::from_edge_list(&el);
+            let counts = reference_counts(&g);
+            let view = CncView::new(&g, &counts);
+            let seq = scan(&view, eps, mu);
+            let par = scan_parallel(&view, eps, mu);
+            assert_eq!(seq.num_clusters, par.num_clusters, "eps={eps} mu={mu}");
+            assert_eq!(seq.cluster, par.cluster, "eps={eps} mu={mu}");
+            assert_eq!(seq.role, par.role, "eps={eps} mu={mu}");
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the incremental count maintainer: arbitrary edit
+//! scripts must leave the counts exactly equal to a from-scratch recount.
+
+use cnc_core::{reference_counts, IncrementalCnc};
+use cnc_graph::{CsrGraph, EdgeList};
+use proptest::prelude::*;
+
+/// An edit: insert or remove an (unordered) vertex pair.
+#[derive(Debug, Clone, Copy)]
+enum Edit {
+    Insert(u32, u32),
+    Remove(u32, u32),
+}
+
+fn edits(n: u32, len: usize) -> impl Strategy<Value = Vec<Edit>> {
+    prop::collection::vec(
+        (any::<bool>(), 0..n, 0..n).prop_map(|(ins, a, b)| {
+            if ins {
+                Edit::Insert(a, b)
+            } else {
+                Edit::Remove(a, b)
+            }
+        }),
+        0..len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_edit_scripts_stay_exact(
+        seed in prop::collection::vec((0u32..30, 0u32..30), 0..60),
+        script in edits(30, 120),
+    ) {
+        // Start from an arbitrary seed graph.
+        let g = CsrGraph::from_edge_list(&EdgeList::from_pairs(seed));
+        let counts = reference_counts(&g);
+        let mut inc = IncrementalCnc::from_graph(&g, &counts);
+        // Grow the id space so Insert targets are always valid.
+        while inc.num_vertices() < 30 {
+            inc.add_vertex();
+        }
+        let mut edge_count = inc.num_edges();
+        for e in script {
+            match e {
+                Edit::Insert(a, b) if a != b => {
+                    if inc.insert_edge(a, b) {
+                        edge_count += 1;
+                    }
+                }
+                Edit::Remove(a, b) if a != b => {
+                    if inc.remove_edge(a, b) {
+                        edge_count -= 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(inc.num_edges(), edge_count);
+        // The maintained state must equal a from-scratch recount.
+        let (snapshot, maintained) = inc.snapshot();
+        let fresh = reference_counts(&snapshot);
+        prop_assert_eq!(maintained, fresh);
+    }
+
+    #[test]
+    fn insert_then_remove_is_identity(
+        seed in prop::collection::vec((0u32..25, 0u32..25), 0..50),
+        extra in prop::collection::vec((0u32..25, 0u32..25), 0..20),
+    ) {
+        let g = CsrGraph::from_edge_list(&EdgeList::from_pairs(seed));
+        let counts = reference_counts(&g);
+        let mut inc = IncrementalCnc::from_graph(&g, &counts);
+        while inc.num_vertices() < 25 {
+            inc.add_vertex();
+        }
+        let before = inc.snapshot();
+        // Insert a batch of genuinely new edges, then remove them in
+        // reverse: the structure must return to its exact prior state.
+        let mut added = Vec::new();
+        for (a, b) in extra {
+            if a != b && inc.insert_edge(a, b) {
+                added.push((a, b));
+            }
+        }
+        for (a, b) in added.into_iter().rev() {
+            prop_assert!(inc.remove_edge(a, b));
+        }
+        let after = inc.snapshot();
+        prop_assert_eq!(before.0, after.0);
+        prop_assert_eq!(before.1, after.1);
+    }
+}

@@ -1,0 +1,65 @@
+//! Multicore CPU drivers for all-edge common neighbor counting.
+//!
+//! This crate ports the paper's OpenMP skeleton (Algorithm 3) to rayon:
+//! the edge-offset range `[0, |E|)` is split into fixed-size tasks of `|T|`
+//! edges, tasks are scheduled dynamically (work stealing plays the role of
+//! `schedule(dynamic, |T|)`), and each task amortizes two pieces of state
+//! exactly like the paper's thread-locals:
+//!
+//! * the previously found source vertex (`FindSrc` stash), and
+//! * for BMP, the bitmap index of the current source's neighbor list,
+//!   rebuilt only when the source changes.
+//!
+//! Three drivers are provided in sequential and parallel forms:
+//!
+//! | driver | paper name | kernel |
+//! |--------|------------|--------|
+//! | [`seq_merge_baseline`] / [`par_merge_baseline`] | **M** | plain merge |
+//! | [`seq_mps`] / [`par_mps`] | **MPS** | hybrid VB / pivot-skip |
+//! | [`seq_bmp`] / [`par_bmp`] | **BMP** (+**RF**) | dynamic bitmap index |
+//!
+//! All drivers return one `u32` count per *directed* edge slot of the CSR
+//! (`cnt[e(u,v)]` for every `(u,v)`), with the symmetric assignment
+//! technique applied: only `u < v` pairs are intersected and the result is
+//! mirrored to `e(v,u)`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod par;
+mod par_metered;
+mod pool;
+mod scatter;
+mod seq;
+
+pub use par::{par_bmp, par_merge_baseline, par_mps, ParConfig};
+pub use par_metered::{par_bmp_metered, par_mps_metered};
+pub use pool::{BitmapPool, PoolStats};
+pub use scatter::ScatterVec;
+pub use seq::{seq_bmp, seq_merge_baseline, seq_mps, BmpMode};
+
+/// Run a closure on a dedicated rayon pool with `threads` workers.
+///
+/// Used by benchmarks and the thread-scaling experiments; `None` uses the
+/// global pool.
+pub fn with_threads<R: Send>(threads: Option<usize>, f: impl FnOnce() -> R + Send) -> R {
+    match threads {
+        None => f(),
+        Some(t) => rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .expect("failed to build rayon pool")
+            .install(f),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_threads_runs_closure() {
+        assert_eq!(with_threads(None, || 41 + 1), 42);
+        assert_eq!(with_threads(Some(2), rayon::current_num_threads), 2);
+    }
+}

@@ -1,0 +1,263 @@
+//! Parallel drivers — the rayon port of Algorithm 3.
+//!
+//! The edge-offset range is split into tasks of `|T|` consecutive offsets.
+//! Each task walks its range with the amortized `FindSrc` stash, computes
+//! counts for `u < v` edges and scatters both `cnt[e(u,v)]` and the mirrored
+//! `cnt[e(v,u)]` into a shared [`ScatterVec`]. BMP tasks borrow a bitmap
+//! from a shared [`BitmapPool`] and rebuild the index only when the source
+//! vertex changes (`ComputeCntBMP`'s `pu_tls` logic).
+
+use cnc_graph::CsrGraph;
+use cnc_intersect::{
+    bmp_count, merge_count, mps_count_cfg, rf_count, Bitmap, MpsConfig, NullMeter, RfBitmap,
+};
+use rayon::prelude::*;
+
+use crate::pool::BitmapPool;
+use crate::scatter::ScatterVec;
+use crate::seq::BmpMode;
+
+/// Parallel execution parameters for the Algorithm 3 skeleton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParConfig {
+    /// Task size `|T|`: edge offsets per dynamically scheduled task.
+    /// The trade-off of Section 4: large tasks amortize scheduling, small
+    /// tasks balance load. Default 8192.
+    pub task_size: usize,
+    /// Worker threads; `None` uses the ambient rayon pool.
+    pub threads: Option<usize>,
+}
+
+impl Default for ParConfig {
+    fn default() -> Self {
+        Self {
+            task_size: 8192,
+            threads: None,
+        }
+    }
+}
+
+impl ParConfig {
+    /// Config with an explicit task size.
+    pub fn with_task_size(task_size: usize) -> Self {
+        Self {
+            task_size: task_size.max(1),
+            threads: None,
+        }
+    }
+}
+
+/// Run `body(task_range)` over all edge-offset tasks in parallel.
+fn run_tasks(
+    g: &CsrGraph,
+    cfg: &ParConfig,
+    body: impl Fn(std::ops::Range<usize>) + Sync,
+) {
+    let m = g.num_directed_edges();
+    if m == 0 {
+        return;
+    }
+    let t = cfg.task_size.max(1);
+    let tasks = m.div_ceil(t);
+    let run = || {
+        (0..tasks).into_par_iter().for_each(|k| {
+            let start = k * t;
+            let end = (start + t).min(m);
+            body(start..end);
+        });
+    };
+    crate::with_threads(cfg.threads, run);
+}
+
+/// One task of the MPS / baseline skeleton: walk the range, count, scatter.
+fn merge_family_task(
+    g: &CsrGraph,
+    cnt: &ScatterVec,
+    range: std::ops::Range<usize>,
+    kernel: &(impl Fn(&[u32], &[u32]) -> u32 + Sync),
+) {
+    let mut u_tls = 0u32; // FindSrc stash (Algorithm 3 line 8)
+    for eid in range {
+        let u = g.find_src(eid, &mut u_tls);
+        let v = g.dst()[eid];
+        if u < v {
+            let c = kernel(g.neighbors(u), g.neighbors(v));
+            cnt.set(eid, c);
+            cnt.set(g.reverse_offset(u, eid), c);
+        }
+    }
+}
+
+/// Parallel baseline **M** (plain merge in the skeleton) — Table 4 ablation.
+pub fn par_merge_baseline(g: &CsrGraph, cfg: &ParConfig) -> Vec<u32> {
+    let cnt = ScatterVec::new(g.num_directed_edges());
+    let kernel = |a: &[u32], b: &[u32]| merge_count(a, b, &mut NullMeter);
+    run_tasks(g, cfg, |range| merge_family_task(g, &cnt, range, &kernel));
+    cnt.into_vec()
+}
+
+/// Parallel **MPS** (Algorithm 3 with `ComputeCntMPS`).
+pub fn par_mps(g: &CsrGraph, mps: &MpsConfig, cfg: &ParConfig) -> Vec<u32> {
+    let cnt = ScatterVec::new(g.num_directed_edges());
+    let kernel = |a: &[u32], b: &[u32]| mps_count_cfg(a, b, mps, &mut NullMeter);
+    run_tasks(g, cfg, |range| merge_family_task(g, &cnt, range, &kernel));
+    cnt.into_vec()
+}
+
+/// Parallel **BMP** (Algorithm 3 with `ComputeCntBMP`), optionally with
+/// range filtering.
+///
+/// Each task acquires a bitmap from a shared pool; the index is rebuilt only
+/// when the task's source vertex changes, and the bitmap is returned clean.
+pub fn par_bmp(g: &CsrGraph, mode: BmpMode, cfg: &ParConfig) -> Vec<u32> {
+    let n = g.num_vertices();
+    let cnt = ScatterVec::new(g.num_directed_edges());
+    match mode {
+        BmpMode::Plain => {
+            let pool = BitmapPool::new(move || Bitmap::new(n));
+            run_tasks(g, cfg, |range| {
+                let mut bm = pool.acquire();
+                debug_assert!(bm.is_empty(), "pool must hand out clean bitmaps");
+                let mut pu: Option<u32> = None; // pu_tls (Algorithm 3 line 19)
+                let mut u_tls = 0u32;
+                for eid in range {
+                    let u = g.find_src(eid, &mut u_tls);
+                    let v = g.dst()[eid];
+                    if u >= v {
+                        continue;
+                    }
+                    if pu != Some(u) {
+                        if let Some(p) = pu {
+                            bm.clear_list(g.neighbors(p), &mut NullMeter);
+                        }
+                        bm.set_list(g.neighbors(u), &mut NullMeter);
+                        pu = Some(u);
+                    }
+                    let c = bmp_count(&bm, g.neighbors(v), &mut NullMeter);
+                    cnt.set(eid, c);
+                    cnt.set(g.reverse_offset(u, eid), c);
+                }
+                if let Some(p) = pu {
+                    bm.clear_list(g.neighbors(p), &mut NullMeter);
+                }
+                pool.release(bm);
+            });
+        }
+        BmpMode::RangeFiltered { ratio } => {
+            let pool = BitmapPool::new(move || RfBitmap::with_ratio(n.max(1), ratio));
+            run_tasks(g, cfg, |range| {
+                let mut rf = pool.acquire();
+                debug_assert!(rf.is_empty(), "pool must hand out clean bitmaps");
+                let mut pu: Option<u32> = None;
+                let mut u_tls = 0u32;
+                for eid in range {
+                    let u = g.find_src(eid, &mut u_tls);
+                    let v = g.dst()[eid];
+                    if u >= v {
+                        continue;
+                    }
+                    if pu != Some(u) {
+                        if let Some(p) = pu {
+                            rf.clear_list(g.neighbors(p), &mut NullMeter);
+                        }
+                        rf.set_list(g.neighbors(u), &mut NullMeter);
+                        pu = Some(u);
+                    }
+                    let c = rf_count(&rf, g.neighbors(v), &mut NullMeter);
+                    cnt.set(eid, c);
+                    cnt.set(g.reverse_offset(u, eid), c);
+                }
+                if let Some(p) = pu {
+                    rf.clear_list(g.neighbors(p), &mut NullMeter);
+                }
+                pool.release(rf);
+            });
+        }
+    }
+    cnt.into_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::{seq_merge_baseline, BmpMode};
+    use cnc_graph::{datasets, generators, reorder, EdgeList};
+    use cnc_intersect::NullMeter;
+
+    fn oracle(g: &CsrGraph) -> Vec<u32> {
+        seq_merge_baseline(g, &mut NullMeter)
+    }
+
+    fn check_parallel(g: &CsrGraph, task_size: usize) {
+        let want = oracle(g);
+        let cfg = ParConfig::with_task_size(task_size);
+        assert_eq!(par_merge_baseline(g, &cfg), want, "par M, |T|={task_size}");
+        assert_eq!(
+            par_mps(g, &MpsConfig::default(), &cfg),
+            want,
+            "par MPS, |T|={task_size}"
+        );
+        assert_eq!(
+            par_bmp(g, BmpMode::Plain, &cfg),
+            want,
+            "par BMP, |T|={task_size}"
+        );
+        assert_eq!(
+            par_bmp(g, BmpMode::rf_default(), &cfg),
+            want,
+            "par BMP-RF, |T|={task_size}"
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential_small_tasks() {
+        let g = CsrGraph::from_edge_list(&generators::gnm(100, 500, 3));
+        // Tiny tasks stress the cross-task scatter writes and pool churn.
+        for t in [1, 3, 17, 100, 10_000] {
+            check_parallel(&g, t);
+        }
+    }
+
+    #[test]
+    fn parallel_on_skewed_and_reordered_graphs() {
+        let g = CsrGraph::from_edge_list(&generators::hub_web(300, 6.0, 2, 0.5, 1));
+        check_parallel(&g, 64);
+        let r = reorder::degree_descending(&g);
+        check_parallel(&r.graph, 64);
+    }
+
+    #[test]
+    fn parallel_on_dataset_analogues() {
+        for d in datasets::Dataset::ALL {
+            let g = d.build(datasets::Scale::Tiny);
+            check_parallel(&g, 257);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edge_list(&EdgeList::new(0));
+        assert!(par_mps(&g, &MpsConfig::default(), &ParConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn explicit_thread_counts() {
+        let g = CsrGraph::from_edge_list(&generators::gnm(80, 300, 5));
+        let want = oracle(&g);
+        for threads in [1, 2, 4] {
+            let cfg = ParConfig {
+                task_size: 37,
+                threads: Some(threads),
+            };
+            assert_eq!(par_bmp(&g, BmpMode::Plain, &cfg), want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn task_size_zero_is_clamped() {
+        let g = CsrGraph::from_edge_list(&generators::gnm(20, 40, 6));
+        let cfg = ParConfig::with_task_size(0);
+        assert_eq!(cfg.task_size, 1);
+        assert_eq!(par_mps(&g, &MpsConfig::default(), &cfg), oracle(&g));
+    }
+}

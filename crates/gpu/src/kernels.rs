@@ -1,0 +1,435 @@
+//! Functional execution of the paper's CUDA kernels (Algorithms 5 and 6).
+//!
+//! Each kernel processes a grid of `|V|` thread blocks (block `u` handles
+//! vertex `u`'s intersections, the coarse-grained task of Section 4). The
+//! simulator executes blocks one at a time, producing exact counts, while
+//! tallying warp instructions, global transactions and shared-memory
+//! operations into [`KernelStats`] and recording unified-memory touches in
+//! the page tracker.
+//!
+//! Multi-pass processing (Section 4.2.2) restricts the *destination* `v` to
+//! a vertex range per launch; the kernels here take that range explicitly
+//! (full range = single pass).
+
+use cnc_graph::CsrGraph;
+use cnc_intersect::{ps_count, Bitmap, CountingMeter, NullMeter};
+
+use crate::cost::KernelStats;
+use crate::mem::{ArrayId, UnifiedMemory};
+use crate::pool::DeviceBitmapPool;
+use crate::spec::GpuSpec;
+use crate::warp::{warp_block_merge, warp_reduce_sum};
+
+/// Launch parameters shared by the kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Warps per thread block (`blockDim.y`; the paper's default is 4).
+    pub warps_per_block: usize,
+    /// Degree-skew threshold `t` splitting edges between `MKernel` and
+    /// `PSKernel`.
+    pub skew_threshold: u32,
+}
+
+impl Default for LaunchConfig {
+    fn default() -> Self {
+        Self {
+            warps_per_block: 4,
+            skew_threshold: 50,
+        }
+    }
+}
+
+/// Is the pair (da, db) degree-skewed above threshold `t`?
+#[inline]
+fn is_skewed(da: usize, db: usize, t: u32) -> bool {
+    let (s, l) = if da < db { (da, db) } else { (db, da) };
+    s > 0 && l > (t as usize).saturating_mul(s)
+}
+
+/// The sub-slice of `N(u)`'s edge offsets whose destinations fall in
+/// `v_range` (multi-pass selection; sorted neighbor lists allow binary
+/// search, so out-of-range edges cost nothing).
+fn edges_in_range(g: &CsrGraph, u: u32, v_range: &std::ops::Range<u32>) -> std::ops::Range<usize> {
+    let base = g.offset_range(u).start;
+    let nu = g.neighbors(u);
+    let lo = base + nu.partition_point(|&v| v < v_range.start);
+    let hi = base + nu.partition_point(|&v| v < v_range.end);
+    lo..hi
+}
+
+/// Touch the unified-memory ranges a block reads for edge `eid → v`.
+///
+/// The destination list `N(v)` is the *reused* working set of a pass (many
+/// source blocks probe the same in-range destinations), so it takes resident
+/// LRU semantics; the count write is a pure stream.
+fn touch_edge(g: &CsrGraph, um: &mut UnifiedMemory, eid: usize, v: u32) {
+    let vr = g.offset_range(v);
+    um.touch(ArrayId::Dst, (vr.start * 4) as u64..(vr.end * 4) as u64);
+    um.touch_stream(ArrayId::Counts, (eid * 4) as u64..(eid * 4 + 4) as u64);
+}
+
+/// Touch the per-block unified-memory ranges (offsets entry + `N(u)`).
+///
+/// The source-side scan visits each `N(u)` once per pass: streaming
+/// semantics (it migrates but must not evict the reused destinations).
+fn touch_block(g: &CsrGraph, um: &mut UnifiedMemory, u: u32) {
+    let o = (u as usize * 8) as u64;
+    um.touch_stream(ArrayId::Offsets, o..o + 16);
+    let ur = g.offset_range(u);
+    um.touch_stream(ArrayId::Dst, (ur.start * 4) as u64..(ur.end * 4) as u64);
+}
+
+/// `MKernel` (Algorithm 5 lines 3–11): one warp per edge, warp-cooperative
+/// block merge for the non-skewed `u < v` pairs in `v_range`.
+pub fn run_mkernel(
+    g: &CsrGraph,
+    _spec: &GpuSpec,
+    cfg: &LaunchConfig,
+    v_range: std::ops::Range<u32>,
+    counts: &mut [u32],
+    um: &mut UnifiedMemory,
+) -> KernelStats {
+    let mut stats = KernelStats::default();
+    for u in 0..g.num_vertices() as u32 {
+        let edges = edges_in_range(g, u, &v_range);
+        if edges.is_empty() {
+            continue;
+        }
+        stats.blocks += 1;
+        touch_block(g, um, u);
+        let nu = g.neighbors(u);
+        for eid in edges {
+            let v = g.dst()[eid];
+            stats.warp_instrs += 1; // the u>v / skew guard
+            if u > v || is_skewed(nu.len(), g.degree(v), cfg.skew_threshold) {
+                continue;
+            }
+            touch_edge(g, um, eid, v);
+            let nv = g.neighbors(v);
+            // Warp-cooperative 8×4 block merge, staged through shared memory.
+            let mut lanes = [0u32; 32];
+            lanes[0] = warp_block_merge(nu, nv, &mut stats);
+            let c = warp_reduce_sum(&lanes, &mut stats);
+            // The merge streams both lists from global memory.
+            stats.coalesced_bytes += 4 * (nu.len() + nv.len()) as u64;
+            counts[eid] = c;
+            stats.coalesced_bytes += 4; // count write
+        }
+    }
+    stats
+}
+
+/// `PSKernel` (Algorithm 5 lines 12–17): one *thread* per edge, pivot-skip
+/// merge for the skewed `u < v` pairs in `v_range`.
+///
+/// The gallop's gather pattern cannot use warp cooperation; every per-lane
+/// step is charged as a full warp instruction (complete divergence), which
+/// is the inefficiency that makes GPU-MPS the slowest configuration in
+/// Figure 10.
+pub fn run_pskernel(
+    g: &CsrGraph,
+    _spec: &GpuSpec,
+    cfg: &LaunchConfig,
+    v_range: std::ops::Range<u32>,
+    counts: &mut [u32],
+    um: &mut UnifiedMemory,
+) -> KernelStats {
+    let mut stats = KernelStats::default();
+    for u in 0..g.num_vertices() as u32 {
+        let edges = edges_in_range(g, u, &v_range);
+        if edges.is_empty() {
+            continue;
+        }
+        stats.blocks += 1;
+        touch_block(g, um, u);
+        let nu = g.neighbors(u);
+        for eid in edges {
+            let v = g.dst()[eid];
+            stats.warp_instrs += 1;
+            if u > v || !is_skewed(nu.len(), g.degree(v), cfg.skew_threshold) {
+                continue;
+            }
+            touch_edge(g, um, eid, v);
+            let mut meter = CountingMeter::new();
+            let c = ps_count(nu, g.neighbors(v), &mut meter);
+            // SIMT divergence: the 32 lanes of a warp gallop through
+            // *different* edges in lockstep, so most issue slots are wasted
+            // on inactive lanes — the inefficiency that makes GPU-MPS the
+            // paper's slowest configuration. Every search probe is an
+            // irregular gather.
+            const PS_DIVERGENCE: u64 = 32;
+            stats.warp_instrs +=
+                (meter.counts.scalar_ops + meter.counts.vector_ops) * PS_DIVERGENCE;
+            stats.scattered_trans +=
+                meter.counts.rand_accesses + meter.counts.rand_accesses_small;
+            stats.coalesced_bytes += meter.counts.seq_bytes;
+            counts[eid] = c;
+            stats.coalesced_bytes += 4;
+        }
+    }
+    stats
+}
+
+/// `BMPKernel` (Algorithm 6): per-block bitmap from the device pool, warp
+/// per edge probing `N(v)` against the bitmap, optional range filter held in
+/// shared memory.
+#[allow(clippy::too_many_arguments)]
+pub fn run_bmp_kernel(
+    g: &CsrGraph,
+    spec: &GpuSpec,
+    cfg: &LaunchConfig,
+    rf: Option<usize>,
+    pool: &DeviceBitmapPool,
+    v_range: std::ops::Range<u32>,
+    counts: &mut [u32],
+    um: &mut UnifiedMemory,
+) -> KernelStats {
+    let mut stats = KernelStats::default();
+    let n = g.num_vertices().max(1);
+    // The shared-memory range filter: one small bitmap per block. Its size
+    // must fit the per-block shared memory slice.
+    let mut small = rf.map(|ratio| {
+        let small_bits = n.div_ceil(ratio);
+        let shared_budget_bits = (spec.shared_mem_per_sm / spec.blocks_per_sm(cfg.warps_per_block).max(1)) * 8;
+        assert!(
+            small_bits <= shared_budget_bits.max(64),
+            "RF small bitmap ({small_bits} bits) exceeds shared memory budget ({shared_budget_bits} bits)"
+        );
+        (Bitmap::new(small_bits.max(1)), ratio.trailing_zeros())
+    });
+    for u in 0..g.num_vertices() as u32 {
+        let edges = edges_in_range(g, u, &v_range);
+        // Skip blocks with no work in this pass before paying for the
+        // bitmap construction.
+        let has_work = edges.clone().any(|eid| g.dst()[eid] > u);
+        if !has_work {
+            continue;
+        }
+        stats.blocks += 1;
+        touch_block(g, um, u);
+        let nu = g.neighbors(u);
+        // Acquire + construct (atomic-or per neighbor, Algorithm 6 line 8).
+        // All threads of the block construct cooperatively: the atomic-or
+        // stream retires at roughly a warp's width per cycle, and sorted
+        // neighbor ids cluster into shared bitmap words/lines (~4 per
+        // scattered transaction).
+        let handle = pool.acquire();
+        stats.atomics += 1 + (nu.len() as u64).div_ceil(8);
+        stats.scattered_trans += (nu.len() as u64).div_ceil(4);
+        stats.coalesced_bytes += 4 * nu.len() as u64;
+        pool.with(&handle, |bm| {
+            bm.set_list(nu, &mut NullMeter);
+            if let Some((small_bm, shift)) = &mut small {
+                for &w in nu {
+                    small_bm.set(w >> *shift);
+                }
+                stats.shared_ops += (nu.len() as u64).div_ceil(32) * 2;
+            }
+            for eid in edges {
+                let v = g.dst()[eid];
+                stats.warp_instrs += 1;
+                if u > v {
+                    continue;
+                }
+                touch_edge(g, um, eid, v);
+                let nv = g.neighbors(v);
+                stats.coalesced_bytes += 4 * nv.len() as u64;
+                // Warp-wise probe: 32 lanes test 32 destinations per
+                // instruction. The RF small bitmap lives in shared memory
+                // (32 banks — one warp-wide probe costs ~2 issue slots with
+                // conflicts); only range hits touch the global bitmap, each
+                // an uncoalesced transaction.
+                stats.shared_ops += match &small {
+                    Some(_) => (nv.len() as u64).div_ceil(32) * 2,
+                    None => 0,
+                };
+                // A 32-byte sector of the bitmap covers 256 vertex ids;
+                // sorted destination ids that land in the same sector as the
+                // previous probe reuse the in-flight transaction (dense id
+                // clusters — hubs after degree-descending relabeling — probe
+                // nearly for free, sparse uniform ids pay full price).
+                const IDS_PER_SECTOR_SHIFT: u32 = 8;
+                let mut last_sector = u32::MAX;
+                let mut lanes = [0u32; 32];
+                for (k, &w) in nv.iter().enumerate() {
+                    let hit = match &small {
+                        Some((small_bm, shift)) => {
+                            if small_bm.test(w >> *shift) {
+                                let sector = w >> IDS_PER_SECTOR_SHIFT;
+                                stats.scattered_trans += u64::from(sector != last_sector);
+                                last_sector = sector;
+                                bm.test(w)
+                            } else {
+                                false
+                            }
+                        }
+                        None => {
+                            let sector = w >> IDS_PER_SECTOR_SHIFT;
+                            stats.scattered_trans += u64::from(sector != last_sector);
+                            last_sector = sector;
+                            bm.test(w)
+                        }
+                    };
+                    lanes[k % 32] += u32::from(hit);
+                    stats.warp_instrs += u64::from(k % 32 == 0);
+                }
+                let c = warp_reduce_sum(&lanes, &mut stats);
+                counts[eid] = c;
+                stats.coalesced_bytes += 4;
+            }
+            // Clear + release (Algorithm 6 line 21).
+            bm.clear_list(nu, &mut NullMeter);
+            stats.atomics += (nu.len() as u64).div_ceil(8);
+            stats.scattered_trans += (nu.len() as u64).div_ceil(4);
+            if let Some((small_bm, shift)) = &mut small {
+                for &w in nu {
+                    small_bm.clear(w >> *shift);
+                }
+                stats.shared_ops += (nu.len() as u64).div_ceil(32) * 2;
+            }
+        });
+        pool.release(handle);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnc_graph::{generators, EdgeList};
+    use crate::spec::titan_xp;
+
+    fn reference(g: &CsrGraph) -> Vec<u32> {
+        let mut cnt = vec![0u32; g.num_directed_edges()];
+        for (eid, u, v) in g.iter_edges() {
+            if u < v {
+                cnt[eid] = cnc_intersect::reference_count(g.neighbors(u), g.neighbors(v));
+            }
+        }
+        cnt
+    }
+
+    fn um_for(g: &CsrGraph, spec: &GpuSpec) -> UnifiedMemory {
+        UnifiedMemory::new(
+            spec.global_mem_bytes,
+            spec.page_bytes,
+            &[
+                (ArrayId::Offsets, (g.offsets().len() * 8) as u64),
+                (ArrayId::Dst, (g.dst().len() * 4) as u64),
+                (ArrayId::Counts, (g.num_directed_edges() * 4) as u64),
+            ],
+        )
+    }
+
+    fn full_range(g: &CsrGraph) -> std::ops::Range<u32> {
+        0..g.num_vertices() as u32
+    }
+
+    #[test]
+    fn m_plus_ps_kernels_cover_all_upper_edges() {
+        let spec = titan_xp();
+        let cfg = LaunchConfig::default();
+        let g = CsrGraph::from_edge_list(&generators::hub_web(500, 6.0, 2, 0.5, 7));
+        let mut counts = vec![0u32; g.num_directed_edges()];
+        let mut um = um_for(&g, &spec);
+        let s1 = run_mkernel(&g, &spec, &cfg, full_range(&g), &mut counts, &mut um);
+        let s2 = run_pskernel(&g, &spec, &cfg, full_range(&g), &mut counts, &mut um);
+        assert_eq!(counts, reference(&g));
+        assert!(s1.blocks > 0 && s2.blocks > 0);
+    }
+
+    #[test]
+    fn bmp_kernel_matches_reference() {
+        let spec = titan_xp();
+        let cfg = LaunchConfig::default();
+        let g = CsrGraph::from_edge_list(&generators::chung_lu(400, 10.0, 2.2, 3));
+        let pool = DeviceBitmapPool::new(4, g.num_vertices());
+        let mut counts = vec![0u32; g.num_directed_edges()];
+        let mut um = um_for(&g, &spec);
+        run_bmp_kernel(
+            &g, &spec, &cfg, None, &pool, full_range(&g), &mut counts, &mut um,
+        );
+        assert_eq!(counts, reference(&g));
+    }
+
+    #[test]
+    fn bmp_rf_kernel_matches_reference_and_reduces_scatter() {
+        let spec = titan_xp();
+        let cfg = LaunchConfig::default();
+        let g = CsrGraph::from_edge_list(&generators::gnm(2000, 8000, 5));
+        let pool = DeviceBitmapPool::new(4, g.num_vertices());
+        let want = reference(&g);
+
+        let mut c1 = vec![0u32; g.num_directed_edges()];
+        let mut um1 = um_for(&g, &spec);
+        let s_plain = run_bmp_kernel(&g, &spec, &cfg, None, &pool, full_range(&g), &mut c1, &mut um1);
+        assert_eq!(c1, want);
+
+        let mut c2 = vec![0u32; g.num_directed_edges()];
+        let mut um2 = um_for(&g, &spec);
+        let ratio = cnc_intersect::scaled_rf_ratio(g.num_vertices());
+        let s_rf = run_bmp_kernel(
+            &g, &spec, &cfg, Some(ratio), &pool, full_range(&g), &mut c2, &mut um2,
+        );
+        assert_eq!(c2, want);
+        assert!(
+            s_rf.scattered_trans * 3 < s_plain.scattered_trans * 2,
+            "RF must cut global probes: {} vs {}",
+            s_rf.scattered_trans,
+            s_plain.scattered_trans
+        );
+    }
+
+    #[test]
+    fn multipass_kernels_compose_to_full_result() {
+        let spec = titan_xp();
+        let cfg = LaunchConfig::default();
+        let g = CsrGraph::from_edge_list(&generators::chung_lu(600, 8.0, 2.3, 9));
+        let want = reference(&g);
+        for passes in [2usize, 3, 7] {
+            let pool = DeviceBitmapPool::new(4, g.num_vertices());
+            let mut counts = vec![0u32; g.num_directed_edges()];
+            let mut um = um_for(&g, &spec);
+            let n = g.num_vertices() as u32;
+            let step = n.div_ceil(passes as u32).max(1);
+            let mut start = 0u32;
+            while start < n {
+                let end = (start + step).min(n);
+                run_bmp_kernel(
+                    &g, &spec, &cfg, None, &pool, start..end, &mut counts, &mut um,
+                );
+                start = end;
+            }
+            assert_eq!(counts, want, "passes={passes}");
+        }
+    }
+
+    #[test]
+    fn skew_split_is_exhaustive_and_disjoint() {
+        // Every u<v edge is handled by exactly one of MKernel / PSKernel.
+        let g = CsrGraph::from_edge_list(&generators::hub_web(300, 5.0, 1, 0.6, 2));
+        let t = 50;
+        for (_, u, v) in g.iter_edges() {
+            if u < v {
+                let skewed = is_skewed(g.degree(u), g.degree(v), t);
+                let m_handles = !skewed;
+                let ps_handles = skewed;
+                assert!(m_handles ^ ps_handles);
+            }
+        }
+    }
+
+    #[test]
+    fn edges_in_range_selects_correct_slice() {
+        let g = CsrGraph::from_edge_list(&EdgeList::from_pairs([
+            (0, 1),
+            (0, 3),
+            (0, 5),
+            (0, 7),
+        ]));
+        let r = edges_in_range(&g, 0, &(2..6));
+        let vs: Vec<u32> = r.map(|eid| g.dst()[eid]).collect();
+        assert_eq!(vs, vec![3, 5]);
+        assert!(edges_in_range(&g, 0, &(8..9)).is_empty());
+    }
+}

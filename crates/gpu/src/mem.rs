@@ -1,0 +1,278 @@
+//! Unified-memory page residency tracker.
+//!
+//! The paper allocates the CSR arrays and the count array on CUDA unified
+//! memory: pages migrate to the device on demand and are evicted when the
+//! device is full. Multi-pass processing (Section 4.2.2) exists precisely to
+//! keep each pass's footprint resident; this tracker reproduces the fault
+//! behavior — including the thrashing cliff of Figure 8 — with an LRU over
+//! fixed-size pages.
+
+use std::collections::HashMap;
+
+/// Identifies one unified-memory array (CSR offsets, CSR dst, counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArrayId {
+    /// The CSR offset array.
+    Offsets,
+    /// The CSR neighbor array.
+    Dst,
+    /// The per-edge count array.
+    Counts,
+}
+
+/// LRU page tracker over the registered unified-memory arrays.
+#[derive(Debug)]
+pub struct UnifiedMemory {
+    page_bytes: u64,
+    capacity_pages: u64,
+    /// Array base "addresses" in a flat page-id space.
+    bases: HashMap<ArrayId, u64>,
+    /// Page id → LRU stamp.
+    resident: HashMap<u64, u64>,
+    /// Small FIFO of recently streamed pages (the `Mem_reserved` buffer):
+    /// sequential scans fault once per page, not once per touch.
+    stream_recent: HashMap<u64, u64>,
+    stream_capacity: u64,
+    clock: u64,
+    faults: u64,
+    evictions: u64,
+}
+
+impl UnifiedMemory {
+    /// A tracker with `device_bytes` of device memory available for
+    /// unified-memory pages, and the given arrays (id, byte length).
+    pub fn new(device_bytes: u64, page_bytes: u64, arrays: &[(ArrayId, u64)]) -> Self {
+        assert!(page_bytes.is_power_of_two());
+        let mut bases = HashMap::new();
+        let mut next_page = 0u64;
+        for &(id, len) in arrays {
+            bases.insert(id, next_page);
+            next_page += len.div_ceil(page_bytes) + 1; // +1 guard page
+        }
+        let capacity_pages = (device_bytes / page_bytes).max(1);
+        Self {
+            page_bytes,
+            capacity_pages,
+            bases,
+            resident: HashMap::new(),
+            stream_recent: HashMap::new(),
+            // A slice of the device acts as the streaming buffer (the
+            // paper's Mem_reserved plays this role).
+            stream_capacity: (capacity_pages / 8).max(8),
+            clock: 0,
+            faults: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Total pages the device can hold.
+    pub fn capacity_pages(&self) -> u64 {
+        self.capacity_pages
+    }
+
+    /// Unified-memory faults so far.
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+
+    /// Evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Bytes migrated host→device so far (faults × page size).
+    pub fn migrated_bytes(&self) -> u64 {
+        self.faults * self.page_bytes
+    }
+
+    /// Touch `array[byte_range]` with *resident* semantics: non-resident
+    /// pages fault in and join the LRU set (the reused working set — the
+    /// destination neighbor lists a pass keeps coming back to).
+    pub fn touch(&mut self, array: ArrayId, byte_range: std::ops::Range<u64>) {
+        self.touch_impl(array, byte_range, true);
+    }
+
+    /// Touch with *streaming* semantics: non-resident pages fault (they
+    /// still migrate) but bypass the LRU set, so a sequential scan of the
+    /// whole CSR does not evict the pass's reused working set. This mirrors
+    /// the role of the paper's `Mem_reserved` streaming buffer.
+    pub fn touch_stream(&mut self, array: ArrayId, byte_range: std::ops::Range<u64>) {
+        self.touch_impl(array, byte_range, false);
+    }
+
+    fn touch_impl(&mut self, array: ArrayId, byte_range: std::ops::Range<u64>, keep: bool) {
+        if byte_range.is_empty() {
+            return;
+        }
+        let base = *self.bases.get(&array).expect("array not registered");
+        let first = base + byte_range.start / self.page_bytes;
+        let last = base + (byte_range.end - 1) / self.page_bytes;
+        for page in first..=last {
+            self.clock += 1;
+            if self.resident.contains_key(&page) {
+                self.resident.insert(page, self.clock);
+                continue;
+            }
+            if !keep {
+                // Streaming touch: hits in the small stream buffer are free;
+                // otherwise fault once and remember the page briefly.
+                if self.stream_recent.contains_key(&page) {
+                    self.stream_recent.insert(page, self.clock);
+                    continue;
+                }
+                self.faults += 1;
+                if self.stream_recent.len() as u64 >= self.stream_capacity {
+                    if let Some((&victim, _)) =
+                        self.stream_recent.iter().min_by_key(|(_, &stamp)| stamp)
+                    {
+                        self.stream_recent.remove(&victim);
+                    }
+                }
+                self.stream_recent.insert(page, self.clock);
+                continue;
+            }
+            self.faults += 1;
+            if self.resident.len() as u64 >= self.capacity_pages {
+                // Evict the least recently used page.
+                if let Some((&victim, _)) = self.resident.iter().min_by_key(|(_, &stamp)| stamp)
+                {
+                    self.resident.remove(&victim);
+                    self.evictions += 1;
+                }
+            }
+            self.resident.insert(page, self.clock);
+        }
+    }
+
+    /// Forget all residency (e.g. between experiments).
+    pub fn reset(&mut self) {
+        self.resident.clear();
+        self.clock = 0;
+        self.faults = 0;
+        self.evictions = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(cap_pages: u64) -> UnifiedMemory {
+        UnifiedMemory::new(
+            cap_pages * 1024,
+            1024,
+            &[(ArrayId::Dst, 100 * 1024), (ArrayId::Counts, 100 * 1024)],
+        )
+    }
+
+    #[test]
+    fn first_touch_faults_once() {
+        let mut um = tracker(10);
+        um.touch(ArrayId::Dst, 0..1024);
+        assert_eq!(um.faults(), 1);
+        um.touch(ArrayId::Dst, 0..1024);
+        assert_eq!(um.faults(), 1, "resident page must not refault");
+    }
+
+    #[test]
+    fn range_touch_spans_pages() {
+        let mut um = tracker(10);
+        um.touch(ArrayId::Dst, 100..4000);
+        // Bytes 100..4000 with 1 KiB pages → pages 0..3 inclusive.
+        assert_eq!(um.faults(), 4);
+    }
+
+    #[test]
+    fn arrays_do_not_alias() {
+        let mut um = tracker(10);
+        um.touch(ArrayId::Dst, 0..1024);
+        um.touch(ArrayId::Counts, 0..1024);
+        assert_eq!(um.faults(), 2);
+    }
+
+    #[test]
+    fn working_set_within_capacity_stops_faulting() {
+        let mut um = tracker(8);
+        for _ in 0..5 {
+            um.touch(ArrayId::Dst, 0..4 * 1024); // 4 pages < 8
+        }
+        assert_eq!(um.faults(), 4);
+        assert_eq!(um.evictions(), 0);
+    }
+
+    #[test]
+    fn sequential_scan_beyond_capacity_thrashes() {
+        // Classic LRU pathology the multi-pass technique avoids: a repeated
+        // scan of N+1 pages through an N-page memory faults on every touch.
+        let mut um = tracker(4);
+        let mut last_faults = 0;
+        for round in 0..3 {
+            um.touch(ArrayId::Dst, 0..8 * 1024); // 8 pages > 4 capacity
+            let new_faults = um.faults() - last_faults;
+            last_faults = um.faults();
+            assert_eq!(new_faults, 8, "round {round} must fault every page");
+        }
+        assert!(um.evictions() > 0);
+    }
+
+    #[test]
+    fn empty_touch_is_noop() {
+        let mut um = tracker(4);
+        um.touch(ArrayId::Dst, 10..10);
+        assert_eq!(um.faults(), 0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut um = tracker(4);
+        um.touch(ArrayId::Dst, 0..2048);
+        um.reset();
+        assert_eq!(um.faults(), 0);
+        um.touch(ArrayId::Dst, 0..2048);
+        assert_eq!(um.faults(), 2);
+    }
+
+    #[test]
+    fn migrated_bytes_counts_page_granularity() {
+        let mut um = tracker(10);
+        um.touch(ArrayId::Dst, 0..1); // one byte still moves a page
+        assert_eq!(um.migrated_bytes(), 1024);
+    }
+}
+
+#[cfg(test)]
+mod stream_tests {
+    use super::*;
+
+    #[test]
+    fn streaming_touch_faults_but_does_not_evict() {
+        let mut um = UnifiedMemory::new(
+            4 * 1024,
+            1024,
+            &[(ArrayId::Dst, 100 * 1024), (ArrayId::Counts, 100 * 1024)],
+        );
+        // Build a resident working set of 3 pages.
+        um.touch(ArrayId::Dst, 0..3 * 1024);
+        assert_eq!(um.faults(), 3);
+        // Stream 50 pages of the counts array through.
+        um.touch_stream(ArrayId::Counts, 0..50 * 1024);
+        assert_eq!(um.faults(), 53);
+        assert_eq!(um.evictions(), 0, "stream must not evict the working set");
+        // The working set is still resident: no new faults.
+        um.touch(ArrayId::Dst, 0..3 * 1024);
+        assert_eq!(um.faults(), 53);
+    }
+
+    #[test]
+    fn streaming_rereads_refault_every_time() {
+        let mut um = UnifiedMemory::new(
+            2 * 1024,
+            1024,
+            &[(ArrayId::Dst, 100 * 1024)],
+        );
+        um.touch_stream(ArrayId::Dst, 0..10 * 1024);
+        um.touch_stream(ArrayId::Dst, 0..10 * 1024);
+        // Non-resident streams pay compulsory migration per scan.
+        assert_eq!(um.faults(), 20);
+    }
+}

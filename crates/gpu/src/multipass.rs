@@ -1,0 +1,137 @@
+//! Multi-pass processing (Section 4.2.2 / Figure 2).
+//!
+//! When the unified-memory footprint exceeds device memory, processing all
+//! destinations in one sweep thrashes the page migration engine. The paper
+//! splits the destination-vertex range `[0, |V|)` into passes sized so each
+//! pass's footprint fits:
+//!
+//! ```text
+//! passes = ceil( Mem_CSR / (Mem_global − Mem_reserved − Mem_B_A) )
+//! ```
+
+use cnc_graph::CsrGraph;
+
+use crate::spec::GpuSpec;
+
+/// The pass estimate and the quantities that produced it (Table 6's
+/// columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassPlan {
+    /// Estimated number of passes.
+    pub passes: usize,
+    /// `Mem_CSR`: offsets + neighbor array bytes.
+    pub csr_bytes: u64,
+    /// `Mem_B_A`: device bytes pinned by the bitmap pool (0 for MPS).
+    pub bitmap_bytes: u64,
+    /// `Mem_reserved`.
+    pub reserved_bytes: u64,
+    /// Per-pass unified-memory budget
+    /// (`Mem_global − Mem_reserved − Mem_B_A`).
+    pub budget_bytes: u64,
+}
+
+/// Estimate the pass count for a graph on a device, with `bitmap_bytes`
+/// pinned by the BMP bitmap pool (pass 0 for MPS).
+pub fn estimate_passes(g: &CsrGraph, spec: &GpuSpec, bitmap_bytes: u64) -> PassPlan {
+    let csr_bytes = g.csr_bytes() as u64;
+    let budget = spec
+        .global_mem_bytes
+        .saturating_sub(spec.reserved_bytes)
+        .saturating_sub(bitmap_bytes)
+        .max(1);
+    let passes = csr_bytes.div_ceil(budget).max(1) as usize;
+    // A pass per vertex is the hard upper bound.
+    let passes = passes.min(g.num_vertices().max(1));
+    PassPlan {
+        passes,
+        csr_bytes,
+        bitmap_bytes,
+        reserved_bytes: spec.reserved_bytes,
+        budget_bytes: budget,
+    }
+}
+
+/// Split `[0, |V|)` into `passes` contiguous destination ranges of nearly
+/// equal width.
+pub fn pass_ranges(num_vertices: usize, passes: usize) -> Vec<std::ops::Range<u32>> {
+    let n = num_vertices as u32;
+    let passes = passes.clamp(1, num_vertices.max(1)) as u32;
+    let step = n.div_ceil(passes).max(1);
+    let mut out = Vec::with_capacity(passes as usize);
+    let mut start = 0u32;
+    while start < n {
+        let end = (start + step).min(n);
+        out.push(start..end);
+        start = end;
+    }
+    if out.is_empty() {
+        out.push(0..0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::titan_xp;
+    use cnc_graph::{generators, CsrGraph};
+
+    #[test]
+    fn small_graph_single_pass() {
+        let g = CsrGraph::from_edge_list(&generators::gnm(100, 300, 1));
+        let plan = estimate_passes(&g, &titan_xp(), 0);
+        assert_eq!(plan.passes, 1);
+        assert_eq!(plan.csr_bytes, g.csr_bytes() as u64);
+    }
+
+    #[test]
+    fn shrunk_device_needs_more_passes() {
+        let g = CsrGraph::from_edge_list(&generators::gnm(2000, 20_000, 2));
+        // Device with ~1/4 of the CSR size available.
+        let mut spec = titan_xp();
+        spec.global_mem_bytes = (g.csr_bytes() / 4) as u64;
+        spec.reserved_bytes = 1024;
+        let plan = estimate_passes(&g, &spec, 0);
+        assert!(plan.passes >= 4, "got {}", plan.passes);
+        // Pinning bitmap memory increases the estimate further.
+        let plan_bmp = estimate_passes(&g, &spec, spec.global_mem_bytes / 2);
+        assert!(plan_bmp.passes > plan.passes);
+    }
+
+    #[test]
+    fn paper_regime_bmp_needs_more_passes_than_mps_on_fr_like() {
+        // The Table 6 FR row's shape: B_A pins gigabytes, so BMP needs more
+        // passes than MPS on the same device.
+        let g = CsrGraph::from_edge_list(&generators::gnm(4000, 58_000, 3));
+        let mut spec = titan_xp();
+        // Device sized so CSR is ~130% of it (FR regime: CSR > global).
+        spec.global_mem_bytes = (g.csr_bytes() as f64 / 1.3) as u64;
+        spec.reserved_bytes = spec.global_mem_bytes / 24;
+        let bitmap_bytes = spec.global_mem_bytes * 6 / 10; // B_A ≈ 0.6 global
+        let mps = estimate_passes(&g, &spec, 0);
+        let bmp = estimate_passes(&g, &spec, bitmap_bytes);
+        assert!(mps.passes >= 2, "mps {}", mps.passes);
+        assert!(bmp.passes > mps.passes, "bmp {} mps {}", bmp.passes, mps.passes);
+    }
+
+    #[test]
+    fn ranges_partition_the_vertex_set() {
+        for (n, p) in [(100usize, 3usize), (7, 7), (7, 100), (1, 1), (64, 1)] {
+            let ranges = pass_ranges(n, p);
+            let mut covered = 0u32;
+            for (i, r) in ranges.iter().enumerate() {
+                assert_eq!(r.start, covered, "gap before range {i}");
+                assert!(r.end > r.start);
+                covered = r.end;
+            }
+            assert_eq!(covered, n as u32);
+        }
+    }
+
+    #[test]
+    fn zero_vertices_edge_case() {
+        let ranges = pass_ranges(0, 3);
+        assert_eq!(ranges.len(), 1);
+        assert!(ranges[0].is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! GPU device specification and occupancy rules.
+
+/// A CUDA-like device model. The preset matches the paper's NVIDIA TITAN Xp
+/// (Pascal, 30 SMs × 2048 threads, 12 GB, unified memory over PCIe 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Device name.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sms: usize,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: usize,
+    /// Maximum resident thread blocks per SM (16 on Pascal, as the paper
+    /// states for the TITAN Xp).
+    pub max_blocks_per_sm: usize,
+    /// Threads per warp.
+    pub warp_size: usize,
+    /// Shared memory per SM in bytes (48 KB usable per block on Pascal).
+    pub shared_mem_per_sm: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Warp instructions issued per cycle per SM.
+    pub issue_per_sm: f64,
+    /// Fraction of peak issue rate irregular graph kernels sustain
+    /// (dependency stalls, sync, replay).
+    pub issue_efficiency: f64,
+    /// Fraction of peak DRAM bandwidth irregular access streams sustain.
+    pub bw_efficiency: f64,
+    /// Global memory capacity in bytes.
+    pub global_mem_bytes: u64,
+    /// Global memory bandwidth in GB/s.
+    pub mem_bw_gbps: f64,
+    /// Global memory latency in ns.
+    pub mem_latency_ns: f64,
+    /// Unified-memory page size in bytes.
+    pub page_bytes: u64,
+    /// Fixed cost of servicing one unified-memory page fault, in µs.
+    pub page_fault_us: f64,
+    /// Host↔device transfer bandwidth (PCIe) in GB/s.
+    pub host_bw_gbps: f64,
+    /// Memory reserved for streaming access of CSR/counts (the paper's
+    /// `Mem_reserved`, 500 MB on the real card).
+    pub reserved_bytes: u64,
+}
+
+/// The paper's TITAN Xp.
+pub fn titan_xp() -> GpuSpec {
+    GpuSpec {
+        name: "NVIDIA TITAN Xp (30 SMs, 12 GB)".into(),
+        sms: 30,
+        max_threads_per_sm: 2048,
+        max_blocks_per_sm: 16,
+        warp_size: 32,
+        shared_mem_per_sm: 48 << 10,
+        clock_ghz: 1.58,
+        issue_per_sm: 2.0,
+        issue_efficiency: 0.65,
+        bw_efficiency: 0.7,
+        global_mem_bytes: 12 << 30,
+        mem_bw_gbps: 547.0,
+        mem_latency_ns: 400.0,
+        page_bytes: 64 << 10,
+        page_fault_us: 20.0,
+        host_bw_gbps: 12.0,
+        reserved_bytes: 500 << 20,
+    }
+}
+
+impl GpuSpec {
+    /// Shrink capacity-like fields by `factor` (same scaling rule as
+    /// `cnc_machine::MachineSpec::scaled`): global memory, reserved memory,
+    /// shared memory, and the page size (so the page count stays realistic
+    /// at miniature scale). Rates are untouched.
+    pub fn scaled(&self, factor: f64) -> GpuSpec {
+        assert!(factor > 0.0);
+        let mut s = self.clone();
+        s.name = format!("{} (x{factor:.0e} capacities)", self.name);
+        s.global_mem_bytes = ((self.global_mem_bytes as f64 * factor) as u64).max(64 << 10);
+        s.reserved_bytes = ((self.reserved_bytes as f64 * factor) as u64).max(4 << 10);
+        // Shared memory (like the page size below) shrinks with the square
+        // root: a linear shrink would leave miniature devices with a
+        // useless handful of bytes per block for the RF small bitmap.
+        s.shared_mem_per_sm =
+            ((self.shared_mem_per_sm as f64 * factor.sqrt()) as usize).max(1024);
+        // Pages shrink with the square root so miniature devices still have
+        // a meaningful number of page slots.
+        s.page_bytes = ((self.page_bytes as f64 * factor.sqrt()) as u64)
+            .next_power_of_two()
+            .clamp(1 << 10, self.page_bytes);
+        // The fixed fault-servicing cost tracks the page size: without this,
+        // the (real-machine) 20 µs constant dwarfs the shrunken kernel times
+        // and every pass-count curve flattens into pure fault time.
+        s.page_fault_us = self.page_fault_us * (s.page_bytes as f64 / self.page_bytes as f64);
+        s
+    }
+
+    /// Concurrent thread blocks per SM for a block of `warps_per_block`
+    /// warps — the paper's `n_C` (Algorithm 6): limited by both the resident
+    /// thread budget and the per-SM block slots.
+    pub fn blocks_per_sm(&self, warps_per_block: usize) -> usize {
+        assert!(warps_per_block >= 1);
+        let by_threads = self.max_threads_per_sm / (warps_per_block * self.warp_size);
+        by_threads.min(self.max_blocks_per_sm).max(1)
+    }
+
+    /// Resident warps per SM at this block size.
+    pub fn active_warps_per_sm(&self, warps_per_block: usize) -> usize {
+        self.blocks_per_sm(warps_per_block) * warps_per_block
+    }
+
+    /// Theoretical occupancy in [0, 1] — the paper's "one warp per block is
+    /// 25%, three or more is 100%" (for a 2048-thread SM with 16 block
+    /// slots).
+    pub fn occupancy(&self, warps_per_block: usize) -> f64 {
+        let max_warps = self.max_threads_per_sm / self.warp_size;
+        self.active_warps_per_sm(warps_per_block) as f64 / max_warps as f64
+    }
+
+    /// Total bitmaps the BMP kernel must allocate: one per concurrent block
+    /// (`sms × n_C`, Algorithm 6).
+    pub fn bitmap_pool_size(&self, warps_per_block: usize) -> usize {
+        self.sms * self.blocks_per_sm(warps_per_block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_xp_occupancy_matches_paper() {
+        let g = titan_xp();
+        // Paper: 4 warps/block → 16 concurrent blocks/SM (2048/128), 100%.
+        assert_eq!(g.blocks_per_sm(4), 16);
+        assert_eq!(g.active_warps_per_sm(4), 64);
+        assert!((g.occupancy(4) - 1.0).abs() < 1e-12);
+        // 1 warp/block → 16 blocks (block-slot limited) → 25%.
+        assert_eq!(g.blocks_per_sm(1), 16);
+        assert!((g.occupancy(1) - 0.25).abs() < 1e-12);
+        // 32 warps/block → 2 blocks/SM.
+        assert_eq!(g.blocks_per_sm(32), 2);
+        assert!((g.occupancy(32) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bitmap_pool_matches_paper() {
+        let g = titan_xp();
+        // Paper Section 5.2.2: 128 threads/block → 480 bitmaps.
+        assert_eq!(g.bitmap_pool_size(4), 480);
+        // 32 warps/block → 60 bitmaps: the Figure 9 FR effect.
+        assert_eq!(g.bitmap_pool_size(32), 60);
+    }
+
+    #[test]
+    fn scaled_shrinks_capacities_not_rates() {
+        let g = titan_xp();
+        let s = g.scaled(1e-3);
+        assert_eq!(s.mem_bw_gbps, g.mem_bw_gbps);
+        assert_eq!(s.sms, g.sms);
+        assert!(s.global_mem_bytes < g.global_mem_bytes);
+        assert!(s.page_bytes < g.page_bytes);
+        assert!(s.page_bytes.is_power_of_two());
+        // Page count stays meaningful.
+        assert!(s.global_mem_bytes / s.page_bytes >= 64);
+    }
+
+    #[test]
+    fn blocks_per_sm_never_zero() {
+        let g = titan_xp();
+        assert_eq!(g.blocks_per_sm(64), 1);
+        assert_eq!(g.blocks_per_sm(1000), 1);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests of the GPU simulator over arbitrary graphs and launch
+//! configurations.
+
+use cnc_gpu::{GpuAlgo, GpuRunConfig, GpuRunner, LaunchConfig};
+use cnc_graph::{CsrGraph, EdgeList};
+use proptest::prelude::*;
+
+fn pairs(n: u32, max_len: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..n, 0..n), 0..max_len)
+}
+
+fn reference(g: &CsrGraph) -> Vec<u32> {
+    g.iter_edges()
+        .map(|(_, u, v)| cnc_intersect::reference_count(g.neighbors(u), g.neighbors(v)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kernels_exact_under_arbitrary_launch_config(
+        ps in pairs(48, 200),
+        wpb_log2 in 0u32..6,
+        threshold in prop::sample::select(vec![0u32, 5, 50, 1000]),
+        passes in 1usize..6,
+        rf in any::<bool>(),
+        capacity_scale in prop::sample::select(vec![1e-5f64, 1e-4, 1e-2]),
+    ) {
+        let g = CsrGraph::from_edge_list(&EdgeList::from_pairs(ps));
+        let gpu = GpuRunner::titan_xp_for(capacity_scale);
+        let cfg = GpuRunConfig {
+            launch: LaunchConfig {
+                warps_per_block: 1 << wpb_log2,
+                skew_threshold: threshold,
+            },
+            passes: Some(passes),
+            coprocess: rf, // reuse the flag to cover both paths
+        };
+        let want = reference(&g);
+        for algo in [GpuAlgo::Mps, GpuAlgo::Bmp { rf }] {
+            let run = gpu.run(&g, algo, &cfg);
+            prop_assert_eq!(&run.counts, &want, "{:?} {:?}", algo, cfg);
+            prop_assert!(run.report.kernel.seconds.is_finite());
+            prop_assert!(run.report.total_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn fault_count_at_least_compulsory_when_device_small(
+        ps in pairs(64, 300),
+    ) {
+        let g = CsrGraph::from_edge_list(&EdgeList::from_pairs(ps));
+        prop_assume!(g.num_directed_edges() > 32);
+        // A severely shrunken device: everything must migrate at least once.
+        let gpu = GpuRunner::titan_xp_for(1e-6);
+        let run = gpu.run(&g, GpuAlgo::Mps, &GpuRunConfig::default());
+        let bytes = (g.offsets().len() * 8 + g.dst().len() * 4
+            + g.num_directed_edges() * 4) as u64;
+        let compulsory = bytes.div_ceil(gpu.spec.page_bytes);
+        // At least the offsets+touched dst pages fault (untouched count
+        // pages may not, if some slots are never written by kernels).
+        prop_assert!(run.report.faults > 0);
+        prop_assert!(run.report.migrated_bytes >= run.report.faults * gpu.spec.page_bytes / 2);
+        prop_assert!(compulsory > 0);
+    }
+
+    #[test]
+    fn more_passes_never_reduce_faults(ps in pairs(64, 300)) {
+        let g = CsrGraph::from_edge_list(&EdgeList::from_pairs(ps));
+        prop_assume!(g.num_directed_edges() > 16);
+        let gpu = GpuRunner::titan_xp_for(1e-4);
+        let f2 = gpu
+            .run(&g, GpuAlgo::Mps, &GpuRunConfig { passes: Some(2), ..GpuRunConfig::default() })
+            .report
+            .faults;
+        let f6 = gpu
+            .run(&g, GpuAlgo::Mps, &GpuRunConfig { passes: Some(6), ..GpuRunConfig::default() })
+            .report
+            .faults;
+        // With a device big enough to hold the graph, extra passes only
+        // re-stream: fault counts are non-decreasing in the pass count.
+        prop_assert!(f6 >= f2, "{f2} vs {f6}");
+    }
+}

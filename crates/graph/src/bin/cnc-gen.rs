@@ -1,0 +1,126 @@
+//! `cnc-gen` — generate benchmark graphs to disk.
+//!
+//! ```text
+//! cnc-gen dataset  <lj|or|wi|tw|fr> [--scale tiny|small|medium] OUT
+//! cnc-gen gnm       N M SEED                                    OUT
+//! cnc-gen chung-lu  N AVG_DEG GAMMA SEED                        OUT
+//! cnc-gen rmat      SCALE EDGE_FACTOR SEED                      OUT
+//! cnc-gen hub-web   N AVG_DEG HUBS COVERAGE SEED                OUT
+//! cnc-gen ba        N M_ATTACH SEED                             OUT
+//! ```
+//!
+//! `OUT` ending in `.bin` writes the compact binary CSR; anything else
+//! writes SNAP-style text. Both load back with the `cnc` tool and
+//! `cnc_graph::io`.
+
+use std::process::ExitCode;
+
+use cnc_graph::datasets::{Dataset, Scale};
+use cnc_graph::{generators, io, CsrGraph, EdgeList};
+
+fn parse<T: std::str::FromStr>(args: &[String], i: usize, what: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    args.get(i)
+        .ok_or_else(|| format!("missing {what}"))?
+        .parse()
+        .map_err(|e| format!("bad {what}: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" {
+        eprintln!("usage: cnc-gen <dataset|gnm|chung-lu|rmat|hub-web|ba> ARGS... OUT");
+        return Ok(());
+    }
+    let scale = if let Some(p) = args.iter().position(|a| a == "--scale") {
+        args.remove(p);
+        match args.remove(p).as_str() {
+            "tiny" => Scale::Tiny,
+            "small" => Scale::Small,
+            "medium" => Scale::Medium,
+            other => return Err(format!("unknown scale {other:?}")),
+        }
+    } else {
+        Scale::Small
+    };
+    let kind = args.remove(0);
+    let out = args
+        .last()
+        .cloned()
+        .ok_or_else(|| "missing OUT path".to_string())?;
+    let el: EdgeList = match kind.as_str() {
+        "dataset" => {
+            let d = match args[0].as_str() {
+                "lj" => Dataset::LjS,
+                "or" => Dataset::OrS,
+                "wi" => Dataset::WiS,
+                "tw" => Dataset::TwS,
+                "fr" => Dataset::FrS,
+                other => return Err(format!("unknown dataset {other:?}")),
+            };
+            d.edge_list(scale)
+        }
+        "gnm" => generators::gnm(
+            parse(&args, 0, "N")?,
+            parse(&args, 1, "M")?,
+            parse(&args, 2, "SEED")?,
+        ),
+        "chung-lu" => generators::chung_lu(
+            parse(&args, 0, "N")?,
+            parse(&args, 1, "AVG_DEG")?,
+            parse(&args, 2, "GAMMA")?,
+            parse(&args, 3, "SEED")?,
+        ),
+        "rmat" => generators::rmat(
+            parse(&args, 0, "SCALE")?,
+            parse(&args, 1, "EDGE_FACTOR")?,
+            0.57,
+            0.19,
+            0.19,
+            parse(&args, 2, "SEED")?,
+        ),
+        "hub-web" => generators::hub_web(
+            parse(&args, 0, "N")?,
+            parse(&args, 1, "AVG_DEG")?,
+            parse(&args, 2, "HUBS")?,
+            parse(&args, 3, "COVERAGE")?,
+            parse(&args, 4, "SEED")?,
+        ),
+        "ba" => generators::barabasi_albert(
+            parse(&args, 0, "N")?,
+            parse(&args, 1, "M_ATTACH")?,
+            parse(&args, 2, "SEED")?,
+        ),
+        other => return Err(format!("unknown generator {other:?}")),
+    };
+    let f = std::fs::File::create(&out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    if out.ends_with(".bin") {
+        let g = CsrGraph::from_edge_list(&el);
+        io::write_csr(&g, f).map_err(|e| e.to_string())?;
+        eprintln!(
+            "wrote binary CSR: {} vertices, {} edges → {out}",
+            g.num_vertices(),
+            g.num_undirected_edges()
+        );
+    } else {
+        io::write_edge_list(&el, f).map_err(|e| e.to_string())?;
+        eprintln!(
+            "wrote edge list: {} vertices, {} edges → {out}",
+            el.num_vertices,
+            el.len()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cnc-gen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

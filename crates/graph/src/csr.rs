@@ -1,0 +1,414 @@
+//! Compressed sparse row graph storage (Section 2.1, "Storage Format").
+//!
+//! A [`CsrGraph`] stores an undirected graph with *both* directions of every
+//! edge materialized: `offsets` has length `|V| + 1` and `dst` stores each
+//! neighbor list as an ascending run. The paper's edge offset `e(u, v)` is
+//! the index into `dst` with `dst[e(u,v)] == v` and
+//! `e(u,v) ∈ [offsets[u], offsets[u+1])`; the common-neighbor counts array is
+//! indexed by this offset.
+
+use crate::edgelist::EdgeList;
+
+/// An undirected graph in CSR form with sorted neighbor lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[u]..offsets[u+1]` is the slice of `dst` holding `N(u)`.
+    offsets: Vec<usize>,
+    /// Concatenated neighbor lists, each strictly ascending.
+    dst: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Build from a normalized-or-not edge list: symmetrizes, sorts and
+    /// deduplicates per-vertex neighbor lists.
+    pub fn from_edge_list(el: &EdgeList) -> Self {
+        Self::from_undirected_pairs(el.num_vertices, el.edges.iter().copied())
+    }
+
+    /// Build from raw undirected pairs over `n` vertices. Self-loops are
+    /// dropped; parallel edges are merged.
+    pub fn from_undirected_pairs(n: usize, pairs: impl Iterator<Item = (u32, u32)>) -> Self {
+        // Counting sort into CSR: first degrees, then scatter.
+        let mut deg = vec![0usize; n];
+        let mut kept: Vec<(u32, u32)> = Vec::new();
+        for (u, v) in pairs {
+            if u == v {
+                continue;
+            }
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge ({u},{v}) out of range for {n} vertices"
+            );
+            kept.push((u, v));
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for u in 0..n {
+            offsets[u + 1] = offsets[u] + deg[u];
+        }
+        let mut dst = vec![0u32; offsets[n]];
+        let mut cursor = offsets[..n].to_vec();
+        for &(u, v) in &kept {
+            dst[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            dst[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Sort + dedup each run; rebuild offsets if duplicates were removed.
+        let mut any_dup = false;
+        for u in 0..n {
+            let run = &mut dst[offsets[u]..offsets[u + 1]];
+            run.sort_unstable();
+            if run.windows(2).any(|w| w[0] == w[1]) {
+                any_dup = true;
+            }
+        }
+        if any_dup {
+            let mut new_dst = Vec::with_capacity(dst.len());
+            let mut new_offsets = vec![0usize; n + 1];
+            for u in 0..n {
+                let run = &dst[offsets[u]..offsets[u + 1]];
+                let mut last = None;
+                for &x in run {
+                    if last != Some(x) {
+                        new_dst.push(x);
+                        last = Some(x);
+                    }
+                }
+                new_offsets[u + 1] = new_dst.len();
+            }
+            return Self {
+                offsets: new_offsets,
+                dst: new_dst,
+            };
+        }
+        Self { offsets, dst }
+    }
+
+    /// Parallel CSR construction for large edge lists: degree counting,
+    /// scattering and per-vertex sorting all fan out over rayon. Produces
+    /// exactly the same CSR as [`CsrGraph::from_edge_list`].
+    pub fn from_edge_list_parallel(el: &EdgeList) -> Self {
+        use rayon::prelude::*;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let n = el.num_vertices;
+        // Degrees via atomic counters (the edge list is normalized: u < v,
+        // no self-loops, no duplicates).
+        let deg: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        el.edges.par_iter().for_each(|&(u, v)| {
+            debug_assert!(u < v, "parallel builder requires a normalized list");
+            deg[u as usize].fetch_add(1, Ordering::Relaxed);
+            deg[v as usize].fetch_add(1, Ordering::Relaxed);
+        });
+        let mut offsets = vec![0usize; n + 1];
+        for u in 0..n {
+            offsets[u + 1] = offsets[u] + deg[u].load(Ordering::Relaxed);
+        }
+        // Scatter with atomic cursors.
+        let m = offsets[n];
+        let cursor: Vec<AtomicUsize> = offsets[..n]
+            .iter()
+            .map(|&o| AtomicUsize::new(o))
+            .collect();
+        let dst_cells: Vec<AtomicUsize> = (0..m).map(|_| AtomicUsize::new(0)).collect();
+        el.edges.par_iter().for_each(|&(u, v)| {
+            let pu = cursor[u as usize].fetch_add(1, Ordering::Relaxed);
+            dst_cells[pu].store(v as usize, Ordering::Relaxed);
+            let pv = cursor[v as usize].fetch_add(1, Ordering::Relaxed);
+            dst_cells[pv].store(u as usize, Ordering::Relaxed);
+        });
+        let mut dst: Vec<u32> = dst_cells
+            .into_iter()
+            .map(|c| c.into_inner() as u32)
+            .collect();
+        // Sort each neighbor run in parallel.
+        let mut runs: Vec<&mut [u32]> = Vec::with_capacity(n);
+        let mut rest: &mut [u32] = &mut dst;
+        for u in 0..n {
+            let len = offsets[u + 1] - offsets[u];
+            let (run, tail) = rest.split_at_mut(len);
+            runs.push(run);
+            rest = tail;
+        }
+        runs.par_iter_mut().for_each(|run| run.sort_unstable());
+        Self { offsets, dst }
+    }
+
+    /// Build directly from parts. Panics if the parts are inconsistent.
+    pub fn from_parts(offsets: Vec<usize>, dst: Vec<u32>) -> Self {
+        let g = Self { offsets, dst };
+        g.validate().expect("invalid CSR parts");
+        g
+    }
+
+    /// Number of vertices `|V|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of *directed* edge slots (`2 ×` undirected edges). This is the
+    /// `|E|` of the paper's CSR and the length of the counts array.
+    #[inline]
+    pub fn num_directed_edges(&self) -> usize {
+        self.dst.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_undirected_edges(&self) -> usize {
+        self.dst.len() / 2
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: u32) -> usize {
+        self.offsets[u as usize + 1] - self.offsets[u as usize]
+    }
+
+    /// The sorted neighbor list `N(u)`.
+    #[inline]
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        &self.dst[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
+
+    /// The raw offset array (length `|V| + 1`).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw neighbor array.
+    #[inline]
+    pub fn dst(&self) -> &[u32] {
+        &self.dst
+    }
+
+    /// Offset range of `u`'s neighbors: `[offsets[u], offsets[u+1])`.
+    #[inline]
+    pub fn offset_range(&self, u: u32) -> std::ops::Range<usize> {
+        self.offsets[u as usize]..self.offsets[u as usize + 1]
+    }
+
+    /// The edge offset `e(u, v)`, if `(u, v)` is an edge: binary search of
+    /// `v` in `N(u)`.
+    pub fn edge_offset(&self, u: u32, v: u32) -> Option<usize> {
+        let base = self.offsets[u as usize];
+        self.neighbors(u)
+            .binary_search(&v)
+            .ok()
+            .map(|idx| base + idx)
+    }
+
+    /// Reverse edge offset `e(v, u)` for a known edge offset `eid = e(u, v)`.
+    ///
+    /// Used by the symmetric assignment technique
+    /// (`cnt[e(v,u)] ← cnt[e(u,v)]`, Section 3). Panics if the reverse edge
+    /// is absent, which would mean the CSR is not symmetric.
+    pub fn reverse_offset(&self, u: u32, eid: usize) -> usize {
+        let v = self.dst[eid];
+        self.edge_offset(v, u)
+            .expect("CSR must be symmetric: reverse edge missing")
+    }
+
+    /// Source-vertex search `FindSrc` (Algorithm 3 lines 7–15): the vertex
+    /// `u` whose offset range contains `eid`, amortized via the caller-owned
+    /// stash `u_hint` (the previously found source).
+    ///
+    /// The stash makes the common case (next edge has the same source) O(1);
+    /// otherwise a binary search over the offsets plus a backward scan over
+    /// zero-degree vertices finds the owner.
+    #[inline]
+    pub fn find_src(&self, eid: usize, u_hint: &mut u32) -> u32 {
+        debug_assert!(eid < self.dst.len());
+        let mut u = *u_hint as usize;
+        if eid < self.offsets[u] || eid >= self.offsets[u + 1] {
+            // partition_point returns the first index with offsets[i] > eid;
+            // the owning vertex is that index - 1, adjusted past zero-degree
+            // vertices (whose empty ranges also satisfy offsets[i] == offsets[i+1]).
+            u = self.offsets.partition_point(|&o| o <= eid) - 1;
+        }
+        debug_assert!(
+            eid >= self.offsets[u] && eid < self.offsets[u + 1],
+            "find_src landed on wrong vertex"
+        );
+        *u_hint = u as u32;
+        u as u32
+    }
+
+    /// Check the CSR invariants: monotone offsets, in-range ids, strictly
+    /// ascending neighbor runs, no self-loops, and symmetry.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_vertices();
+        if self.offsets[0] != 0 || *self.offsets.last().unwrap() != self.dst.len() {
+            return Err("offset endpoints broken".into());
+        }
+        if self.offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offsets not monotone".into());
+        }
+        for u in 0..n as u32 {
+            let run = self.neighbors(u);
+            if run.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("neighbors of {u} not strictly ascending"));
+            }
+            for &v in run {
+                if v as usize >= n {
+                    return Err(format!("neighbor {v} of {u} out of range"));
+                }
+                if v == u {
+                    return Err(format!("self-loop at {u}"));
+                }
+                if self.edge_offset(v, u).is_none() {
+                    return Err(format!("edge ({u},{v}) not symmetric"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterate `(eid, u, v)` over all directed edge slots.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (usize, u32, u32)> + '_ {
+        (0..self.num_vertices() as u32).flat_map(move |u| {
+            self.offset_range(u)
+                .map(move |eid| (eid, u, self.dst[eid]))
+        })
+    }
+
+    /// Total bytes of the CSR arrays (the paper's `Mem_CSR`).
+    pub fn csr_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>() + self.dst.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_tail() -> CsrGraph {
+        // 0-1, 0-2, 1-2 (triangle), 2-3 (tail)
+        CsrGraph::from_edge_list(&EdgeList::from_pairs([(0, 1), (0, 2), (1, 2), (2, 3)]))
+    }
+
+    #[test]
+    fn basic_shape() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_undirected_edges(), 4);
+        assert_eq!(g.num_directed_edges(), 8);
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(3), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_and_self_loop_input() {
+        let g = CsrGraph::from_undirected_pairs(
+            3,
+            [(0, 1), (1, 0), (0, 1), (2, 2), (1, 2)].into_iter(),
+        );
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[1]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn edge_offset_and_reverse() {
+        let g = triangle_plus_tail();
+        let e02 = g.edge_offset(0, 2).unwrap();
+        assert_eq!(g.dst()[e02], 2);
+        let e20 = g.reverse_offset(0, e02);
+        assert_eq!(g.dst()[e20], 0);
+        assert!(g.offset_range(2).contains(&e20));
+        assert_eq!(g.edge_offset(0, 3), None);
+    }
+
+    #[test]
+    fn find_src_with_and_without_hint() {
+        let g = triangle_plus_tail();
+        let mut hint = 0u32;
+        for (eid, u, _v) in g.iter_edges().collect::<Vec<_>>() {
+            assert_eq!(g.find_src(eid, &mut hint), u, "eid={eid}");
+        }
+        // Cold hint pointing far away still works.
+        let mut cold = 3u32;
+        assert_eq!(g.find_src(0, &mut cold), 0);
+        assert_eq!(cold, 0);
+    }
+
+    #[test]
+    fn find_src_skips_zero_degree_vertices() {
+        // Vertex 1 is isolated: 0-2, 2-3.
+        let g = CsrGraph::from_undirected_pairs(4, [(0, 2), (2, 3)].into_iter());
+        assert_eq!(g.degree(1), 0);
+        let mut hint = 0u32;
+        for (eid, u, _) in g.iter_edges().collect::<Vec<_>>() {
+            let mut cold = 0u32;
+            assert_eq!(g.find_src(eid, &mut cold), u, "cold eid={eid}");
+            assert_eq!(g.find_src(eid, &mut hint), u, "warm eid={eid}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edge_list(&EdgeList::new(0));
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_directed_edges(), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn vertices_with_no_edges_at_ends() {
+        let g = CsrGraph::from_undirected_pairs(6, [(2, 3)].into_iter());
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.degree(5), 0);
+        g.validate().unwrap();
+        let mut hint = 0u32;
+        assert_eq!(g.find_src(0, &mut hint), 2);
+        assert_eq!(g.find_src(1, &mut hint), 3);
+    }
+
+    #[test]
+    fn iter_edges_covers_all_slots() {
+        let g = triangle_plus_tail();
+        let edges: Vec<_> = g.iter_edges().collect();
+        assert_eq!(edges.len(), g.num_directed_edges());
+        for (eid, u, v) in edges {
+            assert_eq!(g.dst()[eid], v);
+            assert!(g.offset_range(u).contains(&eid));
+        }
+    }
+
+    #[test]
+    fn parallel_builder_matches_sequential() {
+        use crate::generators;
+        for el in [
+            generators::gnm(300, 1200, 4),
+            generators::chung_lu(200, 10.0, 2.2, 5),
+            generators::hub_web(150, 5.0, 2, 0.4, 6),
+            EdgeList::new(0),
+            EdgeList::new(10),
+        ] {
+            let seq = CsrGraph::from_edge_list(&el);
+            let par = CsrGraph::from_edge_list_parallel(&el);
+            assert_eq!(seq, par);
+            par.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn csr_bytes_formula() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.csr_bytes(), 5 * 8 + 8 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_rejected() {
+        let _ = CsrGraph::from_undirected_pairs(2, [(0, 5)].into_iter());
+    }
+}

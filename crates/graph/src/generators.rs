@@ -1,0 +1,353 @@
+//! Seeded synthetic graph generators.
+//!
+//! The paper evaluates on SNAP / WebGraph datasets that are not shipped with
+//! this repository; these generators produce graphs with the degree
+//! *distribution shapes* that drive the paper's findings (see
+//! [`crate::datasets`] for the tuned analogues). All generators are
+//! deterministic in their seed.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::edgelist::EdgeList;
+
+/// Uniform random graph `G(n, m)`: `m` distinct undirected edges chosen
+/// uniformly among all pairs. Degrees concentrate around `2m/n` — the
+/// "near-uniform" regime of the friendster-like dataset.
+pub fn gnm(n: usize, m: usize, seed: u64) -> EdgeList {
+    assert!(n >= 2 || m == 0, "need at least two vertices for edges");
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    let m = m.min(max_edges);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(m * 2);
+    let mut el = EdgeList::new(n);
+    while seen.len() < m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let e = (u.min(v), u.max(v));
+        if seen.insert(e) {
+            el.push(e.0, e.1);
+        }
+    }
+    el.normalize();
+    el
+}
+
+/// Chung–Lu power-law graph: vertex `i` gets weight `(i+1)^(-1/(γ-1))` and
+/// edges are sampled with endpoint probability proportional to weight, until
+/// `n · avg_deg / 2` distinct edges exist. Produces the heavy-tailed degree
+/// distributions of social graphs (LJ/OR/TW-like); smaller `gamma` → heavier
+/// tail → more degree-skewed intersections.
+pub fn chung_lu(n: usize, avg_deg: f64, gamma: f64, seed: u64) -> EdgeList {
+    assert!(gamma > 1.0, "power-law exponent must exceed 1");
+    assert!(n >= 2);
+    let target_m = ((n as f64 * avg_deg) / 2.0).round() as usize;
+    let max_edges = n * (n - 1) / 2;
+    let target_m = target_m.min(max_edges);
+    let alpha = 1.0 / (gamma - 1.0);
+    // Cumulative weights for O(log n) endpoint sampling.
+    let mut cum = Vec::with_capacity(n);
+    let mut total = 0.0f64;
+    for i in 0..n {
+        total += ((i + 1) as f64).powf(-alpha);
+        cum.push(total);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sample = |rng: &mut StdRng| -> u32 {
+        let x: f64 = rng.gen::<f64>() * total;
+        cum.partition_point(|&c| c < x) as u32
+    };
+    let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(target_m * 2);
+    let mut el = EdgeList::new(n);
+    // Collision-heavy distributions may stall; bound the attempts.
+    let max_attempts = target_m.saturating_mul(50).max(1000);
+    let mut attempts = 0usize;
+    while seen.len() < target_m && attempts < max_attempts {
+        attempts += 1;
+        let u = sample(&mut rng).min(n as u32 - 1);
+        let v = sample(&mut rng).min(n as u32 - 1);
+        if u == v {
+            continue;
+        }
+        let e = (u.min(v), u.max(v));
+        if seen.insert(e) {
+            el.push(e.0, e.1);
+        }
+    }
+    el.normalize();
+    el
+}
+
+/// R-MAT recursive-matrix graph (Chakrabarti et al.). `scale` gives
+/// `n = 2^scale` vertices; `edge_factor` gives `m ≈ n · edge_factor`
+/// undirected edges. The canonical skew parameters are
+/// `(a, b, c) = (0.57, 0.19, 0.19)`.
+pub fn rmat(scale: u32, edge_factor: usize, a: f64, b: f64, c: f64, seed: u64) -> EdgeList {
+    assert!(a + b + c < 1.0, "a+b+c must leave room for d");
+    let n = 1usize << scale;
+    let target_m = n * edge_factor;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(target_m * 2);
+    let mut el = EdgeList::new(n);
+    let max_attempts = target_m.saturating_mul(50).max(1000);
+    let mut attempts = 0usize;
+    while seen.len() < target_m && attempts < max_attempts {
+        attempts += 1;
+        let (mut u, mut v) = (0u32, 0u32);
+        for _ in 0..scale {
+            let x: f64 = rng.gen();
+            let (du, dv) = if x < a {
+                (0, 0)
+            } else if x < a + b {
+                (0, 1)
+            } else if x < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        if u == v {
+            continue;
+        }
+        let e = (u.min(v), u.max(v));
+        if seen.insert(e) {
+            el.push(e.0, e.1);
+        }
+    }
+    el.normalize();
+    el
+}
+
+/// Web-like graph with a few extreme hubs (the WI dataset's max degree is
+/// 1.2 M at an average of 28): `hubs` vertices are connected to a large
+/// random fraction `hub_coverage` of all vertices; the remaining edges form
+/// a power-law body.
+pub fn hub_web(
+    n: usize,
+    avg_deg: f64,
+    hubs: usize,
+    hub_coverage: f64,
+    seed: u64,
+) -> EdgeList {
+    assert!(hubs < n);
+    assert!((0.0..=1.0).contains(&hub_coverage));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut el = EdgeList::new(n);
+    let mut seen: HashSet<(u32, u32)> = HashSet::new();
+    // Hub edges: hub h attaches to each other vertex with prob hub_coverage.
+    for h in 0..hubs as u32 {
+        for v in 0..n as u32 {
+            if v != h && rng.gen::<f64>() < hub_coverage {
+                let e = (h.min(v), h.max(v));
+                if seen.insert(e) {
+                    el.push(e.0, e.1);
+                }
+            }
+        }
+    }
+    // Body: power-law graph over the non-hub vertices.
+    let body = chung_lu(n, avg_deg, 2.2, seed ^ 0x9e37_79b9);
+    for (u, v) in body.iter() {
+        let e = (u.min(v), u.max(v));
+        if seen.insert(e) {
+            el.push(e.0, e.1);
+        }
+    }
+    el.normalize();
+    el
+}
+
+/// Barabási–Albert preferential attachment: start from a small clique and
+/// attach each new vertex to `m_attach` existing vertices chosen
+/// proportionally to their current degree. Produces γ ≈ 3 power-law tails
+/// with a naturally *degree-descending-ish* id order (old vertices are the
+/// hubs) — the opposite of what BMP wants after relabeling, making it a
+/// useful reorder-ablation input.
+pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> EdgeList {
+    assert!(m_attach >= 1);
+    assert!(n > m_attach + 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut el = EdgeList::new(n);
+    // Repeated-endpoint list: sampling uniformly from it is sampling
+    // proportional to degree.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m_attach);
+    // Seed clique of m_attach + 1 vertices.
+    for u in 0..=m_attach as u32 {
+        for v in (u + 1)..=m_attach as u32 {
+            el.push(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for v in (m_attach + 1)..n {
+        let v = v as u32;
+        let mut chosen: Vec<u32> = Vec::with_capacity(m_attach);
+        let mut guard = 0;
+        while chosen.len() < m_attach && guard < 100 * m_attach {
+            guard += 1;
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            el.push(t.min(v), t.max(v));
+            endpoints.push(t);
+            endpoints.push(v);
+        }
+    }
+    el.normalize();
+    el
+}
+
+/// Complete graph `K_n` (every pair connected) — worst-case density.
+pub fn complete(n: usize) -> EdgeList {
+    let mut el = EdgeList::new(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            el.push(u, v);
+        }
+    }
+    el
+}
+
+/// Simple path `0-1-2-…-(n-1)` — no triangles, all counts zero.
+pub fn path(n: usize) -> EdgeList {
+    let mut el = EdgeList::new(n);
+    for u in 1..n as u32 {
+        el.push(u - 1, u);
+    }
+    el
+}
+
+/// Star graph with center `0` — maximal skew, all counts zero.
+pub fn star(n: usize) -> EdgeList {
+    let mut el = EdgeList::new(n);
+    for v in 1..n as u32 {
+        el.push(0, v);
+    }
+    el
+}
+
+/// Two-level "clique of cliques": `k` cliques of size `s`, consecutive
+/// cliques bridged by one edge. Rich in triangles, useful for verification.
+pub fn clique_chain(k: usize, s: usize) -> EdgeList {
+    let n = k * s;
+    let mut el = EdgeList::new(n);
+    for c in 0..k {
+        let base = (c * s) as u32;
+        for i in 0..s as u32 {
+            for j in (i + 1)..s as u32 {
+                el.push(base + i, base + j);
+            }
+        }
+        if c + 1 < k {
+            el.push(base + s as u32 - 1, base + s as u32);
+        }
+    }
+    el
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrGraph;
+
+    #[test]
+    fn gnm_deterministic_and_sized() {
+        let a = gnm(100, 300, 42);
+        let b = gnm(100, 300, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 300);
+        let c = gnm(100, 300, 43);
+        assert_ne!(a, c, "different seeds give different graphs");
+    }
+
+    #[test]
+    fn gnm_caps_at_complete_graph() {
+        let el = gnm(5, 100, 1);
+        assert_eq!(el.len(), 10);
+    }
+
+    #[test]
+    fn chung_lu_is_heavy_tailed() {
+        let el = chung_lu(2000, 10.0, 2.0, 7);
+        let g = CsrGraph::from_edge_list(&el);
+        let max_d = (0..2000u32).map(|u| g.degree(u)).max().unwrap();
+        let avg = g.num_directed_edges() as f64 / 2000.0;
+        assert!(
+            max_d as f64 > 6.0 * avg,
+            "power law should produce hubs: max={max_d} avg={avg:.1}"
+        );
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn rmat_valid_and_deterministic() {
+        let el = rmat(9, 8, 0.57, 0.19, 0.19, 11);
+        let g = CsrGraph::from_edge_list(&el);
+        g.validate().unwrap();
+        assert_eq!(el, rmat(9, 8, 0.57, 0.19, 0.19, 11));
+        assert!(g.num_vertices() == 512);
+    }
+
+    #[test]
+    fn hub_web_has_extreme_hub() {
+        let el = hub_web(3000, 6.0, 2, 0.5, 5);
+        let g = CsrGraph::from_edge_list(&el);
+        let hub_deg = g.degree(0).max(g.degree(1));
+        assert!(
+            hub_deg > 1000,
+            "hub should touch ~half the graph, got {hub_deg}"
+        );
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn structured_generators() {
+        assert_eq!(complete(6).len(), 15);
+        assert_eq!(path(6).len(), 5);
+        assert_eq!(star(6).len(), 5);
+        let cc = clique_chain(3, 4);
+        // 3 cliques of C(4,2)=6 edges plus 2 bridges.
+        assert_eq!(cc.len(), 3 * 6 + 2);
+        CsrGraph::from_edge_list(&cc).validate().unwrap();
+    }
+
+    #[test]
+    fn barabasi_albert_shape() {
+        let el = barabasi_albert(2000, 4, 8);
+        let g = CsrGraph::from_edge_list(&el);
+        g.validate().unwrap();
+        // Roughly m edges per new vertex.
+        assert!(el.len() >= 1990 * 4 - 100, "len={}", el.len());
+        // Early vertices are hubs.
+        let early_max = (0..10u32).map(|u| g.degree(u)).max().unwrap();
+        let late_max = (1900..2000u32).map(|u| g.degree(u)).max().unwrap();
+        assert!(
+            early_max > 5 * late_max,
+            "preferential attachment must make old vertices hubs: {early_max} vs {late_max}"
+        );
+        assert_eq!(el, barabasi_albert(2000, 4, 8), "deterministic");
+    }
+
+    #[test]
+    fn generators_produce_symmetric_csr() {
+        for el in [
+            gnm(64, 200, 1),
+            chung_lu(64, 6.0, 2.3, 2),
+            rmat(6, 4, 0.57, 0.19, 0.19, 3),
+            hub_web(64, 4.0, 1, 0.4, 4),
+            barabasi_albert(64, 3, 5),
+        ] {
+            CsrGraph::from_edge_list(&el).validate().unwrap();
+        }
+    }
+}

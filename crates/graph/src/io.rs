@@ -1,0 +1,283 @@
+//! Graph I/O: SNAP-style edge-list text and a compact binary CSR format.
+//!
+//! The text loader accepts the format of SNAP downloads (the paper's LJ, OR
+//! and FR sources): one `u v` pair per line, `#`-prefixed comment lines,
+//! arbitrary whitespace. A user with the real datasets can therefore run
+//! every experiment on them. The binary format avoids re-parsing large
+//! graphs between runs.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut};
+
+use crate::csr::CsrGraph;
+use crate::edgelist::EdgeList;
+
+/// Magic header of the binary CSR format.
+const MAGIC: &[u8; 8] = b"CNCCSR01";
+
+/// Parse a SNAP-style edge list from a reader.
+///
+/// Lines starting with `#` (or `%`, as used by some mirrors) are comments.
+/// Each data line holds two whitespace-separated vertex ids. The result is
+/// normalized (undirected, deduplicated, no self-loops).
+pub fn read_edge_list<R: Read>(reader: R) -> io::Result<EdgeList> {
+    let mut el = EdgeList::new(0);
+    let buf = BufReader::new(reader);
+    let mut line = String::new();
+    let mut buf = buf;
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if buf.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let (a, b) = (it.next(), it.next());
+        match (a, b) {
+            (Some(a), Some(b)) => {
+                let u: u32 = a.parse().map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("line {lineno}: bad vertex id {a:?}: {e}"),
+                    )
+                })?;
+                let v: u32 = b.parse().map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("line {lineno}: bad vertex id {b:?}: {e}"),
+                    )
+                })?;
+                el.push(u, v);
+            }
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {lineno}: expected two vertex ids, got {t:?}"),
+                ))
+            }
+        }
+    }
+    el.normalize();
+    Ok(el)
+}
+
+/// Read an edge-list file from disk (see [`read_edge_list`]).
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> io::Result<EdgeList> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Write an edge list in SNAP text format (one `u v` per line).
+pub fn write_edge_list<W: Write>(el: &EdgeList, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# undirected edge list, {} vertices", el.num_vertices)?;
+    for (u, v) in el.iter() {
+        writeln!(w, "{u}\t{v}")?;
+    }
+    w.flush()
+}
+
+/// Serialize a CSR graph to the compact binary format.
+///
+/// Layout: magic, `|V|` and `|dst|` as u64 little-endian, the offset array
+/// as u64s, the dst array as u32s.
+pub fn write_csr<W: Write>(g: &CsrGraph, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    let mut header = Vec::with_capacity(24);
+    header.put_slice(MAGIC);
+    header.put_u64_le(g.num_vertices() as u64);
+    header.put_u64_le(g.num_directed_edges() as u64);
+    w.write_all(&header)?;
+    let mut chunk = Vec::with_capacity(8 * 1024);
+    for &o in g.offsets() {
+        chunk.put_u64_le(o as u64);
+        if chunk.len() >= 8 * 1024 {
+            w.write_all(&chunk)?;
+            chunk.clear();
+        }
+    }
+    w.write_all(&chunk)?;
+    chunk.clear();
+    for &d in g.dst() {
+        chunk.put_u32_le(d);
+        if chunk.len() >= 8 * 1024 {
+            w.write_all(&chunk)?;
+            chunk.clear();
+        }
+    }
+    w.write_all(&chunk)?;
+    w.flush()
+}
+
+/// Deserialize a CSR graph written by [`write_csr`].
+pub fn read_csr<R: Read>(reader: R) -> io::Result<CsrGraph> {
+    let mut r = BufReader::new(reader);
+    let mut header = [0u8; 24];
+    r.read_exact(&mut header)?;
+    if &header[..8] != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad magic: not a CNCCSR01 file",
+        ));
+    }
+    let mut hdr = &header[8..];
+    let n = hdr.get_u64_le() as usize;
+    let m = hdr.get_u64_le() as usize;
+    let mut offsets_raw = vec![0u8; (n + 1) * 8];
+    r.read_exact(&mut offsets_raw)?;
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut buf = offsets_raw.as_slice();
+    for _ in 0..=n {
+        offsets.push(buf.get_u64_le() as usize);
+    }
+    let mut dst_raw = vec![0u8; m * 4];
+    r.read_exact(&mut dst_raw)?;
+    let mut dst = Vec::with_capacity(m);
+    let mut buf = dst_raw.as_slice();
+    for _ in 0..m {
+        dst.push(buf.get_u32_le());
+    }
+    if offsets.first() != Some(&0) || offsets.last() != Some(&m) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "inconsistent offsets",
+        ));
+    }
+    Ok(CsrGraph::from_parts(offsets, dst))
+}
+
+/// Magic header of the binary counts format.
+const COUNTS_MAGIC: &[u8; 8] = b"CNCCNT01";
+
+/// Serialize a per-edge-slot counts array (must belong to a CSR with
+/// `counts.len()` directed edge slots).
+pub fn write_counts<W: Write>(counts: &[u32], writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    let mut header = Vec::with_capacity(16);
+    header.put_slice(COUNTS_MAGIC);
+    header.put_u64_le(counts.len() as u64);
+    w.write_all(&header)?;
+    let mut chunk = Vec::with_capacity(8 * 1024);
+    for &c in counts {
+        chunk.put_u32_le(c);
+        if chunk.len() >= 8 * 1024 {
+            w.write_all(&chunk)?;
+            chunk.clear();
+        }
+    }
+    w.write_all(&chunk)?;
+    w.flush()
+}
+
+/// Deserialize a counts array written by [`write_counts`].
+pub fn read_counts<R: Read>(reader: R) -> io::Result<Vec<u32>> {
+    let mut r = BufReader::new(reader);
+    let mut header = [0u8; 16];
+    r.read_exact(&mut header)?;
+    if &header[..8] != COUNTS_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad magic: not a CNCCNT01 file",
+        ));
+    }
+    let m = (&header[8..]).get_u64_le() as usize;
+    let mut raw = vec![0u8; m * 4];
+    r.read_exact(&mut raw)?;
+    let mut out = Vec::with_capacity(m);
+    let mut buf = raw.as_slice();
+    for _ in 0..m {
+        out.push(buf.get_u32_le());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn text_roundtrip() {
+        let el = generators::gnm(50, 120, 9);
+        let mut buf = Vec::new();
+        write_edge_list(&el, &mut buf).unwrap();
+        let back = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(el.edges, back.edges);
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "# SNAP header\n% other comment\n\n0 1\n1\t2\n  2   3  \n";
+        let el = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(el.edges, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_edge_list("0 x\n".as_bytes()).is_err());
+        assert!(read_edge_list("42\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = CsrGraph::from_edge_list(&generators::chung_lu(300, 8.0, 2.3, 4));
+        let mut buf = Vec::new();
+        write_csr(&g, &mut buf).unwrap();
+        let back = read_csr(buf.as_slice()).unwrap();
+        assert_eq!(g, back);
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let buf = b"NOTAMAGIC_______plus_more_bytes_________".to_vec();
+        assert!(read_csr(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_truncated() {
+        let g = CsrGraph::from_edge_list(&generators::gnm(20, 40, 2));
+        let mut buf = Vec::new();
+        write_csr(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_csr(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn counts_roundtrip() {
+        let counts: Vec<u32> = (0..5000).map(|x| x * 7 % 113).collect();
+        let mut buf = Vec::new();
+        write_counts(&counts, &mut buf).unwrap();
+        assert_eq!(read_counts(buf.as_slice()).unwrap(), counts);
+        // Empty counts work too.
+        let mut buf = Vec::new();
+        write_counts(&[], &mut buf).unwrap();
+        assert!(read_counts(buf.as_slice()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn counts_reject_wrong_magic_and_truncation() {
+        assert!(read_counts(b"WRONGMAGIC______".as_slice()).is_err());
+        let mut buf = Vec::new();
+        write_counts(&[1, 2, 3], &mut buf).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(read_counts(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        let g = CsrGraph::from_edge_list(&EdgeList::new(0));
+        let mut buf = Vec::new();
+        write_csr(&g, &mut buf).unwrap();
+        let back = read_csr(buf.as_slice()).unwrap();
+        assert_eq!(back.num_vertices(), 0);
+    }
+
+    use crate::edgelist::EdgeList;
+}

@@ -1,0 +1,48 @@
+//! Graph substrate for all-edge common neighbor counting.
+//!
+//! Provides everything the counting algorithms need below the kernel level:
+//!
+//! * [`EdgeList`] — raw undirected edge collections with normalization
+//!   (self-loop removal, deduplication, symmetrization);
+//! * [`CsrGraph`] — the *compressed sparse row* storage the paper uses
+//!   (offset array + ascending-sorted neighbor array), including the
+//!   `FindSrc` source-vertex search of Algorithm 3 and reverse-edge-offset
+//!   lookup for the symmetric assignment technique;
+//! * [`reorder`] — the degree-descending relabeling BMP requires so that
+//!   `u < v ⇒ d_u ≥ d_v` and bitmaps are always built on the larger side;
+//! * [`generators`] — seeded synthetic graph generators (G(n,m), Chung–Lu
+//!   power law, R-MAT, hub-heavy web-like, near-uniform);
+//! * [`datasets`] — scaled-down analogues of the paper's five evaluation
+//!   graphs (livejournal, orkut, web-it, twitter, friendster);
+//! * [`stats`] — the statistics of Tables 1 and 2 (sizes, degrees, fraction
+//!   of highly skewed intersections);
+//! * [`io`] — SNAP-style edge-list text I/O and a compact binary CSR format.
+//!
+//! # Example
+//!
+//! ```
+//! use cnc_graph::{generators, CsrGraph};
+//!
+//! let edges = generators::gnm(100, 400, 42);
+//! let g = CsrGraph::from_edge_list(&edges);
+//! assert_eq!(g.num_vertices(), 100);
+//! assert!(g.validate().is_ok());
+//! for v in g.neighbors(0) {
+//!     assert!((*v as usize) < g.num_vertices());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod csr;
+mod edgelist;
+
+pub mod datasets;
+pub mod generators;
+pub mod io;
+pub mod reorder;
+pub mod stats;
+
+pub use csr::CsrGraph;
+pub use edgelist::EdgeList;

@@ -1,0 +1,191 @@
+//! Dynamic bitmap index (**BMP**, Algorithm 2).
+//!
+//! A bitmap of cardinality `|V|` (one bit per vertex id) is constructed for
+//! `N(u)`, reused for every intersection `N(u) ∩ N(v)` with `v ∈ N(u)`, and
+//! then cleared by resetting exactly the bits that were set — an amortized
+//! constant cost per intersection. Lookup and insert are single word
+//! operations, which is why the paper picks a bitmap over hash/skip/tree
+//! indexes.
+
+use crate::meter::Meter;
+
+/// A fixed-cardinality bitmap over vertex ids `[0, cardinality)`.
+#[derive(Debug, Clone)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    cardinality: usize,
+}
+
+impl Bitmap {
+    /// An all-zero bitmap able to hold ids `< cardinality`.
+    pub fn new(cardinality: usize) -> Self {
+        Self {
+            words: vec![0u64; cardinality.div_ceil(64)],
+            cardinality,
+        }
+    }
+
+    /// Number of ids this bitmap can hold.
+    #[inline]
+    pub fn cardinality(&self) -> usize {
+        self.cardinality
+    }
+
+    /// Memory footprint in bytes (the paper's `|V|/8`, rounded to words).
+    pub fn bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Set the bit for `v`.
+    #[inline]
+    pub fn set(&mut self, v: u32) {
+        debug_assert!((v as usize) < self.cardinality);
+        self.words[v as usize >> 6] |= 1u64 << (v & 63);
+    }
+
+    /// Test the bit for `v`.
+    #[inline]
+    pub fn test(&self, v: u32) -> bool {
+        debug_assert!((v as usize) < self.cardinality);
+        (self.words[v as usize >> 6] >> (v & 63)) & 1 != 0
+    }
+
+    /// Clear the bit for `v`.
+    #[inline]
+    pub fn clear(&mut self, v: u32) {
+        debug_assert!((v as usize) < self.cardinality);
+        self.words[v as usize >> 6] &= !(1u64 << (v & 63));
+    }
+
+    /// Set the bits of every id in `list` (bitmap construction, Algorithm 2
+    /// lines 3–4). Reports one random access + 8 written bytes per element.
+    pub fn set_list<M: Meter>(&mut self, list: &[u32], meter: &mut M) {
+        for &v in list {
+            self.set(v);
+        }
+        meter.rand_accesses(list.len() as u64);
+        meter.write_bytes(8 * list.len() as u64);
+        meter.seq_bytes(4 * list.len() as u64);
+    }
+
+    /// Clear the bits of every id in `list` (Algorithm 2 lines 8–9).
+    ///
+    /// Uses explicit clears rather than flips so the operation is idempotent;
+    /// the result is all-zero again provided only `list`'s bits were set.
+    pub fn clear_list<M: Meter>(&mut self, list: &[u32], meter: &mut M) {
+        for &v in list {
+            self.clear(v);
+        }
+        meter.rand_accesses(list.len() as u64);
+        meter.write_bytes(8 * list.len() as u64);
+        meter.seq_bytes(4 * list.len() as u64);
+    }
+
+    /// True if no bit is set (used to validate pool recycling).
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Bitmap–array intersection count (Algorithm 2, `IntersectBMP`): loop over
+/// the sorted array and count hits in the bitmap. `O(|arr|)` probes.
+#[inline]
+pub fn bmp_count<M: Meter>(bitmap: &Bitmap, arr: &[u32], meter: &mut M) -> u32 {
+    crate::debug_check_sorted(arr);
+    let mut c = 0u32;
+    for &w in arr {
+        c += u32::from(bitmap.test(w));
+    }
+    meter.seq_bytes(4 * arr.len() as u64);
+    meter.rand_accesses(arr.len() as u64);
+    meter.scalar_ops(arr.len() as u64);
+    meter.intersection_done();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meter::{CountingMeter, NullMeter};
+    use crate::reference_count;
+
+    #[test]
+    fn set_test_clear_roundtrip() {
+        let mut bm = Bitmap::new(200);
+        assert!(!bm.test(63));
+        bm.set(63);
+        bm.set(64);
+        bm.set(0);
+        bm.set(199);
+        assert!(bm.test(63) && bm.test(64) && bm.test(0) && bm.test(199));
+        assert_eq!(bm.count_ones(), 4);
+        bm.clear(63);
+        assert!(!bm.test(63));
+        assert!(bm.test(64));
+    }
+
+    #[test]
+    fn bytes_matches_paper_formula() {
+        // |V|/8 bytes, rounded up to 8-byte words.
+        let bm = Bitmap::new(1 << 20);
+        assert_eq!(bm.bytes(), (1 << 20) / 8);
+        let bm2 = Bitmap::new(100);
+        assert_eq!(bm2.bytes(), 16);
+    }
+
+    #[test]
+    fn set_list_then_clear_list_is_identity() {
+        let mut m = NullMeter;
+        let mut bm = Bitmap::new(1000);
+        let list = [5u32, 77, 128, 512, 999];
+        bm.set_list(&list, &mut m);
+        assert_eq!(bm.count_ones(), 5);
+        bm.clear_list(&list, &mut m);
+        assert!(bm.is_empty());
+    }
+
+    #[test]
+    fn clear_list_idempotent_unlike_flip() {
+        let mut m = NullMeter;
+        let mut bm = Bitmap::new(100);
+        bm.set_list(&[1, 2, 3], &mut m);
+        bm.clear_list(&[1, 2, 3], &mut m);
+        bm.clear_list(&[1, 2, 3], &mut m); // double clear must not resurrect bits
+        assert!(bm.is_empty());
+    }
+
+    #[test]
+    fn bmp_count_matches_reference() {
+        let mut m = NullMeter;
+        let a: Vec<u32> = (0..150).map(|x| x * 3).collect(); // the indexed set N(u)
+        let b: Vec<u32> = (0..150).map(|x| x * 2).collect(); // the probing set N(v)
+        let mut bm = Bitmap::new(500);
+        bm.set_list(&a, &mut m);
+        assert_eq!(bmp_count(&bm, &b, &mut m), reference_count(&a, &b));
+    }
+
+    #[test]
+    fn bmp_probe_cost_is_linear_in_probe_array() {
+        let mut m0 = NullMeter;
+        let a: Vec<u32> = (0..10_000).collect();
+        let mut bm = Bitmap::new(10_000);
+        bm.set_list(&a, &mut m0);
+        let probe = [1u32, 5_000, 9_999];
+        let mut m = CountingMeter::new();
+        assert_eq!(bmp_count(&bm, &probe, &mut m), 3);
+        assert_eq!(m.counts.rand_accesses, 3);
+        assert_eq!(m.counts.scalar_ops, 3);
+    }
+
+    #[test]
+    fn empty_probe_array() {
+        let mut m = NullMeter;
+        let bm = Bitmap::new(64);
+        assert_eq!(bmp_count(&bm, &[], &mut m), 0);
+    }
+}

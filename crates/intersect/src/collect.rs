@@ -1,0 +1,158 @@
+//! Value-collecting intersection: return the common neighbors themselves,
+//! not just their count.
+//!
+//! The counting kernels are the paper's subject, but downstream analytics
+//! (explaining a recommendation, materializing triangle lists) need the
+//! actual common-neighbor sets for *selected* edges. These helpers share
+//! the hybrid structure of the counting kernels: a merge walk for balanced
+//! pairs, pivot-skip for skewed ones.
+
+use crate::meter::Meter;
+use crate::search::gallop_lower_bound;
+
+/// Collect `a ∩ b` into `out` (cleared first) with a two-pointer merge.
+pub fn merge_collect<M: Meter>(a: &[u32], b: &[u32], out: &mut Vec<u32>, meter: &mut M) {
+    crate::debug_check_sorted(a);
+    crate::debug_check_sorted(b);
+    out.clear();
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut iters = 0u64;
+    while i < a.len() && j < b.len() {
+        iters += 1;
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    meter.scalar_ops(iters);
+    meter.seq_bytes(4 * (i + j) as u64);
+    meter.intersection_done();
+}
+
+/// Collect `a ∩ b` with the pivot-skip strategy (efficient when one side is
+/// much longer).
+pub fn ps_collect<M: Meter>(a: &[u32], b: &[u32], out: &mut Vec<u32>, meter: &mut M) {
+    crate::debug_check_sorted(a);
+    crate::debug_check_sorted(b);
+    out.clear();
+    if a.is_empty() || b.is_empty() {
+        meter.intersection_done();
+        return;
+    }
+    let (mut i, mut j) = (0usize, 0usize);
+    loop {
+        i = gallop_lower_bound(a, i, b[j], meter);
+        if i >= a.len() {
+            break;
+        }
+        j = gallop_lower_bound(b, j, a[i], meter);
+        if j >= b.len() {
+            break;
+        }
+        if a[i] == b[j] {
+            out.push(a[i]);
+            i += 1;
+            j += 1;
+            if i >= a.len() || j >= b.len() {
+                break;
+            }
+        }
+        meter.scalar_ops(1);
+    }
+    meter.intersection_done();
+}
+
+/// Hybrid collection mirroring [`crate::mps_count`]'s selection rule.
+pub fn mps_collect<M: Meter>(
+    a: &[u32],
+    b: &[u32],
+    skew_threshold: u32,
+    out: &mut Vec<u32>,
+    meter: &mut M,
+) {
+    let (s, l) = if a.len() < b.len() {
+        (a.len(), b.len())
+    } else {
+        (b.len(), a.len())
+    };
+    if s > 0 && l > (skew_threshold as usize).saturating_mul(s) {
+        ps_collect(a, b, out, meter);
+    } else {
+        merge_collect(a, b, out, meter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meter::NullMeter;
+    use crate::reference_count;
+
+    fn reference_collect(a: &[u32], b: &[u32]) -> Vec<u32> {
+        a.iter().filter(|x| b.contains(x)).copied().collect()
+    }
+
+    #[test]
+    fn merge_collect_basic() {
+        let mut out = Vec::new();
+        let mut m = NullMeter;
+        merge_collect(&[1, 3, 5, 7], &[3, 4, 5, 8], &mut out, &mut m);
+        assert_eq!(out, vec![3, 5]);
+        merge_collect(&[], &[1], &mut out, &mut m);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn collect_reuses_buffer() {
+        let mut out = vec![99, 98, 97];
+        let mut m = NullMeter;
+        merge_collect(&[1, 2], &[2, 3], &mut out, &mut m);
+        assert_eq!(out, vec![2], "buffer must be cleared first");
+    }
+
+    #[test]
+    fn ps_collect_on_skewed_input() {
+        let big: Vec<u32> = (0..100_000).collect();
+        let small = [9u32, 50_000, 99_999];
+        let mut out = Vec::new();
+        let mut m = NullMeter;
+        ps_collect(&big, &small, &mut out, &mut m);
+        assert_eq!(out, vec![9, 50_000, 99_999]);
+        ps_collect(&small, &big, &mut out, &mut m);
+        assert_eq!(out, vec![9, 50_000, 99_999]);
+    }
+
+    #[test]
+    fn collected_values_match_counts_randomized() {
+        let mut x = 0xabcdef12345u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut out = Vec::new();
+        let mut m = NullMeter;
+        for _ in 0..40 {
+            let mut a: Vec<u32> = (0..(next() % 300)).map(|_| (next() % 800) as u32).collect();
+            let mut b: Vec<u32> = (0..(next() % 60)).map(|_| (next() % 800) as u32).collect();
+            a.sort_unstable();
+            a.dedup();
+            b.sort_unstable();
+            b.dedup();
+            for f in [merge_collect::<NullMeter>, ps_collect::<NullMeter>] {
+                f(&a, &b, &mut out, &mut m);
+                assert_eq!(out, reference_collect(&a, &b));
+                assert_eq!(out.len() as u32, reference_count(&a, &b));
+                assert!(out.windows(2).all(|w| w[0] < w[1]), "output stays sorted");
+            }
+            mps_collect(&a, &b, 50, &mut out, &mut m);
+            assert_eq!(out, reference_collect(&a, &b));
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Work instrumentation for the intersection kernels.
+//!
+//! The simulated processors (`cnc-knl`, `cnc-gpu`) need exact operation and
+//! byte counts to drive their performance models. Rather than maintaining
+//! instrumented copies of every kernel, each kernel is generic over a
+//! [`Meter`]. The [`NullMeter`] implementation has empty inlined methods, so
+//! the un-instrumented specialization is identical to hand-written
+//! un-instrumented code after optimization.
+
+/// Sink for work events emitted by intersection kernels.
+///
+/// Counts are *architecture neutral*: they describe algorithmic work
+/// (comparisons performed, bytes streamed, random lookups issued), and the
+/// machine models assign costs per event.
+pub trait Meter {
+    /// `n` scalar comparisons / branchy loop iterations.
+    fn scalar_ops(&mut self, n: u64);
+    /// `n` SIMD block operations (one per all-pair comparison of one rotation).
+    fn vector_ops(&mut self, n: u64);
+    /// `n` bytes read with a streaming / sequential pattern.
+    fn seq_bytes(&mut self, n: u64);
+    /// `n` random accesses whose working set is the *large* structure
+    /// (the `|V|`-bit bitmap or a binary-search over a long array).
+    fn rand_accesses(&mut self, n: u64);
+    /// `n` random accesses guaranteed to hit a small cache-resident
+    /// structure (the RF small bitmap, galloping within a cache line).
+    fn rand_accesses_small(&mut self, n: u64);
+    /// `n` bytes written (count stores, bitmap construction).
+    fn write_bytes(&mut self, n: u64);
+    /// One neighbor-set intersection completed.
+    fn intersection_done(&mut self);
+}
+
+/// A meter that ignores everything; compiles to no code.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullMeter;
+
+impl Meter for NullMeter {
+    #[inline(always)]
+    fn scalar_ops(&mut self, _n: u64) {}
+    #[inline(always)]
+    fn vector_ops(&mut self, _n: u64) {}
+    #[inline(always)]
+    fn seq_bytes(&mut self, _n: u64) {}
+    #[inline(always)]
+    fn rand_accesses(&mut self, _n: u64) {}
+    #[inline(always)]
+    fn rand_accesses_small(&mut self, _n: u64) {}
+    #[inline(always)]
+    fn write_bytes(&mut self, _n: u64) {}
+    #[inline(always)]
+    fn intersection_done(&mut self) {}
+}
+
+/// Exact tallies of the work a kernel performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkCounts {
+    /// Scalar comparisons / branchy iterations.
+    pub scalar_ops: u64,
+    /// SIMD block operations.
+    pub vector_ops: u64,
+    /// Bytes streamed sequentially.
+    pub seq_bytes: u64,
+    /// Random accesses into large working sets.
+    pub rand_accesses: u64,
+    /// Random accesses into small cache-resident structures.
+    pub rand_accesses_small: u64,
+    /// Bytes written.
+    pub write_bytes: u64,
+    /// Number of completed set intersections.
+    pub intersections: u64,
+}
+
+impl WorkCounts {
+    /// Merge another tally into this one (used when combining per-task meters).
+    pub fn merge(&mut self, other: &WorkCounts) {
+        self.scalar_ops += other.scalar_ops;
+        self.vector_ops += other.vector_ops;
+        self.seq_bytes += other.seq_bytes;
+        self.rand_accesses += other.rand_accesses;
+        self.rand_accesses_small += other.rand_accesses_small;
+        self.write_bytes += other.write_bytes;
+        self.intersections += other.intersections;
+    }
+
+    /// Total dynamic operations (scalar + vector), a rough work measure.
+    pub fn total_ops(&self) -> u64 {
+        self.scalar_ops + self.vector_ops
+    }
+}
+
+/// A meter that records exact [`WorkCounts`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingMeter {
+    /// The tallies recorded so far.
+    pub counts: WorkCounts,
+}
+
+impl CountingMeter {
+    /// A fresh meter with zeroed tallies.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Meter for CountingMeter {
+    #[inline]
+    fn scalar_ops(&mut self, n: u64) {
+        self.counts.scalar_ops += n;
+    }
+    #[inline]
+    fn vector_ops(&mut self, n: u64) {
+        self.counts.vector_ops += n;
+    }
+    #[inline]
+    fn seq_bytes(&mut self, n: u64) {
+        self.counts.seq_bytes += n;
+    }
+    #[inline]
+    fn rand_accesses(&mut self, n: u64) {
+        self.counts.rand_accesses += n;
+    }
+    #[inline]
+    fn rand_accesses_small(&mut self, n: u64) {
+        self.counts.rand_accesses_small += n;
+    }
+    #[inline]
+    fn write_bytes(&mut self, n: u64) {
+        self.counts.write_bytes += n;
+    }
+    #[inline]
+    fn intersection_done(&mut self) {
+        self.counts.intersections += 1;
+    }
+}
+
+impl Meter for &mut CountingMeter {
+    #[inline]
+    fn scalar_ops(&mut self, n: u64) {
+        (**self).scalar_ops(n)
+    }
+    #[inline]
+    fn vector_ops(&mut self, n: u64) {
+        (**self).vector_ops(n)
+    }
+    #[inline]
+    fn seq_bytes(&mut self, n: u64) {
+        (**self).seq_bytes(n)
+    }
+    #[inline]
+    fn rand_accesses(&mut self, n: u64) {
+        (**self).rand_accesses(n)
+    }
+    #[inline]
+    fn rand_accesses_small(&mut self, n: u64) {
+        (**self).rand_accesses_small(n)
+    }
+    #[inline]
+    fn write_bytes(&mut self, n: u64) {
+        (**self).write_bytes(n)
+    }
+    #[inline]
+    fn intersection_done(&mut self) {
+        (**self).intersection_done()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_meter_accumulates() {
+        let mut m = CountingMeter::new();
+        m.scalar_ops(3);
+        m.scalar_ops(4);
+        m.vector_ops(2);
+        m.seq_bytes(16);
+        m.rand_accesses(5);
+        m.rand_accesses_small(6);
+        m.write_bytes(8);
+        m.intersection_done();
+        assert_eq!(
+            m.counts,
+            WorkCounts {
+                scalar_ops: 7,
+                vector_ops: 2,
+                seq_bytes: 16,
+                rand_accesses: 5,
+                rand_accesses_small: 6,
+                write_bytes: 8,
+                intersections: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn merge_combines_fields() {
+        let a = WorkCounts {
+            scalar_ops: 1,
+            vector_ops: 2,
+            seq_bytes: 3,
+            rand_accesses: 4,
+            rand_accesses_small: 5,
+            write_bytes: 6,
+            intersections: 7,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.scalar_ops, 2);
+        assert_eq!(b.intersections, 14);
+        assert_eq!(b.total_ops(), 6);
+    }
+
+    #[test]
+    fn mut_ref_meter_forwards() {
+        let mut m = CountingMeter::new();
+        {
+            let mut r: &mut CountingMeter = &mut m;
+            let r = &mut r;
+            r.scalar_ops(5);
+            r.intersection_done();
+        }
+        assert_eq!(m.counts.scalar_ops, 5);
+        assert_eq!(m.counts.intersections, 1);
+    }
+}

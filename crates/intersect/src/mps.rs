@@ -1,0 +1,148 @@
+//! Hybrid merge / pivot-skip selection (**MPS**, Algorithm 1 top level).
+//!
+//! When the two degrees are similar, PS may advance only one element per
+//! pivot and pays search overhead for nothing, whereas VB advances a whole
+//! block per step. When the degrees are highly skewed, VB degenerates to
+//! `O(d_u + d_v)` while PS skips. MPS chooses per edge using a tunable
+//! degree-ratio threshold `t` (the paper uses the empirical value 50).
+
+use crate::meter::Meter;
+use crate::pivot_skip::ps_count;
+use crate::simd::SimdLevel;
+use crate::vb::vb_count;
+
+/// Configuration of the hybrid MPS kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MpsConfig {
+    /// Degree-skew ratio above which PS is used instead of VB.
+    /// The paper's empirical default is 50 (footnote 1).
+    pub skew_threshold: u32,
+    /// Vector lane configuration for the VB path.
+    pub simd: SimdLevel,
+}
+
+impl Default for MpsConfig {
+    fn default() -> Self {
+        Self {
+            skew_threshold: 50,
+            simd: SimdLevel::detect(),
+        }
+    }
+}
+
+impl MpsConfig {
+    /// Config with a specific SIMD level and the paper-default threshold.
+    pub fn with_simd(simd: SimdLevel) -> Self {
+        Self {
+            skew_threshold: 50,
+            simd,
+        }
+    }
+
+    /// Should this pair take the pivot-skip path?
+    #[inline]
+    pub fn is_skewed(&self, da: usize, db: usize) -> bool {
+        let (s, l) = if da < db { (da, db) } else { (db, da) };
+        // d_l / d_s > t, robust to s == 0 (degenerate empty sets: not skewed,
+        // both paths are trivial).
+        s > 0 && l > (self.skew_threshold as usize).saturating_mul(s)
+    }
+}
+
+/// Count `|a ∩ b|` with the hybrid MPS kernel (Algorithm 1 lines 2–4).
+#[inline]
+pub fn mps_count<M: Meter>(
+    a: &[u32],
+    b: &[u32],
+    skew_threshold: u32,
+    simd: SimdLevel,
+    meter: &mut M,
+) -> u32 {
+    let cfg = MpsConfig {
+        skew_threshold,
+        simd,
+    };
+    mps_count_cfg(a, b, &cfg, meter)
+}
+
+/// [`mps_count`] taking an [`MpsConfig`].
+#[inline]
+pub fn mps_count_cfg<M: Meter>(a: &[u32], b: &[u32], cfg: &MpsConfig, meter: &mut M) -> u32 {
+    if cfg.is_skewed(a.len(), b.len()) {
+        ps_count(a, b, meter)
+    } else {
+        vb_count(a, b, cfg.simd, meter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meter::{CountingMeter, NullMeter};
+    use crate::reference_count;
+
+    #[test]
+    fn skew_predicate() {
+        let cfg = MpsConfig {
+            skew_threshold: 50,
+            simd: SimdLevel::Scalar,
+        };
+        assert!(!cfg.is_skewed(10, 10));
+        assert!(!cfg.is_skewed(10, 500)); // exactly 50x is NOT skewed (strict >)
+        assert!(cfg.is_skewed(10, 501));
+        assert!(cfg.is_skewed(501, 10));
+        assert!(!cfg.is_skewed(0, 1000)); // empty side: trivial either way
+    }
+
+    #[test]
+    fn default_threshold_is_paper_value() {
+        assert_eq!(MpsConfig::default().skew_threshold, 50);
+    }
+
+    #[test]
+    fn hybrid_matches_reference_both_regimes() {
+        // Balanced pair → VB path.
+        let a: Vec<u32> = (0..200).map(|x| x * 2).collect();
+        let b: Vec<u32> = (0..220).map(|x| x * 3).collect();
+        // Skewed pair → PS path.
+        let big: Vec<u32> = (0..50_000).collect();
+        let small = [1u32, 7, 40_000];
+        let mut m = NullMeter;
+        for simd in [SimdLevel::Scalar, SimdLevel::Avx2, SimdLevel::Avx512] {
+            assert_eq!(
+                mps_count(&a, &b, 50, simd, &mut m),
+                reference_count(&a, &b)
+            );
+            assert_eq!(
+                mps_count(&big, &small, 50, simd, &mut m),
+                reference_count(&big, &small)
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_pair_takes_sublinear_path() {
+        let big: Vec<u32> = (0..500_000).collect();
+        let small = [3u32, 250_000, 499_999];
+        let mut m = CountingMeter::new();
+        mps_count(&big, &small, 50, SimdLevel::Avx2, &mut m);
+        assert!(
+            m.counts.total_ops() < 2_000,
+            "skewed pair must gallop, used {}",
+            m.counts.total_ops()
+        );
+    }
+
+    #[test]
+    fn threshold_zero_always_ps_threshold_huge_always_vb() {
+        let a: Vec<u32> = (0..64).collect();
+        let b: Vec<u32> = (0..128).map(|x| x * 2).collect();
+        let mut m = NullMeter;
+        let want = reference_count(&a, &b);
+        assert_eq!(mps_count(&a, &b, 0, SimdLevel::Scalar, &mut m), want);
+        assert_eq!(
+            mps_count(&a, &b, u32::MAX, SimdLevel::Avx2, &mut m),
+            want
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! Bitmap **range filtering** (Section 4.3).
+//!
+//! Matches in real-world neighbor-set intersections are sparse: most probes
+//! of the big `|V|`-bit bitmap miss. RF adds a *small* bitmap in which one
+//! bit summarizes a whole range of the big bitmap (the paper's size ratio is
+//! 4096, chosen so the small bitmap fits in L1 on the CPU/KNL and in shared
+//! memory on the GPU). A probe first peeks at the small bitmap and touches
+//! the big one only when the range is known non-empty, trading a cheap
+//! cache-resident lookup for an expensive memory access.
+
+use crate::bitmap::Bitmap;
+use crate::meter::Meter;
+
+/// The paper's default big-to-small size ratio (bits per small-bitmap bit).
+pub const DEFAULT_RF_RATIO: usize = 4096;
+
+/// A scale-aware RF ratio: the paper picks 4096 so that the small bitmap of
+/// a ~40M-vertex graph fits in L1. At smaller |V| the same ratio collapses
+/// the small bitmap to a handful of bits and the filter stops filtering, so
+/// this helper targets a small bitmap of ~8K bits (1 KiB — L1-resident on
+/// any machine) and clamps to the paper's 4096 at billion-scale.
+///
+/// For the paper's twitter graph (|V| = 41.6M) this returns exactly 4096.
+pub fn scaled_rf_ratio(cardinality: usize) -> usize {
+    const TARGET_SMALL_BITS: usize = 8192;
+    let raw = cardinality.div_ceil(TARGET_SMALL_BITS).max(2);
+    raw.next_power_of_two().clamp(2, DEFAULT_RF_RATIO)
+}
+
+/// A range-filtered bitmap: the big per-vertex bitmap plus the small
+/// summarizing filter.
+#[derive(Debug, Clone)]
+pub struct RfBitmap {
+    big: Bitmap,
+    small: Bitmap,
+    shift: u32,
+}
+
+impl RfBitmap {
+    /// A zeroed RF bitmap for ids `< cardinality` with the paper-default
+    /// ratio of 4096.
+    pub fn new(cardinality: usize) -> Self {
+        Self::with_ratio(cardinality, DEFAULT_RF_RATIO)
+    }
+
+    /// A zeroed RF bitmap with an explicit range size `ratio` (power of two).
+    pub fn with_ratio(cardinality: usize, ratio: usize) -> Self {
+        assert!(ratio.is_power_of_two(), "RF ratio must be a power of two");
+        assert!(ratio >= 2, "RF ratio must be at least 2");
+        let shift = ratio.trailing_zeros();
+        Self {
+            big: Bitmap::new(cardinality),
+            small: Bitmap::new(cardinality.div_ceil(ratio).max(1)),
+            shift,
+        }
+    }
+
+    /// Cardinality of the underlying big bitmap.
+    pub fn cardinality(&self) -> usize {
+        self.big.cardinality()
+    }
+
+    /// The configured range size (big bits per small bit).
+    pub fn ratio(&self) -> usize {
+        1usize << self.shift
+    }
+
+    /// Memory footprint of (big, small) in bytes — Table 3's two columns.
+    pub fn bytes(&self) -> (usize, usize) {
+        (self.big.bytes(), self.small.bytes())
+    }
+
+    /// Set the bits for every id in `list` in both bitmaps.
+    pub fn set_list<M: Meter>(&mut self, list: &[u32], meter: &mut M) {
+        self.big.set_list(list, meter);
+        for &v in list {
+            self.small.set(v >> self.shift);
+        }
+        meter.rand_accesses_small(list.len() as u64);
+        meter.write_bytes(8 * list.len() as u64);
+    }
+
+    /// Clear the bits for every id in `list` in both bitmaps.
+    ///
+    /// Small-bitmap bits are *cleared*, not flipped: several ids of `list`
+    /// may share a small bit, and clearing is idempotent.
+    pub fn clear_list<M: Meter>(&mut self, list: &[u32], meter: &mut M) {
+        self.big.clear_list(list, meter);
+        for &v in list {
+            self.small.clear(v >> self.shift);
+        }
+        meter.rand_accesses_small(list.len() as u64);
+        meter.write_bytes(8 * list.len() as u64);
+    }
+
+    /// Probe for `v`: small bitmap first, big bitmap only on a range hit.
+    #[inline]
+    pub fn test<M: Meter>(&self, v: u32, meter: &mut M) -> bool {
+        meter.rand_accesses_small(1);
+        if !self.small.test(v >> self.shift) {
+            return false;
+        }
+        meter.rand_accesses(1);
+        self.big.test(v)
+    }
+
+    /// True if both bitmaps are all-zero.
+    pub fn is_empty(&self) -> bool {
+        self.big.is_empty() && self.small.is_empty()
+    }
+
+    /// Direct read-only access to the big bitmap (used by tests and the GPU
+    /// simulator's shared-memory variant).
+    pub fn big(&self) -> &Bitmap {
+        &self.big
+    }
+
+    /// Direct read-only access to the small filter bitmap.
+    pub fn small(&self) -> &Bitmap {
+        &self.small
+    }
+}
+
+/// Range-filtered bitmap–array intersection count.
+///
+/// Same contract as [`crate::bmp_count`] but probes through the filter, so
+/// sparse-match workloads touch the big bitmap far less often.
+#[inline]
+pub fn rf_count<M: Meter>(rf: &RfBitmap, arr: &[u32], meter: &mut M) -> u32 {
+    crate::debug_check_sorted(arr);
+    let mut c = 0u32;
+    for &w in arr {
+        c += u32::from(rf.test(w, meter));
+    }
+    meter.seq_bytes(4 * arr.len() as u64);
+    meter.scalar_ops(arr.len() as u64);
+    meter.intersection_done();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meter::{CountingMeter, NullMeter};
+    use crate::reference_count;
+
+    #[test]
+    fn ratio_and_sizes() {
+        let rf = RfBitmap::with_ratio(1 << 22, 4096);
+        assert_eq!(rf.ratio(), 4096);
+        let (big, small) = rf.bytes();
+        assert_eq!(big, (1 << 22) / 8);
+        assert_eq!(small, (1 << 22) / 4096 / 8);
+        // Size ratio between the two bitmaps is exactly the configured ratio.
+        assert_eq!(big / small, 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_ratio_rejected() {
+        let _ = RfBitmap::with_ratio(1000, 100);
+    }
+
+    #[test]
+    fn scaled_ratio_regimes() {
+        // Paper scale: twitter's 41.6M vertices → the paper's ratio.
+        assert_eq!(scaled_rf_ratio(41_652_230), 4096);
+        // Laptop scale: a useful filter remains (small bitmap ~8K bits).
+        assert_eq!(scaled_rf_ratio(40_000), 8);
+        assert_eq!(scaled_rf_ratio(100), 2);
+        // Billion scale clamps at the paper value.
+        assert_eq!(scaled_rf_ratio(2_000_000_000), 4096);
+    }
+
+    #[test]
+    fn probe_agrees_with_plain_bitmap() {
+        let mut m = NullMeter;
+        let ids = [3u32, 4096, 4097, 100_000, 250_001];
+        let mut rf = RfBitmap::with_ratio(300_000, 4096);
+        rf.set_list(&ids, &mut m);
+        for v in [0u32, 3, 4, 4095, 4096, 4097, 99_999, 100_000, 250_001, 299_999] {
+            assert_eq!(rf.test(v, &mut m), ids.contains(&v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn rf_count_matches_reference() {
+        let mut m = NullMeter;
+        let a: Vec<u32> = (0..500).map(|x| x * 977).collect(); // sparse over 500k
+        let b: Vec<u32> = (0..500).map(|x| x * 991).collect();
+        let mut rf = RfBitmap::new(500_000);
+        rf.set_list(&a, &mut m);
+        assert_eq!(rf_count(&rf, &b, &mut m), reference_count(&a, &b));
+    }
+
+    #[test]
+    fn filter_reduces_big_bitmap_accesses_on_sparse_matches() {
+        let mut m0 = NullMeter;
+        // N(u) clustered in one small range; probes scattered everywhere.
+        let a: Vec<u32> = (0..100).collect();
+        let b: Vec<u32> = (0..1000).map(|x| x * 4096).collect();
+        let mut rf = RfBitmap::with_ratio(1 << 22, 4096);
+        rf.set_list(&a, &mut m0);
+        let mut m = CountingMeter::new();
+        rf_count(&rf, &b, &mut m);
+        // Only probes landing in the single non-empty range touch the big
+        // bitmap: that's the probe at id 0 only.
+        assert_eq!(m.counts.rand_accesses, 1);
+        assert_eq!(m.counts.rand_accesses_small, 1000);
+    }
+
+    #[test]
+    fn clear_list_resets_shared_small_bits() {
+        let mut m = NullMeter;
+        let mut rf = RfBitmap::with_ratio(10_000, 64);
+        // 5 and 6 share a small bit (range 64).
+        rf.set_list(&[5, 6], &mut m);
+        rf.clear_list(&[5, 6], &mut m);
+        assert!(rf.is_empty(), "shared small bit must clear idempotently");
+    }
+
+    #[test]
+    fn set_clear_cycles_reusable() {
+        let mut m = NullMeter;
+        let mut rf = RfBitmap::new(50_000);
+        for round in 0..5u32 {
+            let ids: Vec<u32> = (0..64).map(|x| x * 631 + round).collect();
+            rf.set_list(&ids, &mut m);
+            assert_eq!(rf_count(&rf, &ids, &mut m), 64);
+            rf.clear_list(&ids, &mut m);
+            assert!(rf.is_empty());
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Lower-bound search family used by the pivot-skip merge.
+//!
+//! The paper's `LowerBound` (Algorithm 1) is implemented as a staged search:
+//! a short *vectorized linear search* over the next few elements (cheap when
+//! the lower bound is nearby, the common case), then *galloping* with
+//! exponentially growing skips starting at 2⁴ (Baeza-Yates / Demaine et al.),
+//! and finally a branchless *binary search* inside the last gallop window.
+
+use crate::meter::Meter;
+
+/// Number of elements covered by the vectorized linear-search prefix.
+///
+/// Two 8-lane SIMD comparisons (or the scalar equivalent) cover 16 elements —
+/// the same 2⁴ threshold at which the paper starts galloping.
+pub const LINEAR_PREFIX: usize = 16;
+
+/// First galloping skip is `2^GALLOP_FIRST_SHIFT`, matching the paper's 2⁴.
+const GALLOP_FIRST_SHIFT: u32 = 4;
+
+/// Branchless binary lower bound: smallest index `i` with `a[i] >= target`,
+/// or `a.len()` if no such element exists.
+///
+/// Uses the classic half-interval reduction with conditional moves instead of
+/// branches, which avoids mispredictions on random probes.
+#[inline]
+pub fn lower_bound(a: &[u32], target: u32) -> usize {
+    let mut base = 0usize;
+    let mut size = a.len();
+    while size > 1 {
+        let half = size / 2;
+        let mid = base + half;
+        // Safety by construction: mid < base + size <= a.len().
+        if a[mid] < target {
+            base = mid;
+        }
+        size -= half;
+    }
+    // `base` now points at the last candidate; step over it if it is small.
+    base + usize::from(!a.is_empty() && a[base] < target)
+}
+
+/// Linear lower bound over at most `LINEAR_PREFIX` (16) elements starting at
+/// `start`. Returns `Some(index)` if found within the prefix, `None` to tell
+/// the caller to continue with galloping.
+///
+/// On x86-64 with AVX2 the scan is performed with two 8-lane vector
+/// comparisons; elsewhere an unrolled scalar scan is used. Both report one
+/// `vector_op` per 8 elements scanned so the machine models see identical
+/// work regardless of host ISA.
+#[inline]
+pub fn linear_lower_bound<M: Meter>(
+    a: &[u32],
+    start: usize,
+    target: u32,
+    meter: &mut M,
+) -> Option<usize> {
+    let end = a.len().min(start + LINEAR_PREFIX);
+    if start >= end {
+        return if start >= a.len() { Some(a.len()) } else { None };
+    }
+    let window = &a[start..end];
+    meter.vector_ops(window.len().div_ceil(8) as u64);
+    meter.seq_bytes(4 * window.len() as u64);
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::simd::avx2_available() && window.len() == LINEAR_PREFIX {
+            // SAFETY: avx2 presence checked at runtime; window length is 16.
+            let lt = unsafe { crate::simd::count_less_than_16(window, target) };
+            return if lt < LINEAR_PREFIX {
+                Some(start + lt)
+            } else {
+                None
+            };
+        }
+    }
+    match window.iter().position(|&x| x >= target) {
+        Some(p) => Some(start + p),
+        None => {
+            if end == a.len() {
+                Some(a.len())
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Galloping (exponential) lower bound of `target` in `a[start..]`.
+///
+/// Stages: vectorized linear prefix → exponential skips `2^4, 2^5, …` →
+/// binary search in the final window. This is the paper's `LowerBound`
+/// implementation for `IntersectPS` (Section 3.1).
+#[inline]
+pub fn gallop_lower_bound<M: Meter>(a: &[u32], start: usize, target: u32, meter: &mut M) -> usize {
+    crate::debug_check_sorted(a);
+    if start >= a.len() {
+        return a.len();
+    }
+    if let Some(idx) = linear_lower_bound(a, start, target, meter) {
+        return idx;
+    }
+    // The linear prefix (16 = 2^4 elements) was all < target.
+    let mut lo = start + LINEAR_PREFIX; // first unchecked index
+    let mut skip = 1usize << GALLOP_FIRST_SHIFT;
+    let mut steps = 0u64;
+    loop {
+        steps += 1;
+        let probe = lo + skip - 1; // last index of this window
+        if probe >= a.len() {
+            break;
+        }
+        if a[probe] >= target {
+            break;
+        }
+        lo += skip;
+        skip <<= 1;
+    }
+    meter.scalar_ops(steps);
+    meter.rand_accesses(steps);
+    let hi = a.len().min(lo + skip);
+    let window = &a[lo..hi];
+    let w = lower_bound(window, target);
+    let probes = (window.len().max(1)).ilog2() as u64 + 1;
+    meter.scalar_ops(probes);
+    meter.rand_accesses(probes);
+    lo + w
+}
+
+/// Galloping lower bound *without* the vectorized linear-search prefix —
+/// the ablation comparator for the staged search (pure
+/// Baeza-Yates/Demaine-style gallop from the first element).
+#[inline]
+pub fn gallop_lower_bound_no_prefix<M: Meter>(
+    a: &[u32],
+    start: usize,
+    target: u32,
+    meter: &mut M,
+) -> usize {
+    crate::debug_check_sorted(a);
+    if start >= a.len() {
+        return a.len();
+    }
+    let mut lo = start;
+    let mut skip = 1usize;
+    let mut steps = 0u64;
+    loop {
+        steps += 1;
+        let probe = lo + skip - 1;
+        if probe >= a.len() || a[probe] >= target {
+            break;
+        }
+        lo += skip;
+        skip <<= 1;
+    }
+    meter.scalar_ops(steps);
+    meter.rand_accesses(steps);
+    let hi = a.len().min(lo + skip);
+    let window = &a[lo..hi];
+    let w = lower_bound(window, target);
+    let probes = (window.len().max(1)).ilog2() as u64 + 1;
+    meter.scalar_ops(probes);
+    meter.rand_accesses(probes);
+    lo + w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meter::{CountingMeter, NullMeter};
+
+    fn reference_lower_bound(a: &[u32], t: u32) -> usize {
+        a.iter().position(|&x| x >= t).unwrap_or(a.len())
+    }
+
+    #[test]
+    fn lower_bound_matches_reference_exhaustive() {
+        let a: Vec<u32> = (0..64).map(|x| x * 3 + 1).collect();
+        for t in 0..200 {
+            assert_eq!(lower_bound(&a, t), reference_lower_bound(&a, t), "t={t}");
+        }
+    }
+
+    #[test]
+    fn lower_bound_empty_and_singleton() {
+        assert_eq!(lower_bound(&[], 5), 0);
+        assert_eq!(lower_bound(&[3], 2), 0);
+        assert_eq!(lower_bound(&[3], 3), 0);
+        assert_eq!(lower_bound(&[3], 4), 1);
+    }
+
+    #[test]
+    fn linear_prefix_finds_nearby() {
+        let a: Vec<u32> = (0..100).collect();
+        let mut m = NullMeter;
+        assert_eq!(linear_lower_bound(&a, 10, 12, &mut m), Some(12));
+        assert_eq!(linear_lower_bound(&a, 10, 10, &mut m), Some(10));
+        // Beyond the prefix: caller must gallop.
+        assert_eq!(linear_lower_bound(&a, 10, 90, &mut m), None);
+    }
+
+    #[test]
+    fn linear_prefix_end_of_array() {
+        let a: Vec<u32> = (0..10).collect();
+        let mut m = NullMeter;
+        // Window reaches the end of the array and everything is < target:
+        // the answer is definitive (a.len()), not a request to gallop.
+        assert_eq!(linear_lower_bound(&a, 4, 99, &mut m), Some(10));
+        assert_eq!(linear_lower_bound(&a, 10, 5, &mut m), Some(10));
+    }
+
+    #[test]
+    fn gallop_matches_reference_on_grid() {
+        let a: Vec<u32> = (0..500).map(|x| x * 2).collect();
+        let mut m = NullMeter;
+        for start in [0usize, 1, 5, 17, 100, 499, 500] {
+            for t in [0u32, 1, 2, 33, 34, 600, 998, 999, 1000, 2000] {
+                let got = gallop_lower_bound(&a, start, t, &mut m);
+                let want = start + reference_lower_bound(&a[start.min(a.len())..], t);
+                assert_eq!(got, want, "start={start} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn gallop_far_target_uses_few_probes() {
+        // The whole point of galloping: reaching an element 10^5 away takes
+        // O(log) probes, not 10^5 iterations.
+        let a: Vec<u32> = (0..200_000).collect();
+        let mut m = CountingMeter::new();
+        let idx = gallop_lower_bound(&a, 0, 150_000, &mut m);
+        assert_eq!(idx, 150_000);
+        assert!(
+            m.counts.scalar_ops + m.counts.vector_ops < 100,
+            "gallop should be logarithmic, used {} ops",
+            m.counts.total_ops()
+        );
+    }
+
+    #[test]
+    fn gallop_random_against_reference() {
+        let mut x = 88172645463325252u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..50 {
+            let mut a: Vec<u32> = (0..300).map(|_| (next() % 10_000) as u32).collect();
+            a.sort_unstable();
+            a.dedup();
+            let start = (next() as usize) % (a.len() + 1);
+            let t = (next() % 11_000) as u32;
+            let mut m = NullMeter;
+            let got = gallop_lower_bound(&a, start, t, &mut m);
+            let want = start + reference_lower_bound(&a[start..], t);
+            assert_eq!(got, want);
+        }
+    }
+}
+
+#[cfg(test)]
+mod no_prefix_tests {
+    use super::*;
+    use crate::meter::NullMeter;
+
+    #[test]
+    fn no_prefix_matches_reference() {
+        let a: Vec<u32> = (0..300).map(|x| x * 2).collect();
+        let mut m = NullMeter;
+        for start in [0usize, 1, 7, 150, 299, 300] {
+            for t in [0u32, 1, 2, 100, 301, 598, 599, 600, 1000] {
+                let want = start + a[start.min(a.len())..].iter().position(|&x| x >= t).unwrap_or(a.len() - start.min(a.len()));
+                let got = gallop_lower_bound_no_prefix(&a, start, t, &mut m);
+                assert_eq!(got, want, "start={start} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_staged_variant() {
+        let a: Vec<u32> = (0..1000).map(|x| x * 3 + 1).collect();
+        let mut m = NullMeter;
+        for t in (0..3200).step_by(37) {
+            assert_eq!(
+                gallop_lower_bound_no_prefix(&a, 0, t, &mut m),
+                gallop_lower_bound(&a, 0, t, &mut m)
+            );
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Runtime-dispatched SIMD support.
+//!
+//! The paper vectorizes the block-wise merge with AVX2 on the CPU and
+//! AVX-512 on the KNL. `std::simd` is nightly-only, so this crate uses the
+//! stable `core::arch::x86_64` intrinsics behind runtime feature detection,
+//! with portable scalar *lane emulation* as a fallback. The emulated kernels
+//! perform the same block-structured work (and report identical meter
+//! events), which is what the KNL machine model keys on; the real intrinsics
+//! give the wall-clock speedups measured on the host CPU.
+
+/// Vector lane configuration for 32-bit integer kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdLevel {
+    /// No vectorization: scalar merge blocks of 4 (paper's plain `MPS`).
+    Scalar,
+    /// 128-bit vectors, 4 × u32 lanes (SSE-class; always emulatable).
+    Sse4,
+    /// 256-bit vectors, 8 × u32 lanes (the paper's CPU: AVX2).
+    Avx2,
+    /// 512-bit vectors, 16 × u32 lanes (the paper's KNL: AVX-512).
+    Avx512,
+}
+
+impl SimdLevel {
+    /// Number of 32-bit lanes at this level.
+    pub fn lanes(self) -> usize {
+        match self {
+            SimdLevel::Scalar => 1,
+            SimdLevel::Sse4 => 4,
+            SimdLevel::Avx2 => 8,
+            SimdLevel::Avx512 => 16,
+        }
+    }
+
+    /// Best level for which the *host* has real vector instructions.
+    ///
+    /// Emulated execution works at any level on any host; `detect` is about
+    /// wall-clock performance of the real CPU backend.
+    pub fn detect() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx512f") {
+                return SimdLevel::Avx512;
+            }
+            if is_x86_feature_detected!("avx2") {
+                return SimdLevel::Avx2;
+            }
+            if is_x86_feature_detected!("sse4.1") {
+                return SimdLevel::Sse4;
+            }
+        }
+        SimdLevel::Scalar
+    }
+
+    /// Human-readable name matching the paper's labels (`MPS-AVX2`, …).
+    pub fn label(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Sse4 => "sse4",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Avx512 => "avx512",
+        }
+    }
+}
+
+/// Whether real AVX2 intrinsics can be used on this host.
+#[inline]
+pub(crate) fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static CACHED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        *CACHED.get_or_init(|| is_x86_feature_detected!("avx2"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Whether real AVX-512F intrinsics can be used on this host.
+#[inline]
+pub(crate) fn avx512_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static CACHED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        *CACHED.get_or_init(|| is_x86_feature_detected!("avx512f"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    /// Count elements of a 16-element window that are `< target`, assuming
+    /// the window is sorted ascending (so the result is also the lower-bound
+    /// offset).
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available and `window.len() == 16`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn count_less_than_16(window: &[u32], target: u32) -> usize {
+        debug_assert_eq!(window.len(), 16);
+        // SAFETY: caller guarantees 16 readable u32s; loadu has no alignment
+        // requirement.
+        unsafe {
+            let ptr = window.as_ptr();
+            let t = _mm256_set1_epi32(target as i32);
+            let lo = _mm256_loadu_si256(ptr.cast());
+            let hi = _mm256_loadu_si256(ptr.add(8).cast());
+            // Unsigned `x < t` via the signed-compare bias trick: flip the
+            // sign bit of both operands, then signed gt.
+            let bias = _mm256_set1_epi32(i32::MIN);
+            let tb = _mm256_xor_si256(t, bias);
+            let lob = _mm256_xor_si256(lo, bias);
+            let hib = _mm256_xor_si256(hi, bias);
+            let lt_lo = _mm256_cmpgt_epi32(tb, lob);
+            let lt_hi = _mm256_cmpgt_epi32(tb, hib);
+            let m_lo = _mm256_movemask_ps(_mm256_castsi256_ps(lt_lo)) as u32;
+            let m_hi = _mm256_movemask_ps(_mm256_castsi256_ps(lt_hi)) as u32;
+            (m_lo.count_ones() + m_hi.count_ones()) as usize
+        }
+    }
+
+    /// All-pairs equality count of two 8-element blocks using 8 rotations.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available and both slices have length 8.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn block_pairs_eq_8(a: &[u32], b: &[u32]) -> u32 {
+        debug_assert_eq!(a.len(), 8);
+        debug_assert_eq!(b.len(), 8);
+        // SAFETY: 8 readable u32s on both sides.
+        unsafe {
+            let va = _mm256_loadu_si256(a.as_ptr().cast());
+            let mut vb = _mm256_loadu_si256(b.as_ptr().cast());
+            let rot = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+            let mut mask = 0u32;
+            // 8 rotations cover all 64 lane pairs.
+            for _ in 0..8 {
+                let eq = _mm256_cmpeq_epi32(va, vb);
+                mask |= _mm256_movemask_ps(_mm256_castsi256_ps(eq)) as u32;
+                vb = _mm256_permutevar8x32_epi32(vb, rot);
+            }
+            // Each element of `a` matches at most one element of `b`
+            // (strictly sorted inputs), so OR-ing masks then popcount is the
+            // number of matched `a` lanes.
+            mask.count_ones()
+        }
+    }
+
+    /// All-pairs equality count of two 16-element blocks with AVX-512.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX-512F is available and both slices have length 16.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn block_pairs_eq_16(a: &[u32], b: &[u32]) -> u32 {
+        debug_assert_eq!(a.len(), 16);
+        debug_assert_eq!(b.len(), 16);
+        // SAFETY: 16 readable u32s on both sides.
+        unsafe {
+            let va = _mm512_loadu_si512(a.as_ptr().cast());
+            let mut vb = _mm512_loadu_si512(b.as_ptr().cast());
+            let rot = _mm512_setr_epi32(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 0);
+            let mut mask = 0u32;
+            for _ in 0..16 {
+                let eq: u16 = _mm512_cmpeq_epi32_mask(va, vb);
+                mask |= eq as u32;
+                vb = _mm512_permutexvar_epi32(rot, vb);
+            }
+            mask.count_ones()
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) use x86::{block_pairs_eq_16, block_pairs_eq_8, count_less_than_16};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_and_labels() {
+        assert_eq!(SimdLevel::Scalar.lanes(), 1);
+        assert_eq!(SimdLevel::Sse4.lanes(), 4);
+        assert_eq!(SimdLevel::Avx2.lanes(), 8);
+        assert_eq!(SimdLevel::Avx512.lanes(), 16);
+        assert_eq!(SimdLevel::Avx2.label(), "avx2");
+    }
+
+    #[test]
+    fn detect_is_stable() {
+        // Whatever the host supports, repeated calls agree.
+        assert_eq!(SimdLevel::detect(), SimdLevel::detect());
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn count_less_than_matches_scalar() {
+        if !avx2_available() {
+            return;
+        }
+        let w: Vec<u32> = (0..16).map(|x| x * 5 + 2).collect();
+        for t in 0..90 {
+            let want = w.iter().filter(|&&x| x < t).count();
+            // SAFETY: avx2 checked, length is 16.
+            let got = unsafe { count_less_than_16(&w, t) };
+            assert_eq!(got, want, "t={t}");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn count_less_than_handles_high_bit_values() {
+        if !avx2_available() {
+            return;
+        }
+        // Values above i32::MAX exercise the unsigned-compare bias trick.
+        let w: Vec<u32> = (0..16).map(|x| u32::MAX - 160 + x * 10).collect();
+        for t in [0u32, u32::MAX - 155, u32::MAX - 5, u32::MAX] {
+            let want = w.iter().filter(|&&x| x < t).count();
+            let got = unsafe { count_less_than_16(&w, t) };
+            assert_eq!(got, want, "t={t}");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn block_pairs_eq_8_counts_matches() {
+        if !avx2_available() {
+            return;
+        }
+        let a = [1u32, 3, 5, 7, 9, 11, 13, 15];
+        let b = [0u32, 3, 4, 7, 8, 11, 14, 20];
+        // matches: 3, 7, 11
+        let got = unsafe { block_pairs_eq_8(&a, &b) };
+        assert_eq!(got, 3);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn block_pairs_eq_16_counts_matches() {
+        if !avx512_available() {
+            return;
+        }
+        let a: Vec<u32> = (0..16).map(|x| x * 2).collect(); // evens 0..30
+        let b: Vec<u32> = (0..16).map(|x| x * 3).collect(); // multiples of 3
+        let want = a.iter().filter(|x| b.contains(x)).count() as u32;
+        let got = unsafe { block_pairs_eq_16(&a, &b) };
+        assert_eq!(got, want);
+    }
+}

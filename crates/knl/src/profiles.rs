@@ -1,0 +1,144 @@
+//! Exact work profiles of the counting algorithms on a concrete graph.
+
+use cnc_cpu::{seq_bmp, seq_merge_baseline, seq_mps, BmpMode};
+use cnc_graph::CsrGraph;
+use cnc_intersect::{Bitmap, CountingMeter, MpsConfig, RfBitmap, WorkCounts};
+use cnc_machine::WorkProfile;
+
+use crate::runner::ModeledAlgo;
+
+/// The random-access working set of one execution context of `algo` on `g`:
+/// the thread-local bitmap for BMP (replicated per thread), the shared
+/// neighbor array for the merge family.
+pub fn working_set_of(g: &CsrGraph, algo: &ModeledAlgo) -> (f64, bool) {
+    match algo {
+        ModeledAlgo::MergeBaseline | ModeledAlgo::Mps { .. } => {
+            // Binary-search probes during pivot-skip land in the CSR
+            // neighbor array, shared by all threads.
+            (g.dst().len() as f64 * 4.0, false)
+        }
+        ModeledAlgo::Bmp { mode } => {
+            let n = g.num_vertices().max(1);
+            let bytes = match mode {
+                BmpMode::Plain => Bitmap::new(n).bytes(),
+                BmpMode::RangeFiltered { ratio } => {
+                    // Only the *big* bitmap pressures the cache; the small
+                    // filter is L1-resident by construction (its accesses
+                    // are metered separately as `rand_accesses_small`).
+                    RfBitmap::with_ratio(n, *ratio).bytes().0
+                }
+            };
+            (bytes as f64, true)
+        }
+    }
+}
+
+/// Convert kernel work counts plus working-set information into the machine
+/// model's input.
+fn to_profile(counts: &WorkCounts, ws_bytes: f64, replicated: bool) -> WorkProfile {
+    WorkProfile {
+        scalar_ops: counts.scalar_ops as f64,
+        vector_ops: counts.vector_ops as f64,
+        seq_bytes: counts.seq_bytes as f64,
+        rand_accesses: counts.rand_accesses as f64,
+        rand_accesses_small: counts.rand_accesses_small as f64,
+        write_bytes: counts.write_bytes as f64,
+        ws_rand_bytes: ws_bytes,
+        ws_replicated_per_thread: replicated,
+    }
+}
+
+/// Execute `algo` on `g` (sequentially, fully instrumented) and return the
+/// exact counts plus the machine-neutral work profile.
+pub fn profile_of(g: &CsrGraph, algo: &ModeledAlgo) -> (Vec<u32>, WorkProfile) {
+    let mut meter = CountingMeter::new();
+    let counts = match algo {
+        ModeledAlgo::MergeBaseline => seq_merge_baseline(g, &mut meter),
+        ModeledAlgo::Mps { simd, threshold } => {
+            let cfg = MpsConfig {
+                skew_threshold: *threshold,
+                simd: *simd,
+            };
+            seq_mps(g, &cfg, &mut meter)
+        }
+        ModeledAlgo::Bmp { mode } => seq_bmp(g, *mode, &mut meter),
+    };
+    let (ws, repl) = working_set_of(g, algo);
+    (counts, to_profile(&meter.counts, ws, repl))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnc_graph::datasets::{Dataset, Scale};
+    use cnc_graph::generators;
+    use cnc_intersect::SimdLevel;
+
+    #[test]
+    fn profiles_carry_positive_work() {
+        let g = CsrGraph::from_edge_list(&generators::gnm(200, 1000, 1));
+        for algo in [
+            ModeledAlgo::MergeBaseline,
+            ModeledAlgo::mps_avx2(),
+            ModeledAlgo::mps_avx512(),
+            ModeledAlgo::bmp_plain(),
+            ModeledAlgo::bmp_rf(g.num_vertices()),
+        ] {
+            let (counts, p) = profile_of(&g, &algo);
+            assert_eq!(counts.len(), g.num_directed_edges());
+            assert!(p.total_ops() > 0.0, "{algo:?} did no work");
+            assert!(p.seq_bytes > 0.0);
+        }
+    }
+
+    #[test]
+    fn all_profiled_algos_agree_on_counts() {
+        let g = Dataset::TwS.build(Scale::Tiny);
+        let (want, _) = profile_of(&g, &ModeledAlgo::MergeBaseline);
+        for algo in [
+            ModeledAlgo::mps_scalar(),
+            ModeledAlgo::mps_avx512(),
+            ModeledAlgo::bmp_plain(),
+            ModeledAlgo::bmp_rf(g.num_vertices()),
+        ] {
+            let (got, _) = profile_of(&g, &algo);
+            assert_eq!(got, want, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn vectorized_mps_shifts_scalar_work_to_vector() {
+        let g = Dataset::FrS.build(Scale::Tiny);
+        let (_, scalar) = profile_of(&g, &ModeledAlgo::mps_scalar());
+        let (_, vec512) = profile_of(&g, &ModeledAlgo::mps_avx512());
+        assert!(vec512.vector_ops > 0.0);
+        assert!(vec512.scalar_ops < scalar.scalar_ops);
+        assert_eq!(scalar.vector_ops, 0.0);
+    }
+
+    #[test]
+    fn bmp_working_set_is_bitmap_and_replicated() {
+        let g = CsrGraph::from_edge_list(&generators::gnm(640, 2000, 2));
+        let (ws, repl) = working_set_of(&g, &ModeledAlgo::bmp_plain());
+        assert_eq!(ws, 640.0 / 8.0);
+        assert!(repl);
+        let (ws_m, repl_m) = working_set_of(&g, &ModeledAlgo::mps_avx2());
+        assert_eq!(ws_m, g.dst().len() as f64 * 4.0);
+        assert!(!repl_m);
+    }
+
+    #[test]
+    fn mps_on_skewed_graph_does_less_work_than_baseline() {
+        // The DSH effect (Figure 3) at the profile level.
+        let g = Dataset::WiS.build(Scale::Tiny);
+        let (_, base) = profile_of(&g, &ModeledAlgo::MergeBaseline);
+        let (_, mps) = profile_of(
+            &g,
+            &ModeledAlgo::Mps {
+                simd: SimdLevel::Scalar,
+                threshold: 50,
+            },
+        );
+        assert!(mps.total_ops() < base.total_ops());
+    }
+}

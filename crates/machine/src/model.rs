@@ -1,0 +1,246 @@
+//! The roofline + latency timing model.
+
+use crate::profile::WorkProfile;
+use crate::spec::{MachineSpec, MemMode};
+
+/// Breakdown of a modeled elapsed time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelReport {
+    /// Total modeled elapsed seconds.
+    pub seconds: f64,
+    /// Compute (issue-bound) component.
+    pub compute_s: f64,
+    /// Sequential-streaming component.
+    pub seq_s: f64,
+    /// Random-access component (max of latency- and bandwidth-bound).
+    pub rand_s: f64,
+    /// Cache-resident small-structure probes.
+    pub small_s: f64,
+    /// Modeled cache hit ratio for the large random working set.
+    pub cache_hit_ratio: f64,
+    /// Threads used.
+    pub threads: usize,
+    /// Memory mode used.
+    pub mode: MemMode,
+}
+
+/// Effective parallel compute throughput in "thread-equivalents".
+///
+/// Threads up to the core count contribute fully; SMT threads add the
+/// machine's marginal `smt_gain` each.
+fn effective_threads(spec: &MachineSpec, threads: usize) -> f64 {
+    let t = threads.min(spec.max_threads());
+    if t <= spec.cores {
+        t as f64
+    } else {
+        spec.cores as f64 + (t - spec.cores) as f64 * spec.smt_gain
+    }
+}
+
+/// L1 probe cost in cycles (RF small-bitmap lookups and similar).
+const L1_PROBE_CYCLES: f64 = 2.0;
+
+/// Cache line size in bytes for random-traffic bandwidth accounting.
+const LINE_BYTES: f64 = 64.0;
+
+/// Fraction of the latency term that overlaps with compute (OoO cores hide
+/// some of it; in-order KNL hides less — folded into `mlp`).
+const LATENCY_OVERLAP: f64 = 0.3;
+
+/// Model the elapsed time of `profile` on `spec` with `threads` threads and
+/// memory `mode`.
+pub fn estimate(
+    spec: &MachineSpec,
+    profile: &WorkProfile,
+    threads: usize,
+    mode: MemMode,
+) -> ModelReport {
+    let threads = threads.clamp(1, spec.max_threads());
+    let mem = spec.mem(mode);
+    let eff = effective_threads(spec, threads);
+    let hz = spec.ghz * 1e9;
+
+    // --- compute ---
+    let scalar_cycles = profile.scalar_ops / spec.scalar_ipc;
+    let vector_cycles = profile.vector_ops / spec.vector_issue;
+    let small_cycles = profile.rand_accesses_small * L1_PROBE_CYCLES;
+    let compute_s = (scalar_cycles + vector_cycles) / hz / eff;
+    let small_s = small_cycles / hz / eff;
+
+    // --- sequential streaming ---
+    // Only the reuse-discounted fraction of metered bytes hits DRAM.
+    let bw = (threads as f64 * spec.per_thread_bw_gbps).min(mem.bw_gbps) * 1e9;
+    let seq_s =
+        (profile.seq_bytes * spec.seq_reuse_factor + profile.write_bytes) / bw;
+
+    // --- random access ---
+    // Aggregate working set: thread-local structures replicate.
+    let ws = if profile.ws_replicated_per_thread {
+        profile.ws_rand_bytes * threads as f64
+    } else {
+        profile.ws_rand_bytes
+    };
+    let cache_hit_ratio = if ws <= 0.0 {
+        1.0
+    } else {
+        (spec.cache_bytes as f64 / ws).min(1.0)
+    };
+    let lat_eff_ns =
+        cache_hit_ratio * spec.cache_latency_ns + (1.0 - cache_hit_ratio) * mem.latency_ns;
+    // Latency-bound throughput: each thread keeps `mlp` misses in flight.
+    let rand_latency_s =
+        profile.rand_accesses * lat_eff_ns * 1e-9 / (threads as f64 * spec.mlp);
+    // Bandwidth-bound: misses that fetch a new line move LINE_BYTES; probes
+    // clustered in an already-fetched line are discounted.
+    let miss_accesses =
+        profile.rand_accesses * (1.0 - cache_hit_ratio) * spec.rand_line_reuse;
+    let rand_bw_s = miss_accesses * LINE_BYTES / (mem.bw_gbps * 1e9 * spec.rand_bw_frac);
+    let rand_s = rand_latency_s.max(rand_bw_s) * (1.0 - LATENCY_OVERLAP)
+        + rand_latency_s.min(rand_bw_s) * 0.0;
+
+    // Roofline: compute overlaps with streaming; random access (pointer
+    // chasing into the bitmap / binary-search probes) overlaps only
+    // partially and is added.
+    let seconds = compute_s.max(seq_s) + rand_s + small_s;
+
+    ModelReport {
+        seconds,
+        compute_s,
+        seq_s,
+        rand_s,
+        small_s,
+        cache_hit_ratio,
+        threads,
+        mode,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{cpu_server, knl};
+
+    fn simple(scalar: f64, seq: f64, rand: f64, ws: f64, repl: bool) -> WorkProfile {
+        WorkProfile {
+            scalar_ops: scalar,
+            vector_ops: 0.0,
+            seq_bytes: seq,
+            rand_accesses: rand,
+            rand_accesses_small: 0.0,
+            write_bytes: 0.0,
+            ws_rand_bytes: ws,
+            ws_replicated_per_thread: repl,
+        }
+    }
+
+    #[test]
+    fn zero_work_is_zero_time() {
+        let r = estimate(&cpu_server(), &WorkProfile::zero(), 8, MemMode::Ddr);
+        assert_eq!(r.seconds, 0.0);
+    }
+
+    #[test]
+    fn compute_bound_scales_linearly_up_to_cores() {
+        let spec = cpu_server();
+        let p = simple(1e10, 1e6, 0.0, 0.0, false);
+        let t1 = estimate(&spec, &p, 1, MemMode::Ddr).seconds;
+        let t14 = estimate(&spec, &p, 14, MemMode::Ddr).seconds;
+        let s = t1 / t14;
+        assert!((13.0..=14.5).contains(&s), "speedup {s}");
+    }
+
+    #[test]
+    fn smt_gives_diminishing_returns() {
+        let spec = cpu_server();
+        let p = simple(1e10, 1e6, 0.0, 0.0, false);
+        let t28 = estimate(&spec, &p, 28, MemMode::Ddr).seconds;
+        let t56 = estimate(&spec, &p, 56, MemMode::Ddr).seconds;
+        let extra = t28 / t56;
+        assert!(extra > 1.05 && extra < 1.6, "smt extra {extra}");
+    }
+
+    #[test]
+    fn bandwidth_bound_work_saturates() {
+        let spec = cpu_server();
+        let p = simple(1e6, 1e12, 0.0, 0.0, false);
+        let t8 = estimate(&spec, &p, 8, MemMode::Ddr).seconds;
+        let t56 = estimate(&spec, &p, 56, MemMode::Ddr).seconds;
+        // 8 threads already draw 96 GB/s > the 76.8 peak: no further gain.
+        assert!((t8 / t56 - 1.0).abs() < 0.05, "{t8} vs {t56}");
+    }
+
+    #[test]
+    fn cache_resident_random_access_is_cheap() {
+        let spec = cpu_server();
+        let fits = simple(0.0, 0.0, 1e9, 1e6, false); // 1 MB « 35 MB L3
+        let spills = simple(0.0, 0.0, 1e9, 1e9, false); // 1 GB » L3
+        let t_fit = estimate(&spec, &fits, 28, MemMode::Ddr).seconds;
+        let t_spill = estimate(&spec, &spills, 28, MemMode::Ddr).seconds;
+        assert!(t_spill > 3.0 * t_fit, "{t_spill} vs {t_fit}");
+    }
+
+    #[test]
+    fn replication_hurts_at_high_thread_counts() {
+        let spec = knl();
+        // 4 MB bitmap per thread: fine for a few threads, spills at many.
+        let p = simple(0.0, 0.0, 1e9, 4e6, true);
+        let few = estimate(&spec, &p, 4, MemMode::Ddr);
+        let many = estimate(&spec, &p, 256, MemMode::Ddr);
+        assert!(few.cache_hit_ratio > many.cache_hit_ratio);
+    }
+
+    #[test]
+    fn report_components_sum_consistently() {
+        let spec = knl();
+        let p = simple(1e9, 1e9, 1e8, 1e8, false);
+        let r = estimate(&spec, &p, 64, MemMode::McdramFlat);
+        let recomputed = r.compute_s.max(r.seq_s) + r.rand_s + r.small_s;
+        assert!((r.seconds - recomputed).abs() < 1e-12);
+        assert_eq!(r.threads, 64);
+        assert_eq!(r.mode, MemMode::McdramFlat);
+    }
+
+    #[test]
+    fn threads_clamped_to_machine() {
+        let spec = cpu_server();
+        let p = simple(1e9, 0.0, 0.0, 0.0, false);
+        let r = estimate(&spec, &p, 10_000, MemMode::Ddr);
+        assert_eq!(r.threads, 56);
+    }
+}
+
+impl std::fmt::Display for ModelReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.3e}s [compute {:.1e}, stream {:.1e}, random {:.1e} (hit {:.0}%), small {:.1e}] @{}t{}",
+            self.seconds,
+            self.compute_s,
+            self.seq_s,
+            self.rand_s,
+            self.cache_hit_ratio * 100.0,
+            self.small_s,
+            self.threads,
+            self.mode.suffix(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod display_tests {
+    use super::*;
+    use crate::profile::WorkProfile;
+    use crate::spec::{knl, MemMode};
+
+    #[test]
+    fn display_mentions_threads_and_mode() {
+        let p = WorkProfile {
+            scalar_ops: 1e9,
+            ..WorkProfile::zero()
+        };
+        let r = estimate(&knl(), &p, 64, MemMode::McdramFlat);
+        let s = r.to_string();
+        assert!(s.contains("@64t"), "{s}");
+        assert!(s.contains("-Flat"), "{s}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Architecture-neutral work profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// The work a run performed, in machine-neutral units.
+///
+/// Produced from `cnc_intersect::WorkCounts` (the conversion lives in
+/// `cnc-knl`, which depends on both crates) plus knowledge of the algorithm:
+/// what the random-access working set is and whether it is replicated per
+/// thread. All quantities are totals across the whole computation; the model
+/// divides by parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkProfile {
+    /// Branchy scalar operations.
+    pub scalar_ops: f64,
+    /// Vector (SIMD block) operations.
+    pub vector_ops: f64,
+    /// Bytes streamed sequentially.
+    pub seq_bytes: f64,
+    /// Random accesses into the large working set.
+    pub rand_accesses: f64,
+    /// Random accesses guaranteed cache-resident (RF small bitmap).
+    pub rand_accesses_small: f64,
+    /// Bytes written.
+    pub write_bytes: f64,
+    /// Size of one instance of the randomly accessed structure:
+    /// the `|V|`-bit bitmap for BMP, the CSR neighbor array for the
+    /// merge-family's binary searches.
+    pub ws_rand_bytes: f64,
+    /// Whether each thread owns a private instance of that structure
+    /// (BMP's thread-local bitmaps: yes; the shared CSR: no).
+    pub ws_replicated_per_thread: bool,
+}
+
+impl WorkProfile {
+    /// An all-zero profile.
+    pub fn zero() -> Self {
+        Self {
+            scalar_ops: 0.0,
+            vector_ops: 0.0,
+            seq_bytes: 0.0,
+            rand_accesses: 0.0,
+            rand_accesses_small: 0.0,
+            write_bytes: 0.0,
+            ws_rand_bytes: 0.0,
+            ws_replicated_per_thread: false,
+        }
+    }
+
+    /// Total operation count (for sanity checks and tests).
+    pub fn total_ops(&self) -> f64 {
+        self.scalar_ops + self.vector_ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_profile() {
+        let z = WorkProfile::zero();
+        assert_eq!(z.total_ops(), 0.0);
+        assert!(!z.ws_replicated_per_thread);
+    }
+
+    #[test]
+    fn struct_update_syntax_works() {
+        let p = WorkProfile {
+            scalar_ops: 5.0,
+            ..WorkProfile::zero()
+        };
+        assert_eq!(p.total_ops(), 5.0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Machine specifications: the paper's two modeled processors.
+
+use serde::{Deserialize, Serialize};
+
+/// One memory system (a set of channels with a bandwidth, latency, and
+/// optionally a capacity that matters for placement decisions).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemProfile {
+    /// Peak streaming bandwidth in GB/s.
+    pub bw_gbps: f64,
+    /// Random-access (cache-miss) latency in nanoseconds.
+    pub latency_ns: f64,
+    /// Capacity in bytes, if bounded (MCDRAM: 16 GB; DDR: effectively
+    /// unbounded for this workload → `None`).
+    pub capacity_bytes: Option<u64>,
+}
+
+/// Where the graph arrays and bitmaps live on the modeled machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemMode {
+    /// Regular DDR4 (the default on both machines).
+    Ddr,
+    /// KNL flat mode with explicit MCDRAM allocation (`memkind` in the
+    /// paper). Invalid on machines without MCDRAM.
+    McdramFlat,
+    /// KNL cache mode: MCDRAM as a memory-side cache — no code changes, a
+    /// small data-movement overhead.
+    McdramCache,
+}
+
+impl MemMode {
+    /// Paper label ("", "-Flat", "-Cache").
+    pub fn suffix(self) -> &'static str {
+        match self {
+            MemMode::Ddr => "",
+            MemMode::McdramFlat => "-Flat",
+            MemMode::McdramCache => "-Cache",
+        }
+    }
+}
+
+/// An analytically modeled shared-memory processor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Physical cores.
+    pub cores: usize,
+    /// Hardware threads per core (2 on the Xeon, 4 on KNL).
+    pub smt: usize,
+    /// Clock in GHz.
+    pub ghz: f64,
+    /// Scalar (branchy) operations retired per cycle per thread. Deliberately
+    /// below the nominal IPC: the merge loop's data-dependent branches
+    /// mispredict heavily, which is exactly what VB removes.
+    pub scalar_ipc: f64,
+    /// Vector operations issued per cycle per core (the KNL has 2 VPUs).
+    pub vector_issue: f64,
+    /// 32-bit lanes per vector operation.
+    pub vector_lanes: usize,
+    /// Last-level cache in bytes (CPU: 35 MB L3; KNL: 32 MB aggregate L2).
+    pub cache_bytes: u64,
+    /// Last-level cache hit latency in ns.
+    pub cache_latency_ns: f64,
+    /// Outstanding random misses a single thread sustains (MLP).
+    pub mlp: f64,
+    /// Marginal compute throughput of each SMT thread beyond the core count
+    /// (0 = SMT useless, 1 = perfect).
+    pub smt_gain: f64,
+    /// Streaming bandwidth one thread can draw, GB/s.
+    pub per_thread_bw_gbps: f64,
+    /// Fraction of peak bandwidth usable by random (cache-line) traffic.
+    pub rand_bw_frac: f64,
+    /// Fraction of *metered* sequential bytes that actually reach DRAM.
+    /// Metered bytes count every element touch, but the block-wise merge
+    /// re-reads blocks from cache and a hub's neighbor list stays resident
+    /// across its consecutive intersections, so DRAM traffic is a fraction.
+    pub seq_reuse_factor: f64,
+    /// Fraction of random misses that move a *new* cache line (consecutive
+    /// bitmap probes often land in an already-fetched line).
+    pub rand_line_reuse: f64,
+    /// The DDR memory system.
+    pub ddr: MemProfile,
+    /// MCDRAM, if present (KNL only).
+    pub mcdram: Option<MemProfile>,
+    /// Bandwidth multiplier (< 1) when MCDRAM runs in cache mode.
+    pub mcdram_cache_bw_factor: f64,
+    /// Extra latency in ns when MCDRAM runs in cache mode (tag checks and
+    /// line movement).
+    pub mcdram_cache_latency_ns: f64,
+}
+
+impl MachineSpec {
+    /// The memory profile selected by `mode`.
+    ///
+    /// # Panics
+    /// If an MCDRAM mode is requested on a machine without MCDRAM.
+    pub fn mem(&self, mode: MemMode) -> MemProfile {
+        match mode {
+            MemMode::Ddr => self.ddr,
+            MemMode::McdramFlat => self
+                .mcdram
+                .expect("machine has no MCDRAM: flat mode invalid"),
+            MemMode::McdramCache => {
+                let mc = self
+                    .mcdram
+                    .expect("machine has no MCDRAM: cache mode invalid");
+                MemProfile {
+                    bw_gbps: mc.bw_gbps * self.mcdram_cache_bw_factor,
+                    latency_ns: mc.latency_ns + self.mcdram_cache_latency_ns,
+                    capacity_bytes: mc.capacity_bytes,
+                }
+            }
+        }
+    }
+
+    /// Memory modes this machine supports.
+    pub fn modes(&self) -> Vec<MemMode> {
+        if self.mcdram.is_some() {
+            vec![MemMode::Ddr, MemMode::McdramFlat, MemMode::McdramCache]
+        } else {
+            vec![MemMode::Ddr]
+        }
+    }
+
+    /// Maximum hardware threads.
+    pub fn max_threads(&self) -> usize {
+        self.cores * self.smt
+    }
+
+    /// Shrink capacity-like fields by `factor` (see the crate docs' scaling
+    /// rule). Rates are untouched.
+    pub fn scaled(&self, factor: f64) -> MachineSpec {
+        assert!(factor > 0.0);
+        let scale_cap = |c: Option<u64>| c.map(|x| ((x as f64 * factor) as u64).max(1024));
+        let mut s = self.clone();
+        s.name = format!("{} (x{factor:.0e} capacities)", self.name);
+        s.cache_bytes = ((self.cache_bytes as f64 * factor) as u64).max(1024);
+        s.ddr.capacity_bytes = scale_cap(self.ddr.capacity_bytes);
+        if let Some(mc) = &mut s.mcdram {
+            mc.capacity_bytes = scale_cap(self.mcdram.unwrap().capacity_bytes);
+        }
+        s
+    }
+}
+
+/// The paper's CPU server: two 14-core 2.4 GHz Xeon E5-2680 v4 (AVX2,
+/// 35 MB L3, DDR4).
+pub fn cpu_server() -> MachineSpec {
+    MachineSpec {
+        name: "2x Xeon E5-2680 v4 (28C/56T, AVX2)".into(),
+        cores: 28,
+        smt: 2,
+        ghz: 2.4,
+        // Branchy merge on an OoO core: ~3 cycles per element once the
+        // ~50% mispredict rate of data-dependent branches is priced in.
+        scalar_ipc: 0.35,
+        vector_issue: 0.66,
+        vector_lanes: 8,
+        cache_bytes: 35 << 20,
+        cache_latency_ns: 18.0,
+        // Deep OoO window: many bitmap probes in flight per thread.
+        mlp: 16.0,
+        // Paper: 41.1x MPS speedup with 64 threads on 28 cores — HT is
+        // quite effective on this workload.
+        smt_gain: 0.46,
+        per_thread_bw_gbps: 10.0,
+        rand_bw_frac: 0.55,
+        seq_reuse_factor: 0.15,
+        // L2/L3 absorb most probe lines; BMP on this CPU is latency-bound
+        // (Table 4: BMP+P beats MPS+V+P on TW), not traffic-bound.
+        rand_line_reuse: 0.08,
+        ddr: MemProfile {
+            bw_gbps: 76.8,
+            latency_ns: 95.0,
+            capacity_bytes: None, // 512 GB: unbounded for this workload
+        },
+        mcdram: None,
+        mcdram_cache_bw_factor: 1.0,
+        mcdram_cache_latency_ns: 0.0,
+    }
+}
+
+/// The paper's KNL: Xeon Phi 7210, 64 cores × 4 threads at 1.3 GHz,
+/// AVX-512 with 2 VPUs per core, 16 GB MCDRAM (quadrant mode) + 96 GB DDR4.
+pub fn knl() -> MachineSpec {
+    MachineSpec {
+        name: "Xeon Phi 7210 (64C/256T, AVX-512, MCDRAM)".into(),
+        cores: 64,
+        smt: 4,
+        ghz: 1.3,
+        // Silvermont-derived in-order-ish cores: branchy scalar code crawls
+        // (~4 cycles per merge element). Calibrated jointly with
+        // vector_issue against the paper's Table 4: sequential MPS+V is
+        // ~2x slower on the KNL than the CPU, and AVX-512 gains ~2.6x.
+        scalar_ipc: 0.22,
+        vector_issue: 0.7,
+        vector_lanes: 16,
+        cache_bytes: 32 << 20, // 1 MB L2 per 2-core tile, 32 MB aggregate
+        cache_latency_ns: 25.0,
+        mlp: 4.0,
+        // Paper: MPS-Flat reaches 112x over sequential with 256 threads —
+        // each of the 3 extra HW threads per core adds ~25%.
+        smt_gain: 0.25,
+        per_thread_bw_gbps: 6.0,
+        rand_bw_frac: 0.5,
+        seq_reuse_factor: 0.25,
+        rand_line_reuse: 0.5,
+        ddr: MemProfile {
+            bw_gbps: 90.0,
+            latency_ns: 130.0,
+            capacity_bytes: None, // 96 GB
+        },
+        mcdram: Some(MemProfile {
+            bw_gbps: 420.0,
+            latency_ns: 150.0, // MCDRAM trades latency for bandwidth
+            capacity_bytes: Some(16 << 30),
+        }),
+        mcdram_cache_bw_factor: 0.85,
+        mcdram_cache_latency_ns: 15.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        let c = cpu_server();
+        assert_eq!(c.max_threads(), 56);
+        assert_eq!(c.modes(), vec![MemMode::Ddr]);
+        let k = knl();
+        assert_eq!(k.max_threads(), 256);
+        assert_eq!(k.modes().len(), 3);
+        assert_eq!(k.vector_lanes, 16);
+    }
+
+    #[test]
+    fn mem_mode_selection() {
+        let k = knl();
+        let flat = k.mem(MemMode::McdramFlat);
+        let cache = k.mem(MemMode::McdramCache);
+        let ddr = k.mem(MemMode::Ddr);
+        assert!(flat.bw_gbps > ddr.bw_gbps);
+        assert!(cache.bw_gbps < flat.bw_gbps);
+        assert!(cache.latency_ns > flat.latency_ns);
+    }
+
+    #[test]
+    #[should_panic(expected = "no MCDRAM")]
+    fn flat_mode_on_cpu_panics() {
+        let _ = cpu_server().mem(MemMode::McdramFlat);
+    }
+
+    #[test]
+    fn mode_suffixes() {
+        assert_eq!(MemMode::Ddr.suffix(), "");
+        assert_eq!(MemMode::McdramFlat.suffix(), "-Flat");
+    }
+
+    #[test]
+    fn scaled_clamps_to_minimum() {
+        let s = cpu_server().scaled(1e-12);
+        assert!(s.cache_bytes >= 1024);
+    }
+}

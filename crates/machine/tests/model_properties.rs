@@ -1,0 +1,106 @@
+//! Property tests of the timing model: sanity laws any cost model must obey.
+
+use cnc_machine::{cpu_server, estimate, knl, MemMode, WorkProfile};
+use proptest::prelude::*;
+
+fn profile_strategy() -> impl Strategy<Value = WorkProfile> {
+    (
+        0.0f64..1e10,
+        0.0f64..1e10,
+        0.0f64..1e11,
+        0.0f64..1e9,
+        0.0f64..1e9,
+        0.0f64..1e9,
+        1.0f64..1e9,
+        any::<bool>(),
+    )
+        .prop_map(
+            |(scalar, vector, seq, rand, small, writes, ws, repl)| WorkProfile {
+                scalar_ops: scalar,
+                vector_ops: vector,
+                seq_bytes: seq,
+                rand_accesses: rand,
+                rand_accesses_small: small,
+                write_bytes: writes,
+                ws_rand_bytes: ws,
+                ws_replicated_per_thread: repl,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn time_is_nonnegative_and_finite(p in profile_strategy(), threads in 1usize..512) {
+        for spec in [cpu_server(), knl()] {
+            for mode in spec.modes() {
+                let r = estimate(&spec, &p, threads, mode);
+                prop_assert!(r.seconds.is_finite());
+                prop_assert!(r.seconds >= 0.0);
+                prop_assert!((0.0..=1.0).contains(&r.cache_hit_ratio));
+            }
+        }
+    }
+
+    #[test]
+    fn more_work_never_faster(p in profile_strategy(), threads in 1usize..256) {
+        let spec = knl();
+        let double = WorkProfile {
+            scalar_ops: p.scalar_ops * 2.0,
+            vector_ops: p.vector_ops * 2.0,
+            seq_bytes: p.seq_bytes * 2.0,
+            rand_accesses: p.rand_accesses * 2.0,
+            rand_accesses_small: p.rand_accesses_small * 2.0,
+            write_bytes: p.write_bytes * 2.0,
+            ..p
+        };
+        let t1 = estimate(&spec, &p, threads, MemMode::Ddr).seconds;
+        let t2 = estimate(&spec, &double, threads, MemMode::Ddr).seconds;
+        prop_assert!(t2 >= t1 * (1.0 - 1e-12), "{t1} vs {t2}");
+    }
+
+    #[test]
+    fn shared_working_set_scaling_is_monotone(p in profile_strategy(), t1 in 1usize..256, t2 in 1usize..256) {
+        // With a SHARED working set (no per-thread replication), more
+        // threads never hurt in this model.
+        prop_assume!(t1 <= t2);
+        let spec = knl();
+        let shared = WorkProfile { ws_replicated_per_thread: false, ..p };
+        let a = estimate(&spec, &shared, t1, MemMode::Ddr).seconds;
+        let b = estimate(&spec, &shared, t2, MemMode::Ddr).seconds;
+        prop_assert!(b <= a * (1.0 + 1e-9), "threads {t1}→{t2}: {a} → {b}");
+    }
+
+    #[test]
+    fn mcdram_flat_never_slower_for_shared_sets(p in profile_strategy(), threads in 1usize..256) {
+        // MCDRAM has more bandwidth but higher latency; for purely
+        // streaming work it must not lose.
+        let spec = knl();
+        let streaming = WorkProfile {
+            rand_accesses: 0.0,
+            ..p
+        };
+        let ddr = estimate(&spec, &streaming, threads, MemMode::Ddr).seconds;
+        let flat = estimate(&spec, &streaming, threads, MemMode::McdramFlat).seconds;
+        prop_assert!(flat <= ddr * (1.0 + 1e-9), "{ddr} vs {flat}");
+    }
+
+    #[test]
+    fn bigger_cache_never_slower(p in profile_strategy(), threads in 1usize..128) {
+        let small_cache = knl().scaled(1e-4);
+        let mut big_cache = small_cache.clone();
+        big_cache.cache_bytes *= 1024;
+        let a = estimate(&small_cache, &p, threads, MemMode::Ddr).seconds;
+        let b = estimate(&big_cache, &p, threads, MemMode::Ddr).seconds;
+        prop_assert!(b <= a * (1.0 + 1e-9), "{a} vs {b}");
+    }
+
+    #[test]
+    fn report_total_is_sum_of_parts(p in profile_strategy(), threads in 1usize..256) {
+        let spec = cpu_server();
+        let r = estimate(&spec, &p, threads, MemMode::Ddr);
+        let recomputed = r.compute_s.max(r.seq_s) + r.rand_s + r.small_s;
+        prop_assert!((r.seconds - recomputed).abs() <= 1e-12 * r.seconds.max(1.0));
+    }
+}

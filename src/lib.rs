@@ -1,0 +1,15 @@
+//! Umbrella crate re-exporting the aecnc workspace: see `cnc_core`.
+//!
+//! This crate exists so the repository-level `examples/` and `tests/`
+//! directories have a package to attach to; the public API lives in
+//! [`cnc_core`] and the substrate crates.
+
+#![warn(missing_docs)]
+
+pub use cnc_core as core;
+pub use cnc_cpu as cpu;
+pub use cnc_gpu as gpu;
+pub use cnc_graph as graph;
+pub use cnc_intersect as intersect;
+pub use cnc_knl as knl;
+pub use cnc_machine as machine;

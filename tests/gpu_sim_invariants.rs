@@ -1,0 +1,110 @@
+//! Integration tests of the GPU simulator's cross-cutting invariants.
+
+use cnc_core::reference_counts;
+use cnc_gpu::{GpuAlgo, GpuRunConfig, GpuRunner, LaunchConfig};
+use cnc_graph::datasets::{Dataset, Scale};
+use cnc_graph::reorder;
+
+#[test]
+fn results_invariant_to_pass_count() {
+    let g = Dataset::LjS.build(Scale::Tiny);
+    let gpu = GpuRunner::titan_xp_for(Dataset::LjS.capacity_scale(&g));
+    let want = reference_counts(&g);
+    for passes in [1usize, 2, 3, 5, 9] {
+        for algo in [GpuAlgo::Mps, GpuAlgo::Bmp { rf: true }] {
+            let run = gpu.run(
+                &g,
+                algo,
+                &GpuRunConfig {
+                    passes: Some(passes),
+                    ..GpuRunConfig::default()
+                },
+            );
+            assert_eq!(run.counts, want, "passes={passes} algo={}", algo.label());
+        }
+    }
+}
+
+#[test]
+fn results_invariant_to_block_size() {
+    let g = Dataset::FrS.build(Scale::Tiny);
+    let gpu = GpuRunner::titan_xp_for(Dataset::FrS.capacity_scale(&g));
+    let want = reference_counts(&g);
+    for wpb in [1usize, 2, 4, 8, 16, 32] {
+        let run = gpu.run(
+            &g,
+            GpuAlgo::Bmp { rf: false },
+            &GpuRunConfig {
+                launch: LaunchConfig {
+                    warps_per_block: wpb,
+                    skew_threshold: 50,
+                },
+                ..GpuRunConfig::default()
+            },
+        );
+        assert_eq!(run.counts, want, "warps_per_block={wpb}");
+    }
+}
+
+#[test]
+fn results_invariant_to_skew_threshold() {
+    // Moving edges between MKernel and PSKernel must never change counts.
+    let g = Dataset::TwS.build(Scale::Tiny);
+    let gpu = GpuRunner::titan_xp_for(Dataset::TwS.capacity_scale(&g));
+    let want = reference_counts(&g);
+    for t in [0u32, 1, 10, 50, 1000, u32::MAX] {
+        let run = gpu.run(
+            &g,
+            GpuAlgo::Mps,
+            &GpuRunConfig {
+                launch: LaunchConfig {
+                    warps_per_block: 4,
+                    skew_threshold: t,
+                },
+                ..GpuRunConfig::default()
+            },
+        );
+        assert_eq!(run.counts, want, "threshold={t}");
+    }
+}
+
+#[test]
+fn coprocessing_is_a_pure_optimization() {
+    let g = reorder::degree_descending(&Dataset::WiS.build(Scale::Tiny)).graph;
+    let gpu = GpuRunner::titan_xp_for(Dataset::WiS.capacity_scale(&g));
+    for algo in [GpuAlgo::Mps, GpuAlgo::Bmp { rf: true }] {
+        let with = gpu.run(&g, algo, &GpuRunConfig::default());
+        let without = gpu.run(
+            &g,
+            algo,
+            &GpuRunConfig {
+                coprocess: false,
+                ..GpuRunConfig::default()
+            },
+        );
+        assert_eq!(with.counts, without.counts, "{}", algo.label());
+        assert!(
+            with.report.postprocess_visible_s <= without.report.postprocess_visible_s,
+            "{}: CP must not increase visible post-processing",
+            algo.label()
+        );
+    }
+}
+
+#[test]
+fn fault_accounting_is_monotone_in_memory_pressure() {
+    // Shrinking the device never reduces faults.
+    let g = Dataset::FrS.build(Scale::Tiny);
+    let base = Dataset::FrS.capacity_scale(&g);
+    let mut last_faults = 0u64;
+    for shrink in [4.0, 1.0, 0.25] {
+        let gpu = GpuRunner::titan_xp_for(base * shrink);
+        let run = gpu.run(&g, GpuAlgo::Mps, &GpuRunConfig::default());
+        assert!(
+            run.report.faults >= last_faults,
+            "shrink={shrink}: faults {} < previous {last_faults}",
+            run.report.faults
+        );
+        last_faults = run.report.faults;
+    }
+}
