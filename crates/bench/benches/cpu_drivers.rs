@@ -31,9 +31,7 @@ fn bench_drivers(c: &mut Criterion) {
         group.bench_function("par_mps", |b| {
             b.iter(|| par_mps(&g, &MpsConfig::default(), &par))
         });
-        group.bench_function("par_bmp", |b| {
-            b.iter(|| par_bmp(&g, BmpMode::Plain, &par))
-        });
+        group.bench_function("par_bmp", |b| b.iter(|| par_bmp(&g, BmpMode::Plain, &par)));
         group.bench_function("par_bmp_rf", |b| {
             b.iter(|| par_bmp(&g, BmpMode::rf_scaled(g.num_vertices()), &par))
         });
@@ -46,7 +44,12 @@ fn bench_simd_levels(c: &mut Criterion) {
     let g = Dataset::FrS.build(Scale::Tiny);
     let mut group = c.benchmark_group("mps_simd_levels_fr");
     group.sample_size(20);
-    for level in [SimdLevel::Scalar, SimdLevel::Sse4, SimdLevel::Avx2, SimdLevel::Avx512] {
+    for level in [
+        SimdLevel::Scalar,
+        SimdLevel::Sse4,
+        SimdLevel::Avx2,
+        SimdLevel::Avx512,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(level.label()),
             &level,

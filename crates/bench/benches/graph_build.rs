@@ -56,7 +56,9 @@ fn bench_io(c: &mut Criterion) {
             out
         })
     });
-    group.bench_function("read_csr", |b| b.iter(|| io::read_csr(buf.as_slice()).unwrap()));
+    group.bench_function("read_csr", |b| {
+        b.iter(|| io::read_csr(buf.as_slice()).unwrap())
+    });
     group.finish();
 }
 

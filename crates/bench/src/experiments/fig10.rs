@@ -2,9 +2,9 @@
 //! processors across the five datasets: the paper's headline comparison.
 
 use cnc_gpu::{GpuAlgo, GpuRunConfig, GpuRunner};
+use cnc_graph::datasets::Dataset;
 use cnc_knl::ModeledProcessor;
 use cnc_machine::MemMode;
-use cnc_graph::datasets::Dataset;
 
 use crate::output::{fmt_secs, ExpOutput};
 use crate::profiles::ProfileSet;

@@ -26,8 +26,16 @@ pub fn run(ctx: &Ctx) -> ExpOutput {
     for d in TECHNIQUE_DATASETS {
         let ps = ctx.profiles(d);
         let rows = [
-            ("CPU", ModeledProcessor::cpu_for(ps.capacity_scale), &ps.mps_avx2),
-            ("KNL", ModeledProcessor::knl_for(ps.capacity_scale), &ps.mps_avx512),
+            (
+                "CPU",
+                ModeledProcessor::cpu_for(ps.capacity_scale),
+                &ps.mps_avx2,
+            ),
+            (
+                "KNL",
+                ModeledProcessor::knl_for(ps.capacity_scale),
+                &ps.mps_avx512,
+            ),
         ];
         for (label, proc_, vec_profile) in rows {
             let t_mps = proc_.time_profile(&ps.mps_scalar, 1, MemMode::Ddr).seconds;

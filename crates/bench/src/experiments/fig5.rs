@@ -94,6 +94,9 @@ mod tests {
         // KNL BMP flattens or regresses past 64 threads.
         let b64 = speedup(&t, "tw-s", "KNL", "BMP", 64);
         let b256 = speedup(&t, "tw-s", "KNL", "BMP", 256);
-        assert!(b256 < b64 * 1.4, "KNL-BMP should not keep scaling: {b64} → {b256}");
+        assert!(
+            b256 < b64 * 1.4,
+            "KNL-BMP should not keep scaling: {b64} → {b256}"
+        );
     }
 }

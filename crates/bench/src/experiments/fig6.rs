@@ -39,9 +39,13 @@ pub fn run(ctx: &Ctx) -> ExpOutput {
             ),
         ];
         for (label, proc_, mps_profile, threads) in rows {
-            let t_mps = proc_.time_profile(mps_profile, threads, MemMode::Ddr).seconds;
+            let t_mps = proc_
+                .time_profile(mps_profile, threads, MemMode::Ddr)
+                .seconds;
             let t_bmp = proc_.time_profile(&ps.bmp, threads, MemMode::Ddr).seconds;
-            let t_rf = proc_.time_profile(&ps.bmp_rf, threads, MemMode::Ddr).seconds;
+            let t_rf = proc_
+                .time_profile(&ps.bmp_rf, threads, MemMode::Ddr)
+                .seconds;
             t.row(vec![
                 ps.dataset.name().into(),
                 label.into(),

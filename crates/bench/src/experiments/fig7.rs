@@ -13,24 +13,20 @@ pub fn run(ctx: &Ctx) -> ExpOutput {
     let mut t = ExpOutput::new(
         "fig7",
         "MCDRAM utilization on the KNL (modeled)",
-        &[
-            "dataset",
-            "algorithm",
-            "DDR",
-            "Flat",
-            "Cache",
-            "Flat gain",
-        ],
+        &["dataset", "algorithm", "DDR", "Flat", "Cache", "Flat gain"],
     );
     for d in TECHNIQUE_DATASETS {
         let ps = ctx.profiles(d);
         let knl = ModeledProcessor::knl_for(ps.capacity_scale);
         // Each algorithm at its operating point: MPS 256 threads, BMP 64.
-        for (algo, profile, threads) in
-            [("MPS-V+P", &ps.mps_avx512, 256usize), ("BMP+P+RF", &ps.bmp_rf, 64)]
-        {
+        for (algo, profile, threads) in [
+            ("MPS-V+P", &ps.mps_avx512, 256usize),
+            ("BMP+P+RF", &ps.bmp_rf, 64),
+        ] {
             let ddr = knl.time_profile(profile, threads, MemMode::Ddr).seconds;
-            let flat = knl.time_profile(profile, threads, MemMode::McdramFlat).seconds;
+            let flat = knl
+                .time_profile(profile, threads, MemMode::McdramFlat)
+                .seconds;
             let cache = knl
                 .time_profile(profile, threads, MemMode::McdramCache)
                 .seconds;

@@ -33,7 +33,11 @@ pub fn run(ctx: &Ctx) -> ExpOutput {
             (GpuAlgo::Bmp { rf: false }, "BMP", &ps.reordered),
         ] {
             // Discover the estimate from a default run.
-            let est = gpu.run(graph, algo, &GpuRunConfig::default()).report.plan.passes;
+            let est = gpu
+                .run(graph, algo, &GpuRunConfig::default())
+                .report
+                .plan
+                .passes;
             for passes in PASS_POINTS {
                 let run = gpu.run(
                     graph,
@@ -47,7 +51,11 @@ pub fn run(ctx: &Ctx) -> ExpOutput {
                     ps.dataset.name().into(),
                     label.into(),
                     passes.to_string(),
-                    if passes == est { "<=est".into() } else { String::new() },
+                    if passes == est {
+                        "<=est".into()
+                    } else {
+                        String::new()
+                    },
                     fmt_secs(run.report.kernel.seconds),
                     run.report.faults.to_string(),
                 ]);

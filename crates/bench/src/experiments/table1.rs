@@ -14,7 +14,13 @@ pub fn run(ctx: &Ctx) -> ExpOutput {
         "table1",
         "Graph statistics (scaled analogues vs paper originals)",
         &[
-            "dataset", "|V|", "|E| (und.)", "avg d", "max d", "paper |V|", "paper |E|",
+            "dataset",
+            "|V|",
+            "|E| (und.)",
+            "avg d",
+            "max d",
+            "paper |V|",
+            "paper |E|",
         ],
     );
     for d in Dataset::ALL {
@@ -31,7 +37,9 @@ pub fn run(ctx: &Ctx) -> ExpOutput {
         ]);
     }
     t.note("avg d counts directed edge slots per vertex, matching the paper's d̄ column");
-    t.note("analogues are seeded generators tuned to the paper's degree-shape regimes; see DESIGN.md");
+    t.note(
+        "analogues are seeded generators tuned to the paper's degree-shape regimes; see DESIGN.md",
+    );
     t
 }
 

@@ -43,14 +43,20 @@ pub fn column(ps: &ProfileSet, processor: &'static str) -> Column {
         ("T_M", Some(tp(&ps.m, 1, MemMode::Ddr))),
         ("T_MPS", Some(tp(&ps.mps_scalar, 1, MemMode::Ddr))),
         ("T_MPS+V", Some(tp(vec_profile, 1, MemMode::Ddr))),
-        ("T_MPS+V+P", Some(tp(vec_profile, full_threads, MemMode::Ddr))),
+        (
+            "T_MPS+V+P",
+            Some(tp(vec_profile, full_threads, MemMode::Ddr)),
+        ),
         (
             "T_MPS+V+P+HBW",
             has_hbw.then(|| tp(vec_profile, full_threads, MemMode::McdramFlat)),
         ),
         ("T_BMP", Some(tp(&ps.bmp, 1, MemMode::Ddr))),
         ("T_BMP+P", Some(tp(&ps.bmp, bmp_threads, MemMode::Ddr))),
-        ("T_BMP+P+RF", Some(tp(&ps.bmp_rf, bmp_threads, MemMode::Ddr))),
+        (
+            "T_BMP+P+RF",
+            Some(tp(&ps.bmp_rf, bmp_threads, MemMode::Ddr)),
+        ),
         (
             "T_BMP+P+RF+HBW",
             has_hbw.then(|| tp(&ps.bmp_rf, bmp_threads, MemMode::McdramFlat)),

@@ -34,8 +34,7 @@ pub fn run(ctx: &Ctx) -> ExpOutput {
             fmt_secs(without.report.postprocess_visible_s),
             fmt_secs(with.report.postprocess_visible_s),
             fmt_x(
-                without.report.postprocess_visible_s
-                    / with.report.postprocess_visible_s.max(1e-12),
+                without.report.postprocess_visible_s / with.report.postprocess_visible_s.max(1e-12),
             ),
         ]);
     }

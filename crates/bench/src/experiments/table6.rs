@@ -71,7 +71,10 @@ mod tests {
         // fewer than MPS (the bitmap pool only shrinks the budget).
         assert!(passes("fr-s", "BMP") >= passes("fr-s", "MPS"));
         assert!(passes("fr-s", "BMP") >= passes("tw-s", "BMP"));
-        assert!(passes("fr-s", "BMP") >= 2, "FR must not fit in one BMP pass");
+        assert!(
+            passes("fr-s", "BMP") >= 2,
+            "FR must not fit in one BMP pass"
+        );
         assert!(passes("tw-s", "MPS") <= 2);
     }
 }

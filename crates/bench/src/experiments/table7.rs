@@ -12,7 +12,13 @@ pub fn run(ctx: &Ctx) -> ExpOutput {
     let mut t = ExpOutput::new(
         "table7",
         "GPU bitmap range filtering (modeled)",
-        &["dataset", "BMP", "BMP-RF", "RF speedup", "global probes saved"],
+        &[
+            "dataset",
+            "BMP",
+            "BMP-RF",
+            "RF speedup",
+            "global probes saved",
+        ],
     );
     for d in TECHNIQUE_DATASETS {
         let ps = ctx.profiles(d);

@@ -196,14 +196,22 @@ impl<'a> CncView<'a> {
     /// The `k` strongest edges in the whole graph by a similarity function
     /// (each undirected edge reported once, as `(u, v, score)` with
     /// `u < v`).
-    pub fn top_k_edges_by(&self, k: usize, score: impl Fn(&Self, usize) -> f64) -> Vec<(u32, u32, f64)> {
+    pub fn top_k_edges_by(
+        &self,
+        k: usize,
+        score: impl Fn(&Self, usize) -> f64,
+    ) -> Vec<(u32, u32, f64)> {
         let mut scored: Vec<(u32, u32, f64)> = Vec::new();
         for (eid, u, v) in self.graph.iter_edges() {
             if u < v {
                 scored.push((u, v, score(self, eid)));
             }
         }
-        scored.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(a.0.cmp(&b.0).then(a.1.cmp(&b.1))));
+        scored.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2)
+                .unwrap()
+                .then(a.0.cmp(&b.0).then(a.1.cmp(&b.1)))
+        });
         scored.truncate(k);
         scored
     }
@@ -237,12 +245,7 @@ mod tests {
 
     #[test]
     fn similarity_metrics_on_triangle_with_tail() {
-        let g = CsrGraph::from_edge_list(&EdgeList::from_pairs([
-            (0, 1),
-            (0, 2),
-            (1, 2),
-            (2, 3),
-        ]));
+        let g = CsrGraph::from_edge_list(&EdgeList::from_pairs([(0, 1), (0, 2), (1, 2), (2, 3)]));
         let c = reference_counts(&g);
         let v = CncView::new(&g, &c);
         let e01 = g.edge_offset(0, 1).unwrap();
@@ -332,12 +335,7 @@ mod tests {
     fn local_coefficient_on_triangle_with_tail() {
         // Vertex 2 has neighbors {0, 1, 3}; only (0,1) of its three
         // neighbor pairs is connected → coefficient 1/3.
-        let g = CsrGraph::from_edge_list(&EdgeList::from_pairs([
-            (0, 1),
-            (0, 2),
-            (1, 2),
-            (2, 3),
-        ]));
+        let g = CsrGraph::from_edge_list(&EdgeList::from_pairs([(0, 1), (0, 2), (1, 2), (2, 3)]));
         let c = reference_counts(&g);
         let v = CncView::new(&g, &c);
         assert!((v.local_clustering_coefficient(2) - 1.0 / 3.0).abs() < 1e-12);
@@ -347,12 +345,7 @@ mod tests {
     fn link_prediction_indices() {
         // Triangle 0-1-2 plus tail 2-3: edge (0,1) has exactly one common
         // neighbor, vertex 2 with degree 3.
-        let g = CsrGraph::from_edge_list(&EdgeList::from_pairs([
-            (0, 1),
-            (0, 2),
-            (1, 2),
-            (2, 3),
-        ]));
+        let g = CsrGraph::from_edge_list(&EdgeList::from_pairs([(0, 1), (0, 2), (1, 2), (2, 3)]));
         let c = reference_counts(&g);
         let v = CncView::new(&g, &c);
         let aa = v.adamic_adar(0, 1).unwrap();

@@ -129,8 +129,7 @@ fn run() -> Result<(), String> {
                 if path.ends_with(".bin") {
                     // Binary counts aligned to the CSR's directed edge
                     // slots (load with cnc_graph::io::read_counts).
-                    cnc_graph::io::write_counts(&result.counts, f)
-                        .map_err(|e| e.to_string())?;
+                    cnc_graph::io::write_counts(&result.counts, f).map_err(|e| e.to_string())?;
                 } else {
                     let mut w = BufWriter::new(f);
                     for (eid, u, v) in g.iter_edges() {

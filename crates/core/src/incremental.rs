@@ -147,10 +147,7 @@ impl IncrementalCnc {
 
     /// Snapshot to a static CSR plus counts aligned to its edge offsets.
     pub fn snapshot(&self) -> (CsrGraph, Vec<u32>) {
-        let g = CsrGraph::from_undirected_pairs(
-            self.adj.len(),
-            self.counts.keys().copied(),
-        );
+        let g = CsrGraph::from_undirected_pairs(self.adj.len(), self.counts.keys().copied());
         let counts = g
             .iter_edges()
             .map(|(_, u, v)| self.counts[&canonical(u, v)])
@@ -234,11 +231,7 @@ mod tests {
         let g = CsrGraph::from_edge_list(&generators::clique_chain(3, 5));
         let counts = reference_counts(&g);
         let mut inc = IncrementalCnc::from_graph(&g, &counts);
-        assert_eq!(
-            inc.triangle_count(),
-            3 * 10,
-            "three K5s worth of triangles"
-        );
+        assert_eq!(inc.triangle_count(), 3 * 10, "three K5s worth of triangles");
         // Bridge two cliques into one denser community.
         inc.insert_edge(0, 5);
         inc.insert_edge(1, 6);
@@ -290,11 +283,8 @@ mod tests {
             }
         }
         let (g, maintained) = inc.snapshot();
-        let batch = crate::Runner::new(
-            crate::Platform::cpu_parallel(),
-            crate::Algorithm::bmp_rf(),
-        )
-        .run(&g);
+        let batch =
+            crate::Runner::new(crate::Platform::cpu_parallel(), crate::Algorithm::bmp_rf()).run(&g);
         assert_eq!(maintained, batch.counts);
     }
 

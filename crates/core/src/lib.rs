@@ -32,7 +32,9 @@
 #![warn(missing_docs)]
 
 pub mod analytics;
+pub mod backend;
 pub mod incremental;
+pub mod plan;
 pub mod remap;
 pub mod runner;
 pub mod scan;
@@ -40,8 +42,13 @@ pub mod truss;
 pub mod verify;
 
 pub use analytics::CncView;
+pub use backend::{
+    modeled_algo_of, Backend, CpuParBackend, CpuSeqBackend, Execution, GpuSimBackend,
+    ModeledBackend,
+};
 pub use incremental::IncrementalCnc;
+pub use plan::{KernelSubstitution, Plan, PlanError};
+pub use runner::{Algorithm, CncResult, Platform, RfChoice, RunDetail, RunStats, Runner};
 pub use scan::{scan, scan_parallel, Role, ScanResult};
 pub use truss::{truss_decomposition, TrussResult};
-pub use runner::{Algorithm, CncResult, Platform, RfChoice, RunDetail, Runner};
 pub use verify::{reference_counts, verify_counts, VerifyError};

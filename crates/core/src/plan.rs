@@ -1,0 +1,115 @@
+//! The planning step of a run: every decision that can be taken *before*
+//! touching edge data, resolved into an explicit, inspectable value.
+//!
+//! [`Runner::plan`](crate::Runner::plan) produces a [`Plan`] from the
+//! platform × algorithm configuration and the target graph:
+//!
+//! * the reordering decision (degree-descending preprocessing on/off);
+//! * kernel selection — the `RfChoice` is resolved against `|V|` into a
+//!   concrete [`CpuKernel`], and configuration the type system cannot check
+//!   (the RF ratio) is validated here with a descriptive [`PlanError`]
+//!   instead of a panic deep inside a worker task;
+//! * partitioning — the parallel task split, when the platform has one;
+//! * any kernel substitution a platform forces (the GPU has no plain-merge
+//!   baseline: **M** runs as MPS with an infinite skew threshold), recorded
+//!   in the plan and surfaced in the final report instead of being applied
+//!   silently.
+
+use cnc_cpu::{CpuKernel, ParConfig};
+use cnc_graph::CsrGraph;
+use cnc_intersect::RfRatioError;
+
+use crate::runner::{Algorithm, Platform, Runner};
+
+/// Why a run cannot be planned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanError {
+    /// The BMP range-filter ratio is invalid (zero / one / not a power of
+    /// two).
+    InvalidRfRatio(RfRatioError),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::InvalidRfRatio(e) => write!(f, "invalid BMP range-filter config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlanError::InvalidRfRatio(e) => Some(e),
+        }
+    }
+}
+
+impl From<RfRatioError> for PlanError {
+    fn from(e: RfRatioError) -> Self {
+        PlanError::InvalidRfRatio(e)
+    }
+}
+
+/// A kernel substituted for the requested one by a platform that cannot run
+/// the request natively.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelSubstitution {
+    /// Paper-style label of what the caller asked for.
+    pub requested: String,
+    /// Description of what actually runs.
+    pub effective: String,
+    /// Why the platform substituted.
+    pub reason: &'static str,
+}
+
+/// The resolved decisions of a run, fixed before any counting happens.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Degree-descending reorder before executing (counts are always
+    /// remapped back to the input graph's offsets).
+    pub reorder: bool,
+    /// The algorithm as requested.
+    pub algorithm: Algorithm,
+    /// The CPU-side kernel dispatch with the range-filter choice resolved
+    /// against this graph's `|V|` — validated, ready to execute.
+    pub cpu_kernel: CpuKernel,
+    /// The parallel task split, for platforms that partition.
+    pub partitioning: Option<ParConfig>,
+    /// A platform-forced kernel substitution, if any.
+    pub substitution: Option<KernelSubstitution>,
+}
+
+impl Runner {
+    /// Resolve this configuration against `g` into an executable [`Plan`],
+    /// rejecting invalid kernel configuration with a descriptive error.
+    pub fn plan(&self, g: &CsrGraph) -> Result<Plan, PlanError> {
+        let algorithm = self.algorithm();
+        let cpu_kernel = match &algorithm {
+            Algorithm::MergeBaseline => CpuKernel::Merge,
+            Algorithm::Mps(cfg) => CpuKernel::Mps(*cfg),
+            Algorithm::Bmp(rf) => CpuKernel::Bmp(rf.mode(g.num_vertices())),
+        };
+        cpu_kernel.validate()?;
+        let substitution = match (self.platform(), &algorithm) {
+            (Platform::Gpu { .. }, Algorithm::MergeBaseline) => Some(KernelSubstitution {
+                requested: algorithm.label().to_string(),
+                effective: format!("MPS(skew_threshold={})", u32::MAX),
+                reason: "the GPU simulator has no plain-merge baseline; \
+                         MKernel with an infinite skew threshold is M",
+            }),
+            _ => None,
+        };
+        let partitioning = match self.platform() {
+            Platform::CpuParallel(cfg) => Some(*cfg),
+            _ => None,
+        };
+        Ok(Plan {
+            reorder: self.reorder_enabled(),
+            algorithm,
+            cpu_kernel,
+            partitioning,
+            substitution,
+        })
+    }
+}

@@ -1,17 +1,28 @@
 //! The unified platform × algorithm runner.
+//!
+//! A run is three explicit steps:
+//!
+//! 1. **Plan** ([`Runner::plan`], `crate::plan`) — resolve the reordering
+//!    decision, select and validate the kernel, fix the partitioning, and
+//!    record any platform-forced kernel substitution;
+//! 2. **Execute** (`crate::backend`) — hand the plan to the platform's
+//!    [`Backend`](crate::Backend) implementation;
+//! 3. **Report** — assemble the unified [`RunStats`] (requested vs
+//!    effective kernel, work tallies, wall and modeled time) alongside the
+//!    platform-specific [`RunDetail`].
 
 use std::time::Instant;
 
-use cnc_cpu::{
-    par_bmp, par_merge_baseline, par_mps, seq_bmp, seq_merge_baseline, seq_mps, BmpMode, ParConfig,
-};
-use cnc_gpu::{GpuAlgo, GpuReport, GpuRunConfig, GpuRunner};
+use cnc_cpu::{BmpMode, ParConfig};
+use cnc_gpu::{GpuReport, GpuRunConfig};
 use cnc_graph::{reorder, CsrGraph};
-use cnc_intersect::{MpsConfig, NullMeter};
-use cnc_knl::{ModeledAlgo, ModeledProcessor};
+use cnc_intersect::{MpsConfig, WorkCounts};
+use cnc_knl::ModeledProcessor;
 use cnc_machine::{MemMode, ModelReport};
 
 use crate::analytics::CncView;
+use crate::backend::{Backend, CpuParBackend, CpuSeqBackend, GpuSimBackend, ModeledBackend};
+use crate::plan::{KernelSubstitution, PlanError};
 use crate::remap::counts_to_original;
 
 /// Range-filter selection for BMP.
@@ -27,7 +38,7 @@ pub enum RfChoice {
 }
 
 impl RfChoice {
-    fn mode(self, num_vertices: usize) -> BmpMode {
+    pub(crate) fn mode(self, num_vertices: usize) -> BmpMode {
         match self {
             RfChoice::Off => BmpMode::Plain,
             RfChoice::Scaled => BmpMode::rf_scaled(num_vertices),
@@ -141,6 +152,30 @@ pub enum RunDetail {
     Gpu(Box<GpuReport>),
 }
 
+/// The unified report of a run: what was asked for, what actually ran,
+/// and the timing/work evidence the platform produced.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Backend label (`cpu-seq`, `cpu-par`, `cpu-model`, `knl`, `gpu-sim`).
+    pub platform: String,
+    /// Paper-style label of the requested algorithm.
+    pub requested_algorithm: String,
+    /// What actually ran: equals the requested label unless the platform
+    /// substituted a kernel (see [`RunStats::substitution`]).
+    pub effective_algorithm: String,
+    /// Whether degree-descending reordering preprocessed the graph.
+    pub reordered: bool,
+    /// A platform-forced kernel substitution, explicit instead of silent
+    /// (e.g. the GPU runs **M** as MPS with an infinite skew threshold).
+    pub substitution: Option<KernelSubstitution>,
+    /// Exact work tallies, for platforms that meter (the modeled CPU/KNL).
+    pub work: Option<WorkCounts>,
+    /// Host wall-clock seconds for the whole run.
+    pub wall_seconds: f64,
+    /// Modeled elapsed seconds, for modeled platforms.
+    pub modeled_seconds: Option<f64>,
+}
+
 /// The outcome of a counting run.
 #[derive(Debug, Clone)]
 pub struct CncResult {
@@ -153,6 +188,8 @@ pub struct CncResult {
     pub modeled_seconds: Option<f64>,
     /// Platform-specific details.
     pub detail: RunDetail,
+    /// The unified report of what ran.
+    pub stats: RunStats,
 }
 
 impl CncResult {
@@ -190,117 +227,104 @@ impl Runner {
         self
     }
 
-    /// Execute on `g`.
-    pub fn run(&self, g: &CsrGraph) -> CncResult {
-        let t0 = Instant::now();
-        if self.reorder {
-            let r = reorder::degree_descending(g);
-            let mut result = self.run_directly(&r.graph);
-            result.counts = counts_to_original(g, &r, &result.counts);
-            result.wall_seconds = t0.elapsed().as_secs_f64();
-            result
-        } else {
-            let mut result = self.run_directly(g);
-            result.wall_seconds = t0.elapsed().as_secs_f64();
-            result
-        }
+    /// The configured platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
     }
 
-    fn run_directly(&self, g: &CsrGraph) -> CncResult {
+    /// The configured algorithm.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Whether the reordering preprocessing is enabled.
+    pub fn reorder_enabled(&self) -> bool {
+        self.reorder
+    }
+
+    /// The execute-step implementation for the configured platform.
+    pub fn backend(&self) -> Box<dyn Backend> {
         match &self.platform {
-            Platform::CpuSequential => {
-                let mut m = NullMeter;
-                let counts = match &self.algorithm {
-                    Algorithm::MergeBaseline => seq_merge_baseline(g, &mut m),
-                    Algorithm::Mps(cfg) => seq_mps(g, cfg, &mut m),
-                    Algorithm::Bmp(rf) => seq_bmp(g, rf.mode(g.num_vertices()), &mut m),
-                };
-                CncResult {
-                    counts,
-                    wall_seconds: 0.0,
-                    modeled_seconds: None,
-                    detail: RunDetail::Measured,
-                }
-            }
-            Platform::CpuParallel(par) => {
-                let counts = match &self.algorithm {
-                    Algorithm::MergeBaseline => par_merge_baseline(g, par),
-                    Algorithm::Mps(cfg) => par_mps(g, cfg, par),
-                    Algorithm::Bmp(rf) => par_bmp(g, rf.mode(g.num_vertices()), par),
-                };
-                CncResult {
-                    counts,
-                    wall_seconds: 0.0,
-                    modeled_seconds: None,
-                    detail: RunDetail::Measured,
-                }
-            }
+            Platform::CpuSequential => Box::new(CpuSeqBackend),
+            Platform::CpuParallel(cfg) => Box::new(CpuParBackend { cfg: *cfg }),
             Platform::CpuModel {
                 threads,
                 capacity_scale,
-            } => {
-                let proc_ = ModeledProcessor::cpu_for(*capacity_scale);
-                let run = proc_.run(g, &self.modeled_algo(g), *threads, MemMode::Ddr);
-                CncResult {
-                    counts: run.counts,
-                    wall_seconds: 0.0,
-                    modeled_seconds: Some(run.report.seconds),
-                    detail: RunDetail::Modeled(run.report),
-                }
-            }
+            } => Box::new(ModeledBackend {
+                name: "cpu-model",
+                processor: ModeledProcessor::cpu_for(*capacity_scale),
+                threads: *threads,
+                mode: MemMode::Ddr,
+            }),
             Platform::Knl {
                 threads,
                 mode,
                 capacity_scale,
-            } => {
-                let proc_ = ModeledProcessor::knl_for(*capacity_scale);
-                let run = proc_.run(g, &self.modeled_algo(g), *threads, *mode);
-                CncResult {
-                    counts: run.counts,
-                    wall_seconds: 0.0,
-                    modeled_seconds: Some(run.report.seconds),
-                    detail: RunDetail::Modeled(run.report),
-                }
-            }
+            } => Box::new(ModeledBackend {
+                name: "knl",
+                processor: ModeledProcessor::knl_for(*capacity_scale),
+                threads: *threads,
+                mode: *mode,
+            }),
             Platform::Gpu {
                 config,
                 capacity_scale,
-            } => {
-                let gpu = GpuRunner::titan_xp_for(*capacity_scale);
-                let algo = match &self.algorithm {
-                    // The GPU has no separate plain-merge baseline in the
-                    // paper; the MKernel path with threshold ∞ is M.
-                    Algorithm::MergeBaseline | Algorithm::Mps(_) => GpuAlgo::Mps,
-                    Algorithm::Bmp(rf) => GpuAlgo::Bmp {
-                        rf: !matches!(rf, RfChoice::Off),
-                    },
-                };
-                let mut cfg = *config;
-                if matches!(self.algorithm, Algorithm::MergeBaseline) {
-                    cfg.launch.skew_threshold = u32::MAX;
-                }
-                let run = gpu.run(g, algo, &cfg);
-                CncResult {
-                    counts: run.counts,
-                    wall_seconds: 0.0,
-                    modeled_seconds: Some(run.report.total_seconds),
-                    detail: RunDetail::Gpu(Box::new(run.report)),
-                }
-            }
+            } => Box::new(GpuSimBackend {
+                config: *config,
+                capacity_scale: *capacity_scale,
+            }),
         }
     }
 
-    fn modeled_algo(&self, g: &CsrGraph) -> ModeledAlgo {
-        match &self.algorithm {
-            Algorithm::MergeBaseline => ModeledAlgo::MergeBaseline,
-            Algorithm::Mps(cfg) => ModeledAlgo::Mps {
-                simd: cfg.simd,
-                threshold: cfg.skew_threshold,
-            },
-            Algorithm::Bmp(rf) => ModeledAlgo::Bmp {
-                mode: rf.mode(g.num_vertices()),
-            },
-        }
+    /// Execute on `g`.
+    ///
+    /// # Panics
+    /// On invalid kernel configuration (see [`Runner::try_run`] for the
+    /// non-panicking form).
+    pub fn run(&self, g: &CsrGraph) -> CncResult {
+        self.try_run(g)
+            .unwrap_or_else(|e| panic!("cannot run {:?}: {e}", self.algorithm.label()))
+    }
+
+    /// Execute on `g`: plan, execute, report.
+    pub fn try_run(&self, g: &CsrGraph) -> Result<CncResult, PlanError> {
+        let t0 = Instant::now();
+        // Plan.
+        let plan = self.plan(g)?;
+        let backend = self.backend();
+        // Execute (with reorder remapping around the backend).
+        let mut exec = if plan.reorder {
+            let r = reorder::degree_descending(g);
+            let mut e = backend.execute(&r.graph, &plan);
+            e.counts = counts_to_original(g, &r, &e.counts);
+            e
+        } else {
+            backend.execute(g, &plan)
+        };
+        // Report.
+        let wall_seconds = t0.elapsed().as_secs_f64();
+        let effective_algorithm = plan
+            .substitution
+            .as_ref()
+            .map(|s| s.effective.clone())
+            .unwrap_or_else(|| plan.algorithm.label().to_string());
+        let stats = RunStats {
+            platform: backend.label(),
+            requested_algorithm: plan.algorithm.label().to_string(),
+            effective_algorithm,
+            reordered: plan.reorder,
+            substitution: plan.substitution,
+            work: exec.work.take(),
+            wall_seconds,
+            modeled_seconds: exec.modeled_seconds,
+        };
+        Ok(CncResult {
+            counts: exec.counts,
+            wall_seconds,
+            modeled_seconds: exec.modeled_seconds,
+            detail: exec.detail,
+            stats,
+        })
     }
 }
 
@@ -335,7 +359,12 @@ mod tests {
         let scale = Dataset::LjS.capacity_scale(&g);
         let want = reference_counts(&g);
         for platform in platforms(scale) {
-            for algorithm in [Algorithm::MergeBaseline, Algorithm::mps(), Algorithm::bmp(), Algorithm::bmp_rf()] {
+            for algorithm in [
+                Algorithm::MergeBaseline,
+                Algorithm::mps(),
+                Algorithm::bmp(),
+                Algorithm::bmp_rf(),
+            ] {
                 let r = Runner::new(platform.clone(), algorithm).run(&g);
                 assert_eq!(
                     r.counts,
@@ -355,6 +384,7 @@ mod tests {
                 .reorder(reorder)
                 .run(&g);
             assert!(verify_counts(&g, &r.counts).is_ok(), "reorder={reorder}");
+            assert_eq!(r.stats.reordered, reorder);
         }
     }
 
@@ -386,5 +416,96 @@ mod tests {
         let g = CsrGraph::from_edge_list(&generators::clique_chain(4, 8));
         let r = Runner::new(Platform::cpu_parallel(), Algorithm::bmp_rf()).run(&g);
         assert_eq!(r.view(&g).triangle_count(), 4 * 56);
+    }
+
+    #[test]
+    fn stats_carry_plan_and_evidence() {
+        let g = Dataset::TwS.build(Scale::Tiny);
+        let scale = Dataset::TwS.capacity_scale(&g);
+        // Modeled platforms meter exactly.
+        let knl = Runner::new(Platform::knl_flat(scale), Algorithm::mps()).run(&g);
+        assert_eq!(knl.stats.platform, "knl");
+        assert_eq!(knl.stats.requested_algorithm, "MPS");
+        assert_eq!(knl.stats.effective_algorithm, "MPS");
+        assert!(knl.stats.substitution.is_none());
+        assert!(knl.stats.work.unwrap().total_ops() > 0);
+        assert_eq!(knl.stats.modeled_seconds, knl.modeled_seconds);
+        // Real platforms measure, not meter.
+        let cpu = Runner::new(Platform::cpu_parallel(), Algorithm::bmp_rf()).run(&g);
+        assert_eq!(cpu.stats.platform, "cpu-par");
+        assert!(cpu.stats.work.is_none());
+        assert!(cpu.stats.reordered, "BMP defaults to reordering");
+        assert!(cpu.stats.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn gpu_merge_baseline_substitution_is_explicit() {
+        // The GPU has no plain-merge baseline: the runner plans M as MPS
+        // with an infinite skew threshold and must say so in the report.
+        let g = Dataset::LjS.build(Scale::Tiny);
+        let scale = Dataset::LjS.capacity_scale(&g);
+        let r = Runner::new(Platform::gpu(scale), Algorithm::MergeBaseline).run(&g);
+        assert_eq!(r.counts, reference_counts(&g));
+        let sub = r
+            .stats
+            .substitution
+            .expect("M on GPU must report a substitution");
+        assert_eq!(sub.requested, "M");
+        assert!(
+            sub.effective.contains("MPS"),
+            "effective = {}",
+            sub.effective
+        );
+        assert!(sub.effective.contains(&u32::MAX.to_string()));
+        assert_eq!(r.stats.effective_algorithm, sub.effective);
+        assert_eq!(r.stats.requested_algorithm, "M");
+        // Natively supported requests report no substitution — on the GPU
+        // and everywhere else.
+        let native = Runner::new(Platform::gpu(scale), Algorithm::mps()).run(&g);
+        assert!(native.stats.substitution.is_none());
+        let cpu = Runner::new(Platform::CpuSequential, Algorithm::MergeBaseline).run(&g);
+        assert!(cpu.stats.substitution.is_none());
+        assert_eq!(cpu.stats.effective_algorithm, "M");
+    }
+
+    #[test]
+    fn invalid_rf_ratio_is_rejected_at_plan_time() {
+        let g = CsrGraph::from_edge_list(&generators::gnm(50, 200, 1));
+        for bad in [0usize, 1, 100] {
+            let runner = Runner::new(
+                Platform::CpuSequential,
+                Algorithm::Bmp(RfChoice::Ratio(bad)),
+            );
+            let err = runner.try_run(&g).expect_err("ratio must be rejected");
+            let msg = err.to_string();
+            assert!(
+                msg.contains("power of two") || msg.contains("at least 2"),
+                "unhelpful error: {msg}"
+            );
+            assert!(runner.plan(&g).is_err());
+        }
+        // A valid explicit ratio still runs.
+        let ok = Runner::new(Platform::CpuSequential, Algorithm::Bmp(RfChoice::Ratio(64)))
+            .try_run(&g)
+            .unwrap();
+        assert_eq!(ok.counts, reference_counts(&g));
+    }
+
+    #[test]
+    fn plan_resolves_scaled_rf_against_graph_size() {
+        let g = CsrGraph::from_edge_list(&generators::gnm(40_000, 80_000, 2));
+        let plan = Runner::new(Platform::CpuSequential, Algorithm::bmp_rf())
+            .plan(&g)
+            .unwrap();
+        assert_eq!(
+            plan.cpu_kernel,
+            cnc_cpu::CpuKernel::Bmp(BmpMode::rf_scaled(g.num_vertices()))
+        );
+        assert!(plan.reorder);
+        assert!(plan.partitioning.is_none());
+        let par_plan = Runner::new(Platform::cpu_parallel(), Algorithm::mps())
+            .plan(&g)
+            .unwrap();
+        assert_eq!(par_plan.partitioning, Some(ParConfig::default()));
     }
 }

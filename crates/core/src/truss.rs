@@ -157,7 +157,11 @@ mod tests {
         for n in [3usize, 4, 5, 6] {
             let g = CsrGraph::from_edge_list(&generators::complete(n));
             let r = decompose(&g);
-            assert!(r.trussness.iter().all(|&t| t == n as u32), "K{n}: {:?}", r.trussness);
+            assert!(
+                r.trussness.iter().all(|&t| t == n as u32),
+                "K{n}: {:?}",
+                r.trussness
+            );
             assert_eq!(r.max_k, n as u32);
         }
     }

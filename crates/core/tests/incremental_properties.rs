@@ -44,15 +44,11 @@ proptest! {
         let mut edge_count = inc.num_edges();
         for e in script {
             match e {
-                Edit::Insert(a, b) if a != b => {
-                    if inc.insert_edge(a, b) {
-                        edge_count += 1;
-                    }
+                Edit::Insert(a, b) if a != b && inc.insert_edge(a, b) => {
+                    edge_count += 1;
                 }
-                Edit::Remove(a, b) if a != b => {
-                    if inc.remove_edge(a, b) {
-                        edge_count -= 1;
-                    }
+                Edit::Remove(a, b) if a != b && inc.remove_edge(a, b) => {
+                    edge_count -= 1;
                 }
                 _ => {}
             }

@@ -1,0 +1,426 @@
+//! The one edge-range task loop behind every CPU driver.
+//!
+//! The paper's Algorithm 3 runs the same skeleton for every algorithm: the
+//! edge-offset range `[0, |E|)` is cut into tasks of `|T|` consecutive
+//! offsets, each task finds the source of each offset with the amortized
+//! `FindSrc` stash, computes counts for `u < v` pairs, and scatters both
+//! `cnt[e(u,v)]` and the mirrored `cnt[e(v,u)]`. The only per-algorithm
+//! difference is the per-pair counting strategy — captured by
+//! [`PairKernel`] in `cnc-intersect` — including its per-source state
+//! (BMP's bitmap index, rebuilt only when the source changes).
+//!
+//! [`run_range`] is that skeleton, written exactly once. [`EdgeRangeDriver`]
+//! instantiates it three ways:
+//!
+//! * [`run_seq`](EdgeRangeDriver::run_seq) — the whole range as one task,
+//!   work reported to the caller's [`Meter`] (this is what the KNL/CPU
+//!   machine-model profiler executes);
+//! * [`run_par`](EdgeRangeDriver::run_par) — rayon task split, unmetered;
+//! * [`run_par_metered`](EdgeRangeDriver::run_par_metered) — rayon task
+//!   split with a per-task [`CountingMeter`], tallies merged at the end.
+//!
+//! Kernels with per-source state are shared across tasks through a
+//! [`KernelFactory`]; [`BitmapPool`] implements it so BMP tasks borrow (and
+//! return clean) bitmap kernels, and [`CloneFactory`] serves the stateless
+//! merge family.
+
+use std::ops::Range;
+use std::sync::Mutex;
+
+use cnc_graph::CsrGraph;
+use cnc_intersect::{
+    validate_rf_ratio, BmpKernel, CountingMeter, MergeKernel, Meter, MpsConfig, MpsKernel,
+    NullMeter, PairKernel, RfKernel, RfRatioError, WorkCounts,
+};
+use rayon::prelude::*;
+
+use crate::pool::BitmapPool;
+use crate::scatter::ScatterVec;
+use crate::ParConfig;
+
+/// BMP index flavor: plain `|V|`-bit bitmap or the range-filtered variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BmpMode {
+    /// Plain bitmap (Algorithm 2 as written).
+    Plain,
+    /// Range-filtered bitmap with the given big-to-small ratio
+    /// (the paper's RF technique; default ratio 4096).
+    RangeFiltered {
+        /// Big-bitmap bits summarized per small-bitmap bit (power of two).
+        ratio: usize,
+    },
+}
+
+impl BmpMode {
+    /// The paper's default RF configuration.
+    pub fn rf_default() -> Self {
+        BmpMode::RangeFiltered {
+            ratio: cnc_intersect::DEFAULT_RF_RATIO,
+        }
+    }
+
+    /// RF with the scale-aware ratio for a graph of `num_vertices` (see
+    /// [`cnc_intersect::scaled_rf_ratio`]): the paper's L1-fitting rule
+    /// applied at any graph size.
+    pub fn rf_scaled(num_vertices: usize) -> Self {
+        BmpMode::RangeFiltered {
+            ratio: cnc_intersect::scaled_rf_ratio(num_vertices),
+        }
+    }
+
+    /// A validated RF mode: rejects zero / one / non-power-of-two ratios
+    /// with a descriptive error instead of panicking at run time.
+    pub fn range_filtered(ratio: usize) -> Result<Self, RfRatioError> {
+        validate_rf_ratio(ratio)?;
+        Ok(BmpMode::RangeFiltered { ratio })
+    }
+
+    /// Check this mode's configuration (the RF ratio, if any).
+    pub fn validate(&self) -> Result<(), RfRatioError> {
+        match self {
+            BmpMode::Plain => Ok(()),
+            BmpMode::RangeFiltered { ratio } => validate_rf_ratio(*ratio),
+        }
+    }
+}
+
+/// Cost of the reverse-offset binary search (the `e(v,u)` lookup of the
+/// symmetric-assignment technique), reported to the meter.
+#[inline]
+fn meter_reverse<M: Meter>(dv: usize, meter: &mut M) {
+    let probes = (dv.max(1)).ilog2() as u64 + 1;
+    meter.scalar_ops(probes);
+    meter.rand_accesses(probes);
+    meter.write_bytes(8); // the two count stores
+}
+
+/// **The** edge-range task loop (Algorithm 3 lines 6–24).
+///
+/// Walks `range`, resolves sources with the `FindSrc` stash, drives the
+/// kernel's per-source state with the `pu_tls` rebuild-on-change logic, and
+/// emits `(offset, count)` for both `e(u,v)` and the mirrored `e(v,u)`.
+/// Every sequential, parallel and metered CPU driver — and the KNL / CPU
+/// machine-model profiler — executes this function and nothing else.
+pub fn run_range<K: PairKernel, M: Meter>(
+    g: &CsrGraph,
+    range: Range<usize>,
+    kernel: &mut K,
+    meter: &mut M,
+    emit: &mut impl FnMut(usize, u32),
+) {
+    let mut u_tls = 0u32; // FindSrc stash (Algorithm 3 line 8)
+    let mut pu: Option<u32> = None; // pu_tls (Algorithm 3 line 19)
+    for eid in range {
+        let u = g.find_src(eid, &mut u_tls);
+        let v = g.dst()[eid];
+        if u >= v {
+            continue;
+        }
+        if pu != Some(u) {
+            if let Some(p) = pu {
+                kernel.end_source(g.neighbors(p), meter);
+            }
+            kernel.begin_source(g.neighbors(u), meter);
+            pu = Some(u);
+        }
+        let c = kernel.count(g.neighbors(u), g.neighbors(v), meter);
+        emit(eid, c);
+        emit(g.reverse_offset(u, eid), c);
+        meter_reverse(g.degree(v), meter);
+    }
+    if let Some(p) = pu {
+        kernel.end_source(g.neighbors(p), meter);
+    }
+}
+
+/// Hands kernels to parallel tasks and takes them back.
+///
+/// Stateful kernels are expensive (BMP's bitmap has `|V|` bits), so tasks
+/// borrow them from a pool; stateless ones are cloned. Released kernels
+/// must be reset ([`PairKernel::is_reset`]).
+pub trait KernelFactory: Sync {
+    /// The kernel type this factory produces.
+    type Kernel: PairKernel;
+    /// Borrow a reset kernel for one task.
+    fn acquire(&self) -> Self::Kernel;
+    /// Return a reset kernel after the task.
+    fn release(&self, kernel: Self::Kernel);
+}
+
+impl<K: PairKernel + Send> KernelFactory for BitmapPool<K> {
+    type Kernel = K;
+
+    fn acquire(&self) -> K {
+        let k = BitmapPool::acquire(self);
+        debug_assert!(k.is_reset(), "pool must hand out clean kernels");
+        k
+    }
+
+    fn release(&self, kernel: K) {
+        debug_assert!(kernel.is_reset(), "kernels must be returned clean");
+        BitmapPool::release(self, kernel);
+    }
+}
+
+/// Factory for stateless kernels (merge family): clone per task, drop after.
+#[derive(Debug, Clone, Copy)]
+pub struct CloneFactory<K>(pub K);
+
+impl<K: PairKernel + Clone + Sync> KernelFactory for CloneFactory<K> {
+    type Kernel = K;
+
+    fn acquire(&self) -> K {
+        self.0.clone()
+    }
+
+    fn release(&self, _kernel: K) {}
+}
+
+/// The generic driver: owns the task split, scatter mirroring and kernel
+/// borrowing for one graph, and instantiates [`run_range`] per execution
+/// mode.
+pub struct EdgeRangeDriver<'g> {
+    g: &'g CsrGraph,
+}
+
+impl<'g> EdgeRangeDriver<'g> {
+    /// A driver over `g`'s directed edge-offset range.
+    pub fn new(g: &'g CsrGraph) -> Self {
+        Self { g }
+    }
+
+    /// Sequential execution: the whole edge range as one task, all work
+    /// reported to `meter`.
+    pub fn run_seq<K: PairKernel, M: Meter>(&self, kernel: &mut K, meter: &mut M) -> Vec<u32> {
+        let m = self.g.num_directed_edges();
+        let mut cnt = vec![0u32; m];
+        run_range(self.g, 0..m, kernel, meter, &mut |eid, c| cnt[eid] = c);
+        cnt
+    }
+
+    /// Parallel execution (Algorithm 3): unmetered.
+    pub fn run_par<F: KernelFactory>(&self, factory: &F, cfg: &ParConfig) -> Vec<u32> {
+        self.par_drive(factory, cfg, None)
+    }
+
+    /// Parallel execution with per-task [`CountingMeter`]s, merged tallies
+    /// returned alongside the counts.
+    pub fn run_par_metered<F: KernelFactory>(
+        &self,
+        factory: &F,
+        cfg: &ParConfig,
+    ) -> (Vec<u32>, WorkCounts) {
+        let total = Mutex::new(WorkCounts::default());
+        let counts = self.par_drive(factory, cfg, Some(&total));
+        (counts, total.into_inner().expect("meter lock poisoned"))
+    }
+
+    /// Shared parallel skeleton: split into `|T|`-sized tasks, borrow a
+    /// kernel per task, scatter through a [`ScatterVec`], optionally meter.
+    fn par_drive<F: KernelFactory>(
+        &self,
+        factory: &F,
+        cfg: &ParConfig,
+        total: Option<&Mutex<WorkCounts>>,
+    ) -> Vec<u32> {
+        let g = self.g;
+        let m = g.num_directed_edges();
+        let cnt = ScatterVec::new(m);
+        if m > 0 {
+            let t = cfg.task_size.max(1);
+            let tasks = m.div_ceil(t);
+            let run = || {
+                (0..tasks).into_par_iter().for_each(|k| {
+                    let range = (k * t)..((k * t) + t).min(m);
+                    let mut kernel = factory.acquire();
+                    let mut emit = |eid: usize, c: u32| cnt.set(eid, c);
+                    match total {
+                        None => run_range(g, range, &mut kernel, &mut NullMeter, &mut emit),
+                        Some(total) => {
+                            let mut meter = CountingMeter::new();
+                            run_range(g, range, &mut kernel, &mut meter, &mut emit);
+                            total
+                                .lock()
+                                .expect("meter lock poisoned")
+                                .merge(&meter.counts);
+                        }
+                    }
+                    factory.release(kernel);
+                });
+            };
+            crate::with_threads(cfg.threads, run);
+        }
+        cnt.into_vec()
+    }
+}
+
+/// The platform-side algorithm dispatch: one value selects the kernel for
+/// every execution mode. The named driver functions (`seq_mps`, `par_bmp`,
+/// …) are thin wrappers over this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuKernel {
+    /// Baseline plain merge (**M**).
+    Merge,
+    /// Hybrid pivot-skip / vectorized block merge (**MPS**).
+    Mps(MpsConfig),
+    /// Dynamic bitmap index (**BMP**), optionally range-filtered.
+    Bmp(BmpMode),
+}
+
+impl CpuKernel {
+    /// Check configuration that the type system cannot (the RF ratio).
+    pub fn validate(&self) -> Result<(), RfRatioError> {
+        match self {
+            CpuKernel::Bmp(mode) => mode.validate(),
+            _ => Ok(()),
+        }
+    }
+
+    /// Sequential execution on `g`, work reported to `meter`.
+    ///
+    /// # Panics
+    /// On an invalid RF ratio (see [`CpuKernel::validate`]).
+    pub fn run_seq<M: Meter>(&self, g: &CsrGraph, meter: &mut M) -> Vec<u32> {
+        let drv = EdgeRangeDriver::new(g);
+        match self {
+            CpuKernel::Merge => drv.run_seq(&mut MergeKernel, meter),
+            CpuKernel::Mps(cfg) => drv.run_seq(&mut MpsKernel::new(*cfg), meter),
+            CpuKernel::Bmp(BmpMode::Plain) => {
+                drv.run_seq(&mut BmpKernel::new(g.num_vertices()), meter)
+            }
+            CpuKernel::Bmp(BmpMode::RangeFiltered { ratio }) => {
+                let mut k = RfKernel::new(g.num_vertices().max(1), *ratio)
+                    .unwrap_or_else(|e| panic!("{e}"));
+                drv.run_seq(&mut k, meter)
+            }
+        }
+    }
+
+    /// Parallel execution on `g` (Algorithm 3), unmetered.
+    ///
+    /// # Panics
+    /// On an invalid RF ratio (see [`CpuKernel::validate`]).
+    pub fn run_par(&self, g: &CsrGraph, cfg: &ParConfig) -> Vec<u32> {
+        let drv = EdgeRangeDriver::new(g);
+        let n = g.num_vertices();
+        match self {
+            CpuKernel::Merge => drv.run_par(&CloneFactory(MergeKernel), cfg),
+            CpuKernel::Mps(mps) => drv.run_par(&CloneFactory(MpsKernel::new(*mps)), cfg),
+            CpuKernel::Bmp(BmpMode::Plain) => {
+                drv.run_par(&BitmapPool::new(move || BmpKernel::new(n)), cfg)
+            }
+            CpuKernel::Bmp(BmpMode::RangeFiltered { ratio }) => {
+                let ratio = *ratio;
+                validate_rf_ratio(ratio).unwrap_or_else(|e| panic!("{e}"));
+                let pool = BitmapPool::new(move || {
+                    RfKernel::new(n.max(1), ratio).expect("ratio validated above")
+                });
+                drv.run_par(&pool, cfg)
+            }
+        }
+    }
+
+    /// Parallel execution with merged per-task work tallies.
+    ///
+    /// # Panics
+    /// On an invalid RF ratio (see [`CpuKernel::validate`]).
+    pub fn run_par_metered(&self, g: &CsrGraph, cfg: &ParConfig) -> (Vec<u32>, WorkCounts) {
+        let drv = EdgeRangeDriver::new(g);
+        let n = g.num_vertices();
+        match self {
+            CpuKernel::Merge => drv.run_par_metered(&CloneFactory(MergeKernel), cfg),
+            CpuKernel::Mps(mps) => drv.run_par_metered(&CloneFactory(MpsKernel::new(*mps)), cfg),
+            CpuKernel::Bmp(BmpMode::Plain) => {
+                drv.run_par_metered(&BitmapPool::new(move || BmpKernel::new(n)), cfg)
+            }
+            CpuKernel::Bmp(BmpMode::RangeFiltered { ratio }) => {
+                let ratio = *ratio;
+                validate_rf_ratio(ratio).unwrap_or_else(|e| panic!("{e}"));
+                let pool = BitmapPool::new(move || {
+                    RfKernel::new(n.max(1), ratio).expect("ratio validated above")
+                });
+                drv.run_par_metered(&pool, cfg)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnc_graph::{generators, EdgeList};
+
+    fn oracle(g: &CsrGraph) -> Vec<u32> {
+        let mut cnt = vec![0u32; g.num_directed_edges()];
+        for (eid, u, v) in g.iter_edges() {
+            cnt[eid] = cnc_intersect::reference_count(g.neighbors(u), g.neighbors(v));
+        }
+        cnt
+    }
+
+    #[test]
+    fn every_kernel_every_mode_is_exact() {
+        let g = CsrGraph::from_edge_list(&generators::hub_web(250, 5.0, 2, 0.5, 2));
+        let want = oracle(&g);
+        let cfg = ParConfig::with_task_size(53);
+        for kernel in [
+            CpuKernel::Merge,
+            CpuKernel::Mps(MpsConfig::default()),
+            CpuKernel::Bmp(BmpMode::Plain),
+            CpuKernel::Bmp(BmpMode::rf_scaled(g.num_vertices())),
+        ] {
+            assert_eq!(kernel.run_seq(&g, &mut NullMeter), want, "{kernel:?} seq");
+            assert_eq!(kernel.run_par(&g, &cfg), want, "{kernel:?} par");
+            let (counts, work) = kernel.run_par_metered(&g, &cfg);
+            assert_eq!(counts, want, "{kernel:?} par_metered");
+            assert!(work.total_ops() > 0, "{kernel:?} reported no work");
+        }
+    }
+
+    #[test]
+    fn seq_and_metered_par_report_identical_work() {
+        // Uniform metering: meter_reverse and kernel work are recorded on
+        // every path, so for kernels without per-source state the parallel
+        // decomposition must not change a single tally.
+        let g = CsrGraph::from_edge_list(&generators::chung_lu(200, 9.0, 2.2, 6));
+        let kernel = CpuKernel::Mps(MpsConfig::default());
+        let mut seq_meter = CountingMeter::new();
+        kernel.run_seq(&g, &mut seq_meter);
+        let (_, par_work) = kernel.run_par_metered(&g, &ParConfig::with_task_size(61));
+        assert_eq!(par_work, seq_meter.counts);
+    }
+
+    #[test]
+    fn empty_range_never_touches_kernel() {
+        let g = CsrGraph::from_edge_list(&EdgeList::new(0));
+        for kernel in [CpuKernel::Merge, CpuKernel::Bmp(BmpMode::Plain)] {
+            assert!(kernel.run_seq(&g, &mut NullMeter).is_empty());
+            assert!(kernel.run_par(&g, &ParConfig::default()).is_empty());
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_rf_ratios() {
+        assert!(CpuKernel::Bmp(BmpMode::RangeFiltered { ratio: 0 })
+            .validate()
+            .is_err());
+        assert!(CpuKernel::Bmp(BmpMode::RangeFiltered { ratio: 48 })
+            .validate()
+            .is_err());
+        assert!(CpuKernel::Bmp(BmpMode::rf_default()).validate().is_ok());
+        assert!(CpuKernel::Merge.validate().is_ok());
+        assert!(BmpMode::range_filtered(100).is_err());
+        assert_eq!(
+            BmpMode::range_filtered(64),
+            Ok(BmpMode::RangeFiltered { ratio: 64 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn run_with_bad_ratio_panics_with_clear_message() {
+        let g = CsrGraph::from_edge_list(&generators::gnm(20, 40, 1));
+        let _ =
+            CpuKernel::Bmp(BmpMode::RangeFiltered { ratio: 3 }).run_par(&g, &ParConfig::default());
+    }
+}

@@ -10,7 +10,11 @@
 //! * for BMP, the bitmap index of the current source's neighbor list,
 //!   rebuilt only when the source changes.
 //!
-//! Three drivers are provided in sequential and parallel forms:
+//! That skeleton is written exactly once — [`run_range`], wrapped by the
+//! generic [`EdgeRangeDriver`] — and instantiated per algorithm through the
+//! `PairKernel` strategies of `cnc-intersect`. [`CpuKernel`] is the
+//! platform-side dispatch; the named drivers are thin wrappers over it,
+//! provided in sequential and parallel forms:
 //!
 //! | driver | paper name | kernel |
 //! |--------|------------|--------|
@@ -26,17 +30,19 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+mod driver;
 mod par;
 mod par_metered;
 mod pool;
 mod scatter;
 mod seq;
 
+pub use driver::{run_range, BmpMode, CloneFactory, CpuKernel, EdgeRangeDriver, KernelFactory};
 pub use par::{par_bmp, par_merge_baseline, par_mps, ParConfig};
 pub use par_metered::{par_bmp_metered, par_mps_metered};
 pub use pool::{BitmapPool, PoolStats};
 pub use scatter::ScatterVec;
-pub use seq::{seq_bmp, seq_merge_baseline, seq_mps, BmpMode};
+pub use seq::{seq_bmp, seq_merge_baseline, seq_mps};
 
 /// Run a closure on a dedicated rayon pool with `threads` workers.
 ///

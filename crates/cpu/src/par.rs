@@ -3,19 +3,17 @@
 //! The edge-offset range is split into tasks of `|T|` consecutive offsets.
 //! Each task walks its range with the amortized `FindSrc` stash, computes
 //! counts for `u < v` edges and scatters both `cnt[e(u,v)]` and the mirrored
-//! `cnt[e(v,u)]` into a shared [`ScatterVec`]. BMP tasks borrow a bitmap
-//! from a shared [`BitmapPool`] and rebuild the index only when the source
+//! `cnt[e(v,u)]` into a shared `ScatterVec`. BMP tasks borrow a bitmap
+//! kernel from a shared pool and rebuild the index only when the source
 //! vertex changes (`ComputeCntBMP`'s `pu_tls` logic).
+//!
+//! All of that lives in the unified [`EdgeRangeDriver`](crate::EdgeRangeDriver);
+//! each function here is a thin [`CpuKernel`] instantiation.
 
 use cnc_graph::CsrGraph;
-use cnc_intersect::{
-    bmp_count, merge_count, mps_count_cfg, rf_count, Bitmap, MpsConfig, NullMeter, RfBitmap,
-};
-use rayon::prelude::*;
+use cnc_intersect::MpsConfig;
 
-use crate::pool::BitmapPool;
-use crate::scatter::ScatterVec;
-use crate::seq::BmpMode;
+use crate::driver::{BmpMode, CpuKernel};
 
 /// Parallel execution parameters for the Algorithm 3 skeleton.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,140 +45,30 @@ impl ParConfig {
     }
 }
 
-/// Run `body(task_range)` over all edge-offset tasks in parallel.
-fn run_tasks(
-    g: &CsrGraph,
-    cfg: &ParConfig,
-    body: impl Fn(std::ops::Range<usize>) + Sync,
-) {
-    let m = g.num_directed_edges();
-    if m == 0 {
-        return;
-    }
-    let t = cfg.task_size.max(1);
-    let tasks = m.div_ceil(t);
-    let run = || {
-        (0..tasks).into_par_iter().for_each(|k| {
-            let start = k * t;
-            let end = (start + t).min(m);
-            body(start..end);
-        });
-    };
-    crate::with_threads(cfg.threads, run);
-}
-
-/// One task of the MPS / baseline skeleton: walk the range, count, scatter.
-fn merge_family_task(
-    g: &CsrGraph,
-    cnt: &ScatterVec,
-    range: std::ops::Range<usize>,
-    kernel: &(impl Fn(&[u32], &[u32]) -> u32 + Sync),
-) {
-    let mut u_tls = 0u32; // FindSrc stash (Algorithm 3 line 8)
-    for eid in range {
-        let u = g.find_src(eid, &mut u_tls);
-        let v = g.dst()[eid];
-        if u < v {
-            let c = kernel(g.neighbors(u), g.neighbors(v));
-            cnt.set(eid, c);
-            cnt.set(g.reverse_offset(u, eid), c);
-        }
-    }
-}
-
 /// Parallel baseline **M** (plain merge in the skeleton) — Table 4 ablation.
 pub fn par_merge_baseline(g: &CsrGraph, cfg: &ParConfig) -> Vec<u32> {
-    let cnt = ScatterVec::new(g.num_directed_edges());
-    let kernel = |a: &[u32], b: &[u32]| merge_count(a, b, &mut NullMeter);
-    run_tasks(g, cfg, |range| merge_family_task(g, &cnt, range, &kernel));
-    cnt.into_vec()
+    CpuKernel::Merge.run_par(g, cfg)
 }
 
 /// Parallel **MPS** (Algorithm 3 with `ComputeCntMPS`).
 pub fn par_mps(g: &CsrGraph, mps: &MpsConfig, cfg: &ParConfig) -> Vec<u32> {
-    let cnt = ScatterVec::new(g.num_directed_edges());
-    let kernel = |a: &[u32], b: &[u32]| mps_count_cfg(a, b, mps, &mut NullMeter);
-    run_tasks(g, cfg, |range| merge_family_task(g, &cnt, range, &kernel));
-    cnt.into_vec()
+    CpuKernel::Mps(*mps).run_par(g, cfg)
 }
 
 /// Parallel **BMP** (Algorithm 3 with `ComputeCntBMP`), optionally with
 /// range filtering.
 ///
-/// Each task acquires a bitmap from a shared pool; the index is rebuilt only
-/// when the task's source vertex changes, and the bitmap is returned clean.
+/// Each task acquires a bitmap kernel from a shared pool; the index is
+/// rebuilt only when the task's source vertex changes, and the kernel is
+/// returned clean.
 pub fn par_bmp(g: &CsrGraph, mode: BmpMode, cfg: &ParConfig) -> Vec<u32> {
-    let n = g.num_vertices();
-    let cnt = ScatterVec::new(g.num_directed_edges());
-    match mode {
-        BmpMode::Plain => {
-            let pool = BitmapPool::new(move || Bitmap::new(n));
-            run_tasks(g, cfg, |range| {
-                let mut bm = pool.acquire();
-                debug_assert!(bm.is_empty(), "pool must hand out clean bitmaps");
-                let mut pu: Option<u32> = None; // pu_tls (Algorithm 3 line 19)
-                let mut u_tls = 0u32;
-                for eid in range {
-                    let u = g.find_src(eid, &mut u_tls);
-                    let v = g.dst()[eid];
-                    if u >= v {
-                        continue;
-                    }
-                    if pu != Some(u) {
-                        if let Some(p) = pu {
-                            bm.clear_list(g.neighbors(p), &mut NullMeter);
-                        }
-                        bm.set_list(g.neighbors(u), &mut NullMeter);
-                        pu = Some(u);
-                    }
-                    let c = bmp_count(&bm, g.neighbors(v), &mut NullMeter);
-                    cnt.set(eid, c);
-                    cnt.set(g.reverse_offset(u, eid), c);
-                }
-                if let Some(p) = pu {
-                    bm.clear_list(g.neighbors(p), &mut NullMeter);
-                }
-                pool.release(bm);
-            });
-        }
-        BmpMode::RangeFiltered { ratio } => {
-            let pool = BitmapPool::new(move || RfBitmap::with_ratio(n.max(1), ratio));
-            run_tasks(g, cfg, |range| {
-                let mut rf = pool.acquire();
-                debug_assert!(rf.is_empty(), "pool must hand out clean bitmaps");
-                let mut pu: Option<u32> = None;
-                let mut u_tls = 0u32;
-                for eid in range {
-                    let u = g.find_src(eid, &mut u_tls);
-                    let v = g.dst()[eid];
-                    if u >= v {
-                        continue;
-                    }
-                    if pu != Some(u) {
-                        if let Some(p) = pu {
-                            rf.clear_list(g.neighbors(p), &mut NullMeter);
-                        }
-                        rf.set_list(g.neighbors(u), &mut NullMeter);
-                        pu = Some(u);
-                    }
-                    let c = rf_count(&rf, g.neighbors(v), &mut NullMeter);
-                    cnt.set(eid, c);
-                    cnt.set(g.reverse_offset(u, eid), c);
-                }
-                if let Some(p) = pu {
-                    rf.clear_list(g.neighbors(p), &mut NullMeter);
-                }
-                pool.release(rf);
-            });
-        }
-    }
-    cnt.into_vec()
+    CpuKernel::Bmp(mode).run_par(g, cfg)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::seq::{seq_merge_baseline, BmpMode};
+    use crate::seq::seq_merge_baseline;
     use cnc_graph::{datasets, generators, reorder, EdgeList};
     use cnc_intersect::NullMeter;
 

@@ -1,134 +1,30 @@
 //! Metered variants of the parallel drivers: same Algorithm 3 skeleton,
-//! but every task records its work into a per-task [`CountingMeter`] and
+//! but every task records its work into a per-task `CountingMeter` and
 //! the tallies are merged at the end.
 //!
 //! Used by the simulated processors to collect whole-graph work profiles
 //! faster than the sequential instrumented drivers when the host has
 //! multiple cores, and by tests to check that parallel decomposition does
 //! not change the algorithmic work (beyond per-task amortization effects).
+//!
+//! Thin [`CpuKernel`] instantiations of the unified
+//! [`EdgeRangeDriver`](crate::EdgeRangeDriver), like everything else in
+//! this crate.
 
 use cnc_graph::CsrGraph;
-use cnc_intersect::{
-    bmp_count, mps_count_cfg, rf_count, Bitmap, CountingMeter, MpsConfig, RfBitmap, WorkCounts,
-};
-use parking_lot::Mutex;
-use rayon::prelude::*;
+use cnc_intersect::{MpsConfig, WorkCounts};
 
-use crate::pool::BitmapPool;
-use crate::scatter::ScatterVec;
-use crate::seq::BmpMode;
+use crate::driver::{BmpMode, CpuKernel};
 use crate::ParConfig;
 
 /// Parallel MPS with work metering: returns counts plus the merged tallies.
 pub fn par_mps_metered(g: &CsrGraph, mps: &MpsConfig, cfg: &ParConfig) -> (Vec<u32>, WorkCounts) {
-    let m = g.num_directed_edges();
-    let cnt = ScatterVec::new(m);
-    let total = Mutex::new(WorkCounts::default());
-    if m > 0 {
-        let t = cfg.task_size.max(1);
-        let tasks = m.div_ceil(t);
-        let run = || {
-            (0..tasks).into_par_iter().for_each(|k| {
-                let mut meter = CountingMeter::new();
-                let mut u_tls = 0u32;
-                for eid in (k * t)..((k * t) + t).min(m) {
-                    let u = g.find_src(eid, &mut u_tls);
-                    let v = g.dst()[eid];
-                    if u < v {
-                        let c = mps_count_cfg(g.neighbors(u), g.neighbors(v), mps, &mut meter);
-                        cnt.set(eid, c);
-                        cnt.set(g.reverse_offset(u, eid), c);
-                    }
-                }
-                total.lock().merge(&meter.counts);
-            });
-        };
-        crate::with_threads(cfg.threads, run);
-    }
-    (cnt.into_vec(), total.into_inner())
+    CpuKernel::Mps(*mps).run_par_metered(g, cfg)
 }
 
 /// Parallel BMP with work metering.
 pub fn par_bmp_metered(g: &CsrGraph, mode: BmpMode, cfg: &ParConfig) -> (Vec<u32>, WorkCounts) {
-    let m = g.num_directed_edges();
-    let n = g.num_vertices();
-    let cnt = ScatterVec::new(m);
-    let total = Mutex::new(WorkCounts::default());
-    if m > 0 {
-        let t = cfg.task_size.max(1);
-        let tasks = m.div_ceil(t);
-        match mode {
-            BmpMode::Plain => {
-                let pool = BitmapPool::new(move || Bitmap::new(n));
-                let run = || {
-                    (0..tasks).into_par_iter().for_each(|k| {
-                        let mut meter = CountingMeter::new();
-                        let mut bm = pool.acquire();
-                        let mut pu: Option<u32> = None;
-                        let mut u_tls = 0u32;
-                        for eid in (k * t)..((k * t) + t).min(m) {
-                            let u = g.find_src(eid, &mut u_tls);
-                            let v = g.dst()[eid];
-                            if u >= v {
-                                continue;
-                            }
-                            if pu != Some(u) {
-                                if let Some(p) = pu {
-                                    bm.clear_list(g.neighbors(p), &mut meter);
-                                }
-                                bm.set_list(g.neighbors(u), &mut meter);
-                                pu = Some(u);
-                            }
-                            let c = bmp_count(&bm, g.neighbors(v), &mut meter);
-                            cnt.set(eid, c);
-                            cnt.set(g.reverse_offset(u, eid), c);
-                        }
-                        if let Some(p) = pu {
-                            bm.clear_list(g.neighbors(p), &mut meter);
-                        }
-                        pool.release(bm);
-                        total.lock().merge(&meter.counts);
-                    });
-                };
-                crate::with_threads(cfg.threads, run);
-            }
-            BmpMode::RangeFiltered { ratio } => {
-                let pool = BitmapPool::new(move || RfBitmap::with_ratio(n.max(1), ratio));
-                let run = || {
-                    (0..tasks).into_par_iter().for_each(|k| {
-                        let mut meter = CountingMeter::new();
-                        let mut rf = pool.acquire();
-                        let mut pu: Option<u32> = None;
-                        let mut u_tls = 0u32;
-                        for eid in (k * t)..((k * t) + t).min(m) {
-                            let u = g.find_src(eid, &mut u_tls);
-                            let v = g.dst()[eid];
-                            if u >= v {
-                                continue;
-                            }
-                            if pu != Some(u) {
-                                if let Some(p) = pu {
-                                    rf.clear_list(g.neighbors(p), &mut meter);
-                                }
-                                rf.set_list(g.neighbors(u), &mut meter);
-                                pu = Some(u);
-                            }
-                            let c = rf_count(&rf, g.neighbors(v), &mut meter);
-                            cnt.set(eid, c);
-                            cnt.set(g.reverse_offset(u, eid), c);
-                        }
-                        if let Some(p) = pu {
-                            rf.clear_list(g.neighbors(p), &mut meter);
-                        }
-                        pool.release(rf);
-                        total.lock().merge(&meter.counts);
-                    });
-                };
-                crate::with_threads(cfg.threads, run);
-            }
-        }
-    }
-    (cnt.into_vec(), total.into_inner())
+    CpuKernel::Bmp(mode).run_par_metered(g, cfg)
 }
 
 #[cfg(test)]
@@ -154,27 +50,16 @@ mod tests {
     }
 
     #[test]
-    fn metered_work_close_to_sequential_work() {
-        // The intersection work (ops) is identical; only the per-task bitmap
-        // reconstruction differs (a u spanning a task boundary is indexed
-        // twice). With reasonably large tasks the overhead stays small.
+    fn metered_work_equals_sequential_work() {
+        // The unified driver meters every path uniformly (kernel work plus
+        // the reverse-offset search), and MPS has no per-task state beyond
+        // FindSrc: the parallel decomposition must not change one tally.
         let g = CsrGraph::from_edge_list(&generators::chung_lu(300, 10.0, 2.2, 4));
         let mut seq_meter = cnc_intersect::CountingMeter::new();
         seq_mps(&g, &MpsConfig::default(), &mut seq_meter);
-        let (_, par_work) = par_mps_metered(
-            &g,
-            &MpsConfig::default(),
-            &ParConfig::with_task_size(4096),
-        );
-        // MPS has no per-task state beyond FindSrc: ops match exactly
-        // except the reverse-offset metering lives in the seq driver only.
-        assert!(
-            par_work.total_ops() <= seq_meter.counts.total_ops(),
-            "par {} vs seq {}",
-            par_work.total_ops(),
-            seq_meter.counts.total_ops()
-        );
-        assert!(par_work.total_ops() * 2 > seq_meter.counts.total_ops());
+        let (_, par_work) =
+            par_mps_metered(&g, &MpsConfig::default(), &ParConfig::with_task_size(4096));
+        assert_eq!(par_work, seq_meter.counts);
     }
 
     #[test]
@@ -182,9 +67,20 @@ mod tests {
         let g = CsrGraph::from_edge_list(&generators::gnm(200, 2000, 3));
         let mut seq_meter = cnc_intersect::CountingMeter::new();
         seq_bmp(&g, BmpMode::Plain, &mut seq_meter);
-        let (_, big_tasks) = par_bmp_metered(&g, BmpMode::Plain, &ParConfig::with_task_size(100_000));
+        let (_, big_tasks) =
+            par_bmp_metered(&g, BmpMode::Plain, &ParConfig::with_task_size(100_000));
         let (_, tiny_tasks) = par_bmp_metered(&g, BmpMode::Plain, &ParConfig::with_task_size(8));
         // Tiny tasks re-index the same u many times: strictly more writes.
         assert!(tiny_tasks.write_bytes > big_tasks.write_bytes);
+        // A single whole-range task does exactly the sequential work.
+        let (_, one_task) = par_bmp_metered(
+            &g,
+            BmpMode::Plain,
+            &ParConfig {
+                task_size: usize::MAX,
+                threads: None,
+            },
+        );
+        assert_eq!(one_task, seq_meter.counts);
     }
 }

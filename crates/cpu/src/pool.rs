@@ -7,7 +7,7 @@
 //! tasks and takes them back cleared; at steady state it holds one bitmap
 //! per worker thread.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Statistics of pool usage (exported for tests and the memory tables).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -40,27 +40,27 @@ impl<T> BitmapPool<T> {
     /// The caller must return the value *clean* (all-zero bitmap) via
     /// [`BitmapPool::release`].
     pub fn acquire(&self) -> T {
-        if let Some(v) = self.free.lock().pop() {
-            self.stats.lock().reused += 1;
+        if let Some(v) = self.free.lock().expect("pool lock poisoned").pop() {
+            self.stats.lock().expect("pool lock poisoned").reused += 1;
             return v;
         }
-        self.stats.lock().created += 1;
+        self.stats.lock().expect("pool lock poisoned").created += 1;
         (self.factory)()
     }
 
     /// Return a (clean) value to the pool.
     pub fn release(&self, v: T) {
-        self.free.lock().push(v);
+        self.free.lock().expect("pool lock poisoned").push(v);
     }
 
     /// Usage statistics so far.
     pub fn stats(&self) -> PoolStats {
-        *self.stats.lock()
+        *self.stats.lock().expect("pool lock poisoned")
     }
 
     /// Number of values currently on the free list.
     pub fn idle(&self) -> usize {
-        self.free.lock().len()
+        self.free.lock().expect("pool lock poisoned").len()
     }
 }
 
@@ -104,6 +104,9 @@ mod tests {
         bm.set(5);
         pool.release(bm);
         let back = pool.acquire();
-        assert!(!back.is_empty(), "pool hands back exactly what was released");
+        assert!(
+            !back.is_empty(),
+            "pool hands back exactly what was released"
+        );
     }
 }

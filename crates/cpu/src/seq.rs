@@ -1,84 +1,26 @@
 //! Sequential drivers — the starting points of the paper's technique
 //! evaluation (Table 4's `T_M`, `T_MPS`, `T_BMP` rows).
+//!
+//! Each function is a thin instantiation of the unified
+//! [`EdgeRangeDriver`](crate::EdgeRangeDriver) (via [`CpuKernel`]): the
+//! whole edge range runs as a single task, so per-source state is amortized
+//! exactly as in the paper's sequential algorithms, and all work is
+//! reported to the caller's [`Meter`].
 
 use cnc_graph::CsrGraph;
-use cnc_intersect::{
-    bmp_count, merge_count, mps_count_cfg, rf_count, Bitmap, Meter, MpsConfig, RfBitmap,
-};
+use cnc_intersect::{Meter, MpsConfig};
 
-/// BMP index flavor: plain `|V|`-bit bitmap or the range-filtered variant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum BmpMode {
-    /// Plain bitmap (Algorithm 2 as written).
-    Plain,
-    /// Range-filtered bitmap with the given big-to-small ratio
-    /// (the paper's RF technique; default ratio 4096).
-    RangeFiltered {
-        /// Big-bitmap bits summarized per small-bitmap bit (power of two).
-        ratio: usize,
-    },
-}
-
-impl BmpMode {
-    /// The paper's default RF configuration.
-    pub fn rf_default() -> Self {
-        BmpMode::RangeFiltered {
-            ratio: cnc_intersect::DEFAULT_RF_RATIO,
-        }
-    }
-
-    /// RF with the scale-aware ratio for a graph of `num_vertices` (see
-    /// [`cnc_intersect::scaled_rf_ratio`]): the paper's L1-fitting rule
-    /// applied at any graph size.
-    pub fn rf_scaled(num_vertices: usize) -> Self {
-        BmpMode::RangeFiltered {
-            ratio: cnc_intersect::scaled_rf_ratio(num_vertices),
-        }
-    }
-}
-
-/// Cost of the reverse-offset binary search, reported to the meter.
-#[inline]
-fn meter_reverse<M: Meter>(dv: usize, meter: &mut M) {
-    let probes = (dv.max(1)).ilog2() as u64 + 1;
-    meter.scalar_ops(probes);
-    meter.rand_accesses(probes);
-    meter.write_bytes(8); // the two count stores
-}
+use crate::driver::{BmpMode, CpuKernel};
 
 /// Baseline **M**: plain merge for every `u < v` edge, symmetric assignment
 /// for the rest (Figure 3 / Table 4 baseline).
 pub fn seq_merge_baseline<M: Meter>(g: &CsrGraph, meter: &mut M) -> Vec<u32> {
-    let mut cnt = vec![0u32; g.num_directed_edges()];
-    for u in 0..g.num_vertices() as u32 {
-        for eid in g.offset_range(u) {
-            let v = g.dst()[eid];
-            if u < v {
-                let c = merge_count(g.neighbors(u), g.neighbors(v), meter);
-                cnt[eid] = c;
-                cnt[g.reverse_offset(u, eid)] = c;
-                meter_reverse(g.degree(v), meter);
-            }
-        }
-    }
-    cnt
+    CpuKernel::Merge.run_seq(g, meter)
 }
 
 /// **MPS** (Algorithm 1): hybrid pivot-skip / vectorized block merge.
 pub fn seq_mps<M: Meter>(g: &CsrGraph, cfg: &MpsConfig, meter: &mut M) -> Vec<u32> {
-    let mut cnt = vec![0u32; g.num_directed_edges()];
-    for u in 0..g.num_vertices() as u32 {
-        for eid in g.offset_range(u) {
-            let v = g.dst()[eid];
-            if u < v {
-                let c = mps_count_cfg(g.neighbors(u), g.neighbors(v), cfg, meter);
-                cnt[eid] = c;
-                cnt[g.reverse_offset(u, eid)] = c;
-                meter_reverse(g.degree(v), meter);
-            }
-        }
-    }
-    cnt
+    CpuKernel::Mps(*cfg).run_seq(g, meter)
 }
 
 /// **BMP** (Algorithm 2): per-vertex dynamic bitmap index, amortized over
@@ -87,52 +29,7 @@ pub fn seq_mps<M: Meter>(g: &CsrGraph, cfg: &MpsConfig, meter: &mut M) -> Vec<u3
 /// Works on any CSR; for the paper's `O(min(d_u, d_v))` bound the graph
 /// should be degree-descending reordered first (see `cnc_graph::reorder`).
 pub fn seq_bmp<M: Meter>(g: &CsrGraph, mode: BmpMode, meter: &mut M) -> Vec<u32> {
-    let n = g.num_vertices();
-    let mut cnt = vec![0u32; g.num_directed_edges()];
-    match mode {
-        BmpMode::Plain => {
-            let mut bm = Bitmap::new(n);
-            for u in 0..n as u32 {
-                let nu = g.neighbors(u);
-                // Neighbors are sorted: a trailing id > u means work exists.
-                if nu.last().is_none_or(|&last| last < u) {
-                    continue;
-                }
-                bm.set_list(nu, meter);
-                for eid in g.offset_range(u) {
-                    let v = g.dst()[eid];
-                    if u < v {
-                        let c = bmp_count(&bm, g.neighbors(v), meter);
-                        cnt[eid] = c;
-                        cnt[g.reverse_offset(u, eid)] = c;
-                        meter_reverse(g.degree(v), meter);
-                    }
-                }
-                bm.clear_list(nu, meter);
-            }
-        }
-        BmpMode::RangeFiltered { ratio } => {
-            let mut rf = RfBitmap::with_ratio(n.max(1), ratio);
-            for u in 0..n as u32 {
-                let nu = g.neighbors(u);
-                if nu.last().is_none_or(|&last| last < u) {
-                    continue;
-                }
-                rf.set_list(nu, meter);
-                for eid in g.offset_range(u) {
-                    let v = g.dst()[eid];
-                    if u < v {
-                        let c = rf_count(&rf, g.neighbors(v), meter);
-                        cnt[eid] = c;
-                        cnt[g.reverse_offset(u, eid)] = c;
-                        meter_reverse(g.degree(v), meter);
-                    }
-                }
-                rf.clear_list(nu, meter);
-            }
-        }
-    }
-    cnt
+    CpuKernel::Bmp(mode).run_seq(g, meter)
 }
 
 #[cfg(test)]
@@ -171,12 +68,7 @@ mod tests {
     fn triangle_counts() {
         // Triangle 0-1-2 plus tail 2-3: each triangle edge has one common
         // neighbor, the tail has none.
-        let g = CsrGraph::from_edge_list(&EdgeList::from_pairs([
-            (0, 1),
-            (0, 2),
-            (1, 2),
-            (2, 3),
-        ]));
+        let g = CsrGraph::from_edge_list(&EdgeList::from_pairs([(0, 1), (0, 2), (1, 2), (2, 3)]));
         let want = oracle(&g);
         let mut m = NullMeter;
         let got = seq_merge_baseline(&g, &mut m);
@@ -276,7 +168,11 @@ mod tests {
         let mut plain = CountingMeter::new();
         seq_bmp(&r.graph, BmpMode::Plain, &mut plain);
         let mut rf = CountingMeter::new();
-        seq_bmp(&r.graph, BmpMode::rf_scaled(r.graph.num_vertices()), &mut rf);
+        seq_bmp(
+            &r.graph,
+            BmpMode::rf_scaled(r.graph.num_vertices()),
+            &mut rf,
+        );
         // The paper reports 1.9–2.1× on FR; construction and reverse-offset
         // accesses are incompressible, so require at least a 1.5× reduction.
         assert!(

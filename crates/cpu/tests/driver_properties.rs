@@ -1,0 +1,71 @@
+//! Property-based tests for the unified edge-range driver: the task
+//! decomposition and the meter choice must never change the answer.
+//!
+//! For any random graph, any task size (including degenerate ones: a task
+//! per edge, or one task far larger than `|E|`), and every kernel, the
+//! parallel driver with a [`NullMeter`] and the metered parallel driver
+//! with a [`CountingMeter`] must both produce counts byte-identical to the
+//! sequential whole-range run.
+
+use cnc_cpu::{BmpMode, CpuKernel, ParConfig};
+use cnc_graph::{generators, CsrGraph};
+use cnc_intersect::{MpsConfig, NullMeter};
+use proptest::prelude::*;
+
+fn kernels(num_vertices: usize) -> Vec<CpuKernel> {
+    vec![
+        CpuKernel::Merge,
+        CpuKernel::Mps(MpsConfig::default()),
+        CpuKernel::Bmp(BmpMode::Plain),
+        CpuKernel::Bmp(BmpMode::rf_scaled(num_vertices)),
+    ]
+}
+
+/// Strategy: a task size spanning the degenerate and the ordinary —
+/// one edge per task, a handful of interior splits, and one task far
+/// larger than any test graph's `|E|`.
+fn task_size() -> impl Strategy<Value = usize> {
+    prop::sample::select(vec![1usize, 2, 7, 61, 256, 1023, 4096, usize::MAX])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn decomposition_and_metering_never_change_counts(
+        n in 2usize..120,
+        edge_factor in 1usize..6,
+        seed in 0u64..1_000,
+        t in task_size(),
+    ) {
+        let g = CsrGraph::from_edge_list(&generators::gnm(n, n * edge_factor, seed));
+        let cfg = ParConfig::with_task_size(t);
+        for kernel in kernels(g.num_vertices()) {
+            let seq = kernel.run_seq(&g, &mut NullMeter);
+            let par = kernel.run_par(&g, &cfg);
+            let (metered, work) = kernel.run_par_metered(&g, &cfg);
+            prop_assert_eq!(&par, &seq, "NullMeter par diverged: {:?} t={}", kernel, t);
+            prop_assert_eq!(&metered, &seq, "CountingMeter par diverged: {:?} t={}", kernel, t);
+            // Any split of the range does the same intersections.
+            prop_assert!(work.total_ops() > 0 || g.num_directed_edges() == 0);
+        }
+    }
+
+    #[test]
+    fn skewed_graphs_agree_across_task_sizes(
+        hubs in 1usize..4,
+        seed in 0u64..100,
+        t in task_size(),
+    ) {
+        // Hub-heavy graphs exercise the pivot-skip path and uneven
+        // source-run lengths across task boundaries.
+        let g = CsrGraph::from_edge_list(&generators::hub_web(80, 4.0, hubs, 0.5, seed));
+        let cfg = ParConfig::with_task_size(t);
+        for kernel in kernels(g.num_vertices()) {
+            let seq = kernel.run_seq(&g, &mut NullMeter);
+            let (metered, _) = kernel.run_par_metered(&g, &cfg);
+            prop_assert_eq!(&kernel.run_par(&g, &cfg), &seq);
+            prop_assert_eq!(&metered, &seq);
+        }
+    }
+}

@@ -107,8 +107,7 @@ mod tests {
     fn fill_upper(g: &CsrGraph, counts: &mut [u32]) {
         for (eid, u, v) in g.iter_edges() {
             if u < v {
-                counts[eid] =
-                    cnc_intersect::reference_count(g.neighbors(u), g.neighbors(v));
+                counts[eid] = cnc_intersect::reference_count(g.neighbors(u), g.neighbors(v));
             }
         }
     }

@@ -160,8 +160,7 @@ pub fn run_pskernel(
             const PS_DIVERGENCE: u64 = 32;
             stats.warp_instrs +=
                 (meter.counts.scalar_ops + meter.counts.vector_ops) * PS_DIVERGENCE;
-            stats.scattered_trans +=
-                meter.counts.rand_accesses + meter.counts.rand_accesses_small;
+            stats.scattered_trans += meter.counts.rand_accesses + meter.counts.rand_accesses_small;
             stats.coalesced_bytes += meter.counts.seq_bytes;
             counts[eid] = c;
             stats.coalesced_bytes += 4;
@@ -296,8 +295,8 @@ pub fn run_bmp_kernel(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cnc_graph::{generators, EdgeList};
     use crate::spec::titan_xp;
+    use cnc_graph::{generators, EdgeList};
 
     fn reference(g: &CsrGraph) -> Vec<u32> {
         let mut cnt = vec![0u32; g.num_directed_edges()];
@@ -347,7 +346,14 @@ mod tests {
         let mut counts = vec![0u32; g.num_directed_edges()];
         let mut um = um_for(&g, &spec);
         run_bmp_kernel(
-            &g, &spec, &cfg, None, &pool, full_range(&g), &mut counts, &mut um,
+            &g,
+            &spec,
+            &cfg,
+            None,
+            &pool,
+            full_range(&g),
+            &mut counts,
+            &mut um,
         );
         assert_eq!(counts, reference(&g));
     }
@@ -362,14 +368,30 @@ mod tests {
 
         let mut c1 = vec![0u32; g.num_directed_edges()];
         let mut um1 = um_for(&g, &spec);
-        let s_plain = run_bmp_kernel(&g, &spec, &cfg, None, &pool, full_range(&g), &mut c1, &mut um1);
+        let s_plain = run_bmp_kernel(
+            &g,
+            &spec,
+            &cfg,
+            None,
+            &pool,
+            full_range(&g),
+            &mut c1,
+            &mut um1,
+        );
         assert_eq!(c1, want);
 
         let mut c2 = vec![0u32; g.num_directed_edges()];
         let mut um2 = um_for(&g, &spec);
         let ratio = cnc_intersect::scaled_rf_ratio(g.num_vertices());
         let s_rf = run_bmp_kernel(
-            &g, &spec, &cfg, Some(ratio), &pool, full_range(&g), &mut c2, &mut um2,
+            &g,
+            &spec,
+            &cfg,
+            Some(ratio),
+            &pool,
+            full_range(&g),
+            &mut c2,
+            &mut um2,
         );
         assert_eq!(c2, want);
         assert!(
@@ -396,7 +418,14 @@ mod tests {
             while start < n {
                 let end = (start + step).min(n);
                 run_bmp_kernel(
-                    &g, &spec, &cfg, None, &pool, start..end, &mut counts, &mut um,
+                    &g,
+                    &spec,
+                    &cfg,
+                    None,
+                    &pool,
+                    start..end,
+                    &mut counts,
+                    &mut um,
                 );
                 start = end;
             }
@@ -421,12 +450,7 @@ mod tests {
 
     #[test]
     fn edges_in_range_selects_correct_slice() {
-        let g = CsrGraph::from_edge_list(&EdgeList::from_pairs([
-            (0, 1),
-            (0, 3),
-            (0, 5),
-            (0, 7),
-        ]));
+        let g = CsrGraph::from_edge_list(&EdgeList::from_pairs([(0, 1), (0, 3), (0, 5), (0, 7)]));
         let r = edges_in_range(&g, 0, &(2..6));
         let vs: Vec<u32> = r.map(|eid| g.dst()[eid]).collect();
         assert_eq!(vs, vec![3, 5]);

@@ -134,8 +134,7 @@ impl UnifiedMemory {
             self.faults += 1;
             if self.resident.len() as u64 >= self.capacity_pages {
                 // Evict the least recently used page.
-                if let Some((&victim, _)) = self.resident.iter().min_by_key(|(_, &stamp)| stamp)
-                {
+                if let Some((&victim, _)) = self.resident.iter().min_by_key(|(_, &stamp)| stamp) {
                     self.resident.remove(&victim);
                     self.evictions += 1;
                 }
@@ -265,11 +264,7 @@ mod stream_tests {
 
     #[test]
     fn streaming_rereads_refault_every_time() {
-        let mut um = UnifiedMemory::new(
-            2 * 1024,
-            1024,
-            &[(ArrayId::Dst, 100 * 1024)],
-        );
+        let mut um = UnifiedMemory::new(2 * 1024, 1024, &[(ArrayId::Dst, 100 * 1024)]);
         um.touch_stream(ArrayId::Dst, 0..10 * 1024);
         um.touch_stream(ArrayId::Dst, 0..10 * 1024);
         // Non-resident streams pay compulsory migration per scan.

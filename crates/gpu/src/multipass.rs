@@ -111,7 +111,12 @@ mod tests {
         let mps = estimate_passes(&g, &spec, 0);
         let bmp = estimate_passes(&g, &spec, bitmap_bytes);
         assert!(mps.passes >= 2, "mps {}", mps.passes);
-        assert!(bmp.passes > mps.passes, "bmp {} mps {}", bmp.passes, mps.passes);
+        assert!(
+            bmp.passes > mps.passes,
+            "bmp {} mps {}",
+            bmp.passes,
+            mps.passes
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 
 use cnc_intersect::Bitmap;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// A pool of device bitmaps with an atomic occupation status array.
 pub struct DeviceBitmapPool {
@@ -56,7 +56,7 @@ impl DeviceBitmapPool {
     pub fn device_bytes(&self) -> u64 {
         self.bitmaps
             .iter()
-            .map(|b| b.lock().bytes() as u64)
+            .map(|b| b.lock().expect("pool lock poisoned").bytes() as u64)
             .sum()
     }
 
@@ -81,14 +81,19 @@ impl DeviceBitmapPool {
 
     /// Run `f` with mutable access to the acquired bitmap.
     pub fn with<R>(&self, handle: &AcquiredBitmap, f: impl FnOnce(&mut Bitmap) -> R) -> R {
-        f(&mut self.bitmaps[handle.slot].lock())
+        f(&mut self.bitmaps[handle.slot]
+            .lock()
+            .expect("pool lock poisoned"))
     }
 
     /// `ReleaseBitmap`: mark the slot free again. Debug-checks the clearing
     /// contract (Algorithm 6 line 21 clears before releasing).
     pub fn release(&self, handle: AcquiredBitmap) {
         debug_assert!(
-            self.bitmaps[handle.slot].lock().is_empty(),
+            self.bitmaps[handle.slot]
+                .lock()
+                .expect("pool lock poisoned")
+                .is_empty(),
             "bitmap must be cleared before release"
         );
         self.status[handle.slot].store(0, Ordering::Release);

@@ -227,8 +227,14 @@ impl GpuRunner {
         for range in pass_ranges(n, passes) {
             match algo {
                 GpuAlgo::Mps => {
-                    let s1 =
-                        run_mkernel(g, &self.spec, &cfg.launch, range.clone(), &mut counts, &mut um);
+                    let s1 = run_mkernel(
+                        g,
+                        &self.spec,
+                        &cfg.launch,
+                        range.clone(),
+                        &mut counts,
+                        &mut um,
+                    );
                     let s2 = run_pskernel(g, &self.spec, &cfg.launch, range, &mut counts, &mut um);
                     stats.merge(&s1);
                     stats.merge(&s2);

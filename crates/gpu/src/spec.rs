@@ -80,8 +80,7 @@ impl GpuSpec {
         // Shared memory (like the page size below) shrinks with the square
         // root: a linear shrink would leave miniature devices with a
         // useless handful of bytes per block for the RF small bitmap.
-        s.shared_mem_per_sm =
-            ((self.shared_mem_per_sm as f64 * factor.sqrt()) as usize).max(1024);
+        s.shared_mem_per_sm = ((self.shared_mem_per_sm as f64 * factor.sqrt()) as usize).max(1024);
         // Pages shrink with the square root so miniature devices still have
         // a meaningful number of page slots.
         s.page_bytes = ((self.page_bytes as f64 * factor.sqrt()) as u64)

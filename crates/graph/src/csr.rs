@@ -108,10 +108,7 @@ impl CsrGraph {
         }
         // Scatter with atomic cursors.
         let m = offsets[n];
-        let cursor: Vec<AtomicUsize> = offsets[..n]
-            .iter()
-            .map(|&o| AtomicUsize::new(o))
-            .collect();
+        let cursor: Vec<AtomicUsize> = offsets[..n].iter().map(|&o| AtomicUsize::new(o)).collect();
         let dst_cells: Vec<AtomicUsize> = (0..m).map(|_| AtomicUsize::new(0)).collect();
         el.edges.par_iter().for_each(|&(u, v)| {
             let pu = cursor[u as usize].fetch_add(1, Ordering::Relaxed);
@@ -270,10 +267,8 @@ impl CsrGraph {
 
     /// Iterate `(eid, u, v)` over all directed edge slots.
     pub fn iter_edges(&self) -> impl Iterator<Item = (usize, u32, u32)> + '_ {
-        (0..self.num_vertices() as u32).flat_map(move |u| {
-            self.offset_range(u)
-                .map(move |eid| (eid, u, self.dst[eid]))
-        })
+        (0..self.num_vertices() as u32)
+            .flat_map(move |u| self.offset_range(u).map(move |eid| (eid, u, self.dst[eid])))
     }
 
     /// Total bytes of the CSR arrays (the paper's `Mem_CSR`).

@@ -129,13 +129,7 @@ pub fn rmat(scale: u32, edge_factor: usize, a: f64, b: f64, c: f64, seed: u64) -
 /// 1.2 M at an average of 28): `hubs` vertices are connected to a large
 /// random fraction `hub_coverage` of all vertices; the remaining edges form
 /// a power-law body.
-pub fn hub_web(
-    n: usize,
-    avg_deg: f64,
-    hubs: usize,
-    hub_coverage: f64,
-    seed: u64,
-) -> EdgeList {
+pub fn hub_web(n: usize, avg_deg: f64, hubs: usize, hub_coverage: f64, seed: u64) -> EdgeList {
     assert!(hubs < n);
     assert!((0.0..=1.0).contains(&hub_coverage));
     let mut rng = StdRng::seed_from_u64(seed);

@@ -9,10 +9,31 @@
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use bytes::{Buf, BufMut};
-
 use crate::csr::CsrGraph;
 use crate::edgelist::EdgeList;
+
+fn put_u64_le(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32_le(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Pop a little-endian u64 off the front of `buf`. Panics if `buf` is short;
+/// all callers size their reads up front.
+fn get_u64_le(buf: &mut &[u8]) -> u64 {
+    let (head, tail) = buf.split_at(8);
+    *buf = tail;
+    u64::from_le_bytes(head.try_into().expect("split_at(8) yields 8 bytes"))
+}
+
+/// Pop a little-endian u32 off the front of `buf` (see [`get_u64_le`]).
+fn get_u32_le(buf: &mut &[u8]) -> u32 {
+    let (head, tail) = buf.split_at(4);
+    *buf = tail;
+    u32::from_le_bytes(head.try_into().expect("split_at(4) yields 4 bytes"))
+}
 
 /// Magic header of the binary CSR format.
 const MAGIC: &[u8; 8] = b"CNCCSR01";
@@ -90,13 +111,13 @@ pub fn write_edge_list<W: Write>(el: &EdgeList, writer: W) -> io::Result<()> {
 pub fn write_csr<W: Write>(g: &CsrGraph, writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
     let mut header = Vec::with_capacity(24);
-    header.put_slice(MAGIC);
-    header.put_u64_le(g.num_vertices() as u64);
-    header.put_u64_le(g.num_directed_edges() as u64);
+    header.extend_from_slice(MAGIC);
+    put_u64_le(&mut header, g.num_vertices() as u64);
+    put_u64_le(&mut header, g.num_directed_edges() as u64);
     w.write_all(&header)?;
     let mut chunk = Vec::with_capacity(8 * 1024);
     for &o in g.offsets() {
-        chunk.put_u64_le(o as u64);
+        put_u64_le(&mut chunk, o as u64);
         if chunk.len() >= 8 * 1024 {
             w.write_all(&chunk)?;
             chunk.clear();
@@ -105,7 +126,7 @@ pub fn write_csr<W: Write>(g: &CsrGraph, writer: W) -> io::Result<()> {
     w.write_all(&chunk)?;
     chunk.clear();
     for &d in g.dst() {
-        chunk.put_u32_le(d);
+        put_u32_le(&mut chunk, d);
         if chunk.len() >= 8 * 1024 {
             w.write_all(&chunk)?;
             chunk.clear();
@@ -127,21 +148,21 @@ pub fn read_csr<R: Read>(reader: R) -> io::Result<CsrGraph> {
         ));
     }
     let mut hdr = &header[8..];
-    let n = hdr.get_u64_le() as usize;
-    let m = hdr.get_u64_le() as usize;
+    let n = get_u64_le(&mut hdr) as usize;
+    let m = get_u64_le(&mut hdr) as usize;
     let mut offsets_raw = vec![0u8; (n + 1) * 8];
     r.read_exact(&mut offsets_raw)?;
     let mut offsets = Vec::with_capacity(n + 1);
     let mut buf = offsets_raw.as_slice();
     for _ in 0..=n {
-        offsets.push(buf.get_u64_le() as usize);
+        offsets.push(get_u64_le(&mut buf) as usize);
     }
     let mut dst_raw = vec![0u8; m * 4];
     r.read_exact(&mut dst_raw)?;
     let mut dst = Vec::with_capacity(m);
     let mut buf = dst_raw.as_slice();
     for _ in 0..m {
-        dst.push(buf.get_u32_le());
+        dst.push(get_u32_le(&mut buf));
     }
     if offsets.first() != Some(&0) || offsets.last() != Some(&m) {
         return Err(io::Error::new(
@@ -160,12 +181,12 @@ const COUNTS_MAGIC: &[u8; 8] = b"CNCCNT01";
 pub fn write_counts<W: Write>(counts: &[u32], writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
     let mut header = Vec::with_capacity(16);
-    header.put_slice(COUNTS_MAGIC);
-    header.put_u64_le(counts.len() as u64);
+    header.extend_from_slice(COUNTS_MAGIC);
+    put_u64_le(&mut header, counts.len() as u64);
     w.write_all(&header)?;
     let mut chunk = Vec::with_capacity(8 * 1024);
     for &c in counts {
-        chunk.put_u32_le(c);
+        put_u32_le(&mut chunk, c);
         if chunk.len() >= 8 * 1024 {
             w.write_all(&chunk)?;
             chunk.clear();
@@ -186,13 +207,13 @@ pub fn read_counts<R: Read>(reader: R) -> io::Result<Vec<u32>> {
             "bad magic: not a CNCCNT01 file",
         ));
     }
-    let m = (&header[8..]).get_u64_le() as usize;
+    let m = get_u64_le(&mut &header[8..]) as usize;
     let mut raw = vec![0u8; m * 4];
     r.read_exact(&mut raw)?;
     let mut out = Vec::with_capacity(m);
     let mut buf = raw.as_slice();
     for _ in 0..m {
-        out.push(buf.get_u32_le());
+        out.push(get_u32_le(&mut buf));
     }
     Ok(out)
 }

@@ -37,23 +37,17 @@ pub fn degree_descending(g: &CsrGraph) -> Reordered {
     let n = g.num_vertices();
     let mut order: Vec<u32> = (0..n as u32).collect();
     // Descending degree, ascending old id on ties: deterministic.
-    order.sort_by(|&a, &b| {
-        g.degree(b)
-            .cmp(&g.degree(a))
-            .then_with(|| a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| g.degree(b).cmp(&g.degree(a)).then_with(|| a.cmp(&b)));
     let new_to_old = order;
     let mut old_to_new = vec![0u32; n];
     for (new_id, &old_id) in new_to_old.iter().enumerate() {
         old_to_new[old_id as usize] = new_id as u32;
     }
     // Remap edges; build the CSR from undirected pairs (u < v once each).
-    let pairs = g.iter_edges().filter(|&(_, u, v)| u < v).map(|(_, u, v)| {
-        (
-            old_to_new[u as usize],
-            old_to_new[v as usize],
-        )
-    });
+    let pairs = g
+        .iter_edges()
+        .filter(|&(_, u, v)| u < v)
+        .map(|(_, u, v)| (old_to_new[u as usize], old_to_new[v as usize]));
     let graph = CsrGraph::from_undirected_pairs(n, pairs);
     Reordered {
         graph,
@@ -176,12 +170,7 @@ mod tests {
     #[test]
     fn relabel_star_graph() {
         // Star centered at 4: vertex 4 has degree 4, others degree 1.
-        let g = CsrGraph::from_edge_list(&EdgeList::from_pairs([
-            (4, 0),
-            (4, 1),
-            (4, 2),
-            (4, 3),
-        ]));
+        let g = CsrGraph::from_edge_list(&EdgeList::from_pairs([(4, 0), (4, 1), (4, 2), (4, 3)]));
         assert!(!is_degree_descending(&g));
         let r = degree_descending(&g);
         assert!(is_degree_descending(&r.graph));
@@ -213,10 +202,7 @@ mod tests {
         for old in 0..g.num_vertices() as u32 {
             assert_eq!(g.degree(old), r.graph.degree(r.to_new(old)));
         }
-        assert_eq!(
-            g.num_directed_edges(),
-            r.graph.num_directed_edges()
-        );
+        assert_eq!(g.num_directed_edges(), r.graph.num_directed_edges());
     }
 
     #[test]
@@ -241,7 +227,11 @@ mod tests {
         // Relabeling an already-ordered graph is the identity.
         let r2 = degree_descending(&r.graph);
         assert_eq!(r2.graph, r.graph);
-        assert!(r2.old_to_new.iter().enumerate().all(|(i, &x)| i as u32 == x));
+        assert!(r2
+            .old_to_new
+            .iter()
+            .enumerate()
+            .all(|(i, &x)| i as u32 == x));
     }
 
     #[test]

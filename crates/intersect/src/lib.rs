@@ -54,6 +54,7 @@ mod bitmap;
 mod bsr;
 mod collect;
 mod hash_index;
+mod kernel;
 mod merge;
 mod meter;
 mod mps;
@@ -67,12 +68,17 @@ pub use bitmap::{bmp_count, Bitmap};
 pub use bsr::{bsr_count, bsr_intersect, BsrSet};
 pub use collect::{merge_collect, mps_collect, ps_collect};
 pub use hash_index::{hash_count, HashIndex};
+pub use kernel::{BmpKernel, MergeKernel, MpsKernel, PairKernel, RfKernel};
 pub use merge::merge_count;
 pub use meter::{CountingMeter, Meter, NullMeter, WorkCounts};
 pub use mps::{mps_count, mps_count_cfg, MpsConfig};
 pub use pivot_skip::ps_count;
-pub use range_filter::{rf_count, scaled_rf_ratio, RfBitmap, DEFAULT_RF_RATIO};
-pub use search::{gallop_lower_bound, gallop_lower_bound_no_prefix, linear_lower_bound, lower_bound};
+pub use range_filter::{
+    rf_count, scaled_rf_ratio, validate_rf_ratio, RfBitmap, RfRatioError, DEFAULT_RF_RATIO,
+};
+pub use search::{
+    gallop_lower_bound, gallop_lower_bound_no_prefix, linear_lower_bound, lower_bound,
+};
 pub use simd::SimdLevel;
 pub use vb::{vb_count, vb_count_lanes};
 

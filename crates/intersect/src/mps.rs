@@ -109,10 +109,7 @@ mod tests {
         let small = [1u32, 7, 40_000];
         let mut m = NullMeter;
         for simd in [SimdLevel::Scalar, SimdLevel::Avx2, SimdLevel::Avx512] {
-            assert_eq!(
-                mps_count(&a, &b, 50, simd, &mut m),
-                reference_count(&a, &b)
-            );
+            assert_eq!(mps_count(&a, &b, 50, simd, &mut m), reference_count(&a, &b));
             assert_eq!(
                 mps_count(&big, &small, 50, simd, &mut m),
                 reference_count(&big, &small)
@@ -140,9 +137,6 @@ mod tests {
         let mut m = NullMeter;
         let want = reference_count(&a, &b);
         assert_eq!(mps_count(&a, &b, 0, SimdLevel::Scalar, &mut m), want);
-        assert_eq!(
-            mps_count(&a, &b, u32::MAX, SimdLevel::Avx2, &mut m),
-            want
-        );
+        assert_eq!(mps_count(&a, &b, u32::MAX, SimdLevel::Avx2, &mut m), want);
     }
 }

@@ -27,6 +27,41 @@ pub fn scaled_rf_ratio(cardinality: usize) -> usize {
     raw.next_power_of_two().clamp(2, DEFAULT_RF_RATIO)
 }
 
+/// Why an RF ratio was rejected (see [`RfBitmap::try_with_ratio`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RfRatioError {
+    /// The ratio is zero or not a power of two, so range boundaries cannot
+    /// be computed with a shift.
+    NotPowerOfTwo(usize),
+    /// The ratio is 1 (or 0): the small bitmap would be as big as the big
+    /// one and filter nothing.
+    TooSmall(usize),
+}
+
+impl std::fmt::Display for RfRatioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RfRatioError::NotPowerOfTwo(r) => {
+                write!(f, "RF ratio must be a power of two, got {r}")
+            }
+            RfRatioError::TooSmall(r) => write!(f, "RF ratio must be at least 2, got {r}"),
+        }
+    }
+}
+
+impl std::error::Error for RfRatioError {}
+
+/// Check an RF big-to-small ratio: a power of two, at least 2.
+pub fn validate_rf_ratio(ratio: usize) -> Result<(), RfRatioError> {
+    if !ratio.is_power_of_two() {
+        return Err(RfRatioError::NotPowerOfTwo(ratio));
+    }
+    if ratio < 2 {
+        return Err(RfRatioError::TooSmall(ratio));
+    }
+    Ok(())
+}
+
 /// A range-filtered bitmap: the big per-vertex bitmap plus the small
 /// summarizing filter.
 #[derive(Debug, Clone)]
@@ -44,15 +79,24 @@ impl RfBitmap {
     }
 
     /// A zeroed RF bitmap with an explicit range size `ratio` (power of two).
+    ///
+    /// # Panics
+    /// On an invalid ratio; use [`RfBitmap::try_with_ratio`] to validate
+    /// untrusted configuration instead.
     pub fn with_ratio(cardinality: usize, ratio: usize) -> Self {
-        assert!(ratio.is_power_of_two(), "RF ratio must be a power of two");
-        assert!(ratio >= 2, "RF ratio must be at least 2");
+        Self::try_with_ratio(cardinality, ratio).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// A zeroed RF bitmap with an explicit range size `ratio`, rejecting
+    /// zero / one / non-power-of-two ratios with a descriptive error.
+    pub fn try_with_ratio(cardinality: usize, ratio: usize) -> Result<Self, RfRatioError> {
+        validate_rf_ratio(ratio)?;
         let shift = ratio.trailing_zeros();
-        Self {
+        Ok(Self {
             big: Bitmap::new(cardinality),
             small: Bitmap::new(cardinality.div_ceil(ratio).max(1)),
             shift,
-        }
+        })
     }
 
     /// Cardinality of the underlying big bitmap.
@@ -162,6 +206,28 @@ mod tests {
     }
 
     #[test]
+    fn try_with_ratio_reports_clear_errors() {
+        assert_eq!(
+            RfBitmap::try_with_ratio(1000, 0).unwrap_err(),
+            RfRatioError::NotPowerOfTwo(0)
+        );
+        assert_eq!(
+            RfBitmap::try_with_ratio(1000, 1).unwrap_err(),
+            RfRatioError::TooSmall(1)
+        );
+        assert_eq!(
+            RfBitmap::try_with_ratio(1000, 100).unwrap_err(),
+            RfRatioError::NotPowerOfTwo(100)
+        );
+        assert_eq!(
+            RfRatioError::NotPowerOfTwo(100).to_string(),
+            "RF ratio must be a power of two, got 100"
+        );
+        assert!(RfBitmap::try_with_ratio(1000, 64).is_ok());
+        assert!(validate_rf_ratio(4096).is_ok());
+    }
+
+    #[test]
     fn scaled_ratio_regimes() {
         // Paper scale: twitter's 41.6M vertices → the paper's ratio.
         assert_eq!(scaled_rf_ratio(41_652_230), 4096);
@@ -178,7 +244,9 @@ mod tests {
         let ids = [3u32, 4096, 4097, 100_000, 250_001];
         let mut rf = RfBitmap::with_ratio(300_000, 4096);
         rf.set_list(&ids, &mut m);
-        for v in [0u32, 3, 4, 4095, 4096, 4097, 99_999, 100_000, 250_001, 299_999] {
+        for v in [
+            0u32, 3, 4, 4095, 4096, 4097, 99_999, 100_000, 250_001, 299_999,
+        ] {
             assert_eq!(rf.test(v, &mut m), ids.contains(&v), "v={v}");
         }
     }

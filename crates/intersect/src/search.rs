@@ -56,7 +56,11 @@ pub fn linear_lower_bound<M: Meter>(
 ) -> Option<usize> {
     let end = a.len().min(start + LINEAR_PREFIX);
     if start >= end {
-        return if start >= a.len() { Some(a.len()) } else { None };
+        return if start >= a.len() {
+            Some(a.len())
+        } else {
+            None
+        };
     }
     let window = &a[start..end];
     meter.vector_ops(window.len().div_ceil(8) as u64);
@@ -270,7 +274,11 @@ mod no_prefix_tests {
         let mut m = NullMeter;
         for start in [0usize, 1, 7, 150, 299, 300] {
             for t in [0u32, 1, 2, 100, 301, 598, 599, 600, 1000] {
-                let want = start + a[start.min(a.len())..].iter().position(|&x| x >= t).unwrap_or(a.len() - start.min(a.len()));
+                let want = start
+                    + a[start.min(a.len())..]
+                        .iter()
+                        .position(|&x| x >= t)
+                        .unwrap_or(a.len() - start.min(a.len()));
                 let got = gallop_lower_bound_no_prefix(&a, start, t, &mut m);
                 assert_eq!(got, want, "start={start} t={t}");
             }

@@ -39,5 +39,7 @@
 mod profiles;
 mod runner;
 
-pub use profiles::{profile_of, working_set_of};
+pub use profiles::{
+    counts_and_work_of, cpu_kernel_of, profile_from_work, profile_of, working_set_of,
+};
 pub use runner::{ModeledAlgo, ModeledProcessor, ModeledRun};

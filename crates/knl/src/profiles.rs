@@ -1,6 +1,6 @@
 //! Exact work profiles of the counting algorithms on a concrete graph.
 
-use cnc_cpu::{seq_bmp, seq_merge_baseline, seq_mps, BmpMode};
+use cnc_cpu::{BmpMode, CpuKernel};
 use cnc_graph::CsrGraph;
 use cnc_intersect::{Bitmap, CountingMeter, MpsConfig, RfBitmap, WorkCounts};
 use cnc_machine::WorkProfile;
@@ -48,23 +48,43 @@ fn to_profile(counts: &WorkCounts, ws_bytes: f64, replicated: bool) -> WorkProfi
     }
 }
 
+/// The CPU-side kernel dispatch equivalent to a modeled algorithm: modeled
+/// processors execute the same unified edge-range driver as the real CPU.
+pub fn cpu_kernel_of(algo: &ModeledAlgo) -> CpuKernel {
+    match algo {
+        ModeledAlgo::MergeBaseline => CpuKernel::Merge,
+        ModeledAlgo::Mps { simd, threshold } => CpuKernel::Mps(MpsConfig {
+            skew_threshold: *threshold,
+            simd: *simd,
+        }),
+        ModeledAlgo::Bmp { mode } => CpuKernel::Bmp(*mode),
+    }
+}
+
+/// Execute `algo` on `g` (sequentially, fully instrumented) and return the
+/// exact counts plus the raw work tallies.
+///
+/// This routes through `cnc_cpu::CpuKernel::run_seq` — the same
+/// `EdgeRangeDriver` loop as every real-CPU driver — with a
+/// [`CountingMeter`], so profiles are deterministic and exactly match the
+/// work of a single-task run.
+pub fn counts_and_work_of(g: &CsrGraph, algo: &ModeledAlgo) -> (Vec<u32>, WorkCounts) {
+    let mut meter = CountingMeter::new();
+    let counts = cpu_kernel_of(algo).run_seq(g, &mut meter);
+    (counts, meter.counts)
+}
+
+/// Turn raw work tallies of `algo` on `g` into the machine model's input.
+pub fn profile_from_work(g: &CsrGraph, algo: &ModeledAlgo, work: &WorkCounts) -> WorkProfile {
+    let (ws, repl) = working_set_of(g, algo);
+    to_profile(work, ws, repl)
+}
+
 /// Execute `algo` on `g` (sequentially, fully instrumented) and return the
 /// exact counts plus the machine-neutral work profile.
 pub fn profile_of(g: &CsrGraph, algo: &ModeledAlgo) -> (Vec<u32>, WorkProfile) {
-    let mut meter = CountingMeter::new();
-    let counts = match algo {
-        ModeledAlgo::MergeBaseline => seq_merge_baseline(g, &mut meter),
-        ModeledAlgo::Mps { simd, threshold } => {
-            let cfg = MpsConfig {
-                skew_threshold: *threshold,
-                simd: *simd,
-            };
-            seq_mps(g, &cfg, &mut meter)
-        }
-        ModeledAlgo::Bmp { mode } => seq_bmp(g, *mode, &mut meter),
-    };
-    let (ws, repl) = working_set_of(g, algo);
-    (counts, to_profile(&meter.counts, ws, repl))
+    let (counts, work) = counts_and_work_of(g, algo);
+    (counts, profile_from_work(g, algo, &work))
 }
 
 #[cfg(test)]

@@ -145,7 +145,12 @@ impl ModeledProcessor {
 
     /// Model timing only, reusing an existing profile (cheap: lets sweeps
     /// over threads / memory modes profile the algorithm once).
-    pub fn time_profile(&self, profile: &WorkProfile, threads: usize, mode: MemMode) -> ModelReport {
+    pub fn time_profile(
+        &self,
+        profile: &WorkProfile,
+        threads: usize,
+        mode: MemMode,
+    ) -> ModelReport {
         estimate(&self.spec, profile, threads, mode)
     }
 }
@@ -184,8 +189,16 @@ mod tests {
             assert_eq!(m.counts, bmp.counts);
             let s_mps = m.report.seconds / mps.report.seconds;
             let s_bmp = m.report.seconds / bmp.report.seconds;
-            assert!(s_mps > 1.5, "{}: MPS vs M only {s_mps:.2}x", proc_.spec.name);
-            assert!(s_bmp > s_mps, "{}: BMP {s_bmp:.2}x vs MPS {s_mps:.2}x", proc_.spec.name);
+            assert!(
+                s_mps > 1.5,
+                "{}: MPS vs M only {s_mps:.2}x",
+                proc_.spec.name
+            );
+            assert!(
+                s_bmp > s_mps,
+                "{}: BMP {s_bmp:.2}x vs MPS {s_mps:.2}x",
+                proc_.spec.name
+            );
         }
     }
 
@@ -201,15 +214,15 @@ mod tests {
             MemMode::Ddr,
         );
         let cpu_scalar = cpu_p.run(&g, &ModeledAlgo::mps_scalar(), 1, MemMode::Ddr);
-        let cpu_v = cpu_p.time_profile(
-            &profile_of(&g, &ModeledAlgo::mps_avx2()).1,
-            1,
-            MemMode::Ddr,
-        );
+        let cpu_v =
+            cpu_p.time_profile(&profile_of(&g, &ModeledAlgo::mps_avx2()).1, 1, MemMode::Ddr);
         let gain_knl = knl_scalar.report.seconds / knl_v.seconds;
         let gain_cpu = cpu_scalar.report.seconds / cpu_v.seconds;
         assert!(gain_cpu > 1.2, "cpu V gain {gain_cpu:.2}");
-        assert!(gain_knl > gain_cpu, "knl {gain_knl:.2} vs cpu {gain_cpu:.2}");
+        assert!(
+            gain_knl > gain_cpu,
+            "knl {gain_knl:.2} vs cpu {gain_cpu:.2}"
+        );
     }
 
     #[test]
@@ -221,12 +234,22 @@ mod tests {
         let (_, mps_prof) = profile_of(&g, &ModeledAlgo::mps_avx512());
         let (_, mps2_prof) = profile_of(&g, &ModeledAlgo::mps_avx2());
         let (_, bmp_prof) = profile_of(&g, &ModeledAlgo::bmp_rf(g.num_vertices()));
-        let knl_mps = knl_p.time_profile(&mps_prof, 256, MemMode::McdramFlat).seconds;
-        let knl_bmp = knl_p.time_profile(&bmp_prof, 64, MemMode::McdramFlat).seconds;
+        let knl_mps = knl_p
+            .time_profile(&mps_prof, 256, MemMode::McdramFlat)
+            .seconds;
+        let knl_bmp = knl_p
+            .time_profile(&bmp_prof, 64, MemMode::McdramFlat)
+            .seconds;
         let cpu_mps = cpu_p.time_profile(&mps2_prof, 56, MemMode::Ddr).seconds;
         let cpu_bmp = cpu_p.time_profile(&bmp_prof, 56, MemMode::Ddr).seconds;
-        assert!(knl_mps < knl_bmp, "KNL must favor MPS: {knl_mps} vs {knl_bmp}");
-        assert!(cpu_bmp < cpu_mps, "CPU must favor BMP: {cpu_bmp} vs {cpu_mps}");
+        assert!(
+            knl_mps < knl_bmp,
+            "KNL must favor MPS: {knl_mps} vs {knl_bmp}"
+        );
+        assert!(
+            cpu_bmp < cpu_mps,
+            "CPU must favor BMP: {cpu_bmp} vs {cpu_mps}"
+        );
     }
 
     #[test]

@@ -70,8 +70,7 @@ pub fn estimate(
     // --- sequential streaming ---
     // Only the reuse-discounted fraction of metered bytes hits DRAM.
     let bw = (threads as f64 * spec.per_thread_bw_gbps).min(mem.bw_gbps) * 1e9;
-    let seq_s =
-        (profile.seq_bytes * spec.seq_reuse_factor + profile.write_bytes) / bw;
+    let seq_s = (profile.seq_bytes * spec.seq_reuse_factor + profile.write_bytes) / bw;
 
     // --- random access ---
     // Aggregate working set: thread-local structures replicate.
@@ -88,12 +87,10 @@ pub fn estimate(
     let lat_eff_ns =
         cache_hit_ratio * spec.cache_latency_ns + (1.0 - cache_hit_ratio) * mem.latency_ns;
     // Latency-bound throughput: each thread keeps `mlp` misses in flight.
-    let rand_latency_s =
-        profile.rand_accesses * lat_eff_ns * 1e-9 / (threads as f64 * spec.mlp);
+    let rand_latency_s = profile.rand_accesses * lat_eff_ns * 1e-9 / (threads as f64 * spec.mlp);
     // Bandwidth-bound: misses that fetch a new line move LINE_BYTES; probes
     // clustered in an already-fetched line are discounted.
-    let miss_accesses =
-        profile.rand_accesses * (1.0 - cache_hit_ratio) * spec.rand_line_reuse;
+    let miss_accesses = profile.rand_accesses * (1.0 - cache_hit_ratio) * spec.rand_line_reuse;
     let rand_bw_s = miss_accesses * LINE_BYTES / (mem.bw_gbps * 1e9 * spec.rand_bw_frac);
     let rand_s = rand_latency_s.max(rand_bw_s) * (1.0 - LATENCY_OVERLAP)
         + rand_latency_s.min(rand_bw_s) * 0.0;

@@ -1,7 +1,5 @@
 //! Architecture-neutral work profiles.
 
-use serde::{Deserialize, Serialize};
-
 /// The work a run performed, in machine-neutral units.
 ///
 /// Produced from `cnc_intersect::WorkCounts` (the conversion lives in
@@ -9,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// what the random-access working set is and whether it is replicated per
 /// thread. All quantities are totals across the whole computation; the model
 /// divides by parallelism.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkProfile {
     /// Branchy scalar operations.
     pub scalar_ops: f64,

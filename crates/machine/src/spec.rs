@@ -1,10 +1,8 @@
 //! Machine specifications: the paper's two modeled processors.
 
-use serde::{Deserialize, Serialize};
-
 /// One memory system (a set of channels with a bandwidth, latency, and
 /// optionally a capacity that matters for placement decisions).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemProfile {
     /// Peak streaming bandwidth in GB/s.
     pub bw_gbps: f64,
@@ -16,7 +14,7 @@ pub struct MemProfile {
 }
 
 /// Where the graph arrays and bitmaps live on the modeled machine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemMode {
     /// Regular DDR4 (the default on both machines).
     Ddr,
@@ -40,7 +38,7 @@ impl MemMode {
 }
 
 /// An analytically modeled shared-memory processor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineSpec {
     /// Human-readable name.
     pub name: String,

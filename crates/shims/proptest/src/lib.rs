@@ -1,0 +1,509 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real proptest cannot
+//! be fetched. This shim keeps the property tests runnable by providing the
+//! surface they use — the `proptest!` / `prop_assert*` / `prop_assume!`
+//! macros, `Strategy` with `prop_map`, range/tuple/`any` strategies,
+//! `prop::collection::{vec, btree_set}` and `prop::sample::select`, and
+//! `ProptestConfig::with_cases` — driven by a deterministic splitmix64 case
+//! generator.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports the failure message only; rerun
+//!   with the printed case seed if minimization-by-hand is needed.
+//! * **Fixed seeding.** Cases are generated from a fixed per-case seed, so a
+//!   given binary always tests the same inputs (CI-stable).
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Everything a `use proptest::prelude::*;` caller expects in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// Mirror of real proptest's `prelude::prop` module of strategy builders.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Deterministic splitmix64 source driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator whose stream is a pure function of `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; 0 when `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Error produced by a single test case body.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's assumptions (`prop_assume!`) did not hold; try another.
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure from a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Build a rejection from a message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+/// Result of one test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (`cases` is the only supported knob).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(S0.0);
+tuple_strategy!(S0.0, S1.1);
+tuple_strategy!(S0.0, S1.1, S2.2);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7);
+
+/// Types with a canonical default strategy (used by [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+/// The canonical strategy for `T` (`any::<bool>()` and friends).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies (`prop::collection::*`).
+pub mod collection {
+    use super::*;
+
+    /// `Vec` of `element` values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `BTreeSet` of `element` values; at most `size.end - 1` elements (the
+    /// shim draws a target count from `size` and deduplicates, so collisions
+    /// may yield fewer — the same contract real proptest documents).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    /// Strategy returned by [`btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.generate(rng);
+            (0..target).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample::*`).
+pub mod sample {
+    use super::*;
+
+    /// Pick uniformly from a fixed list of options.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    /// Strategy returned by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// Drive one property: run `body` on generated inputs until `config.cases`
+/// accepted cases pass, panicking on the first failure. Rejections
+/// (`prop_assume!`) retry with fresh inputs, up to a global cap.
+pub fn run_property(config: &ProptestConfig, mut body: impl FnMut(&mut TestRng) -> TestCaseResult) {
+    let mut accepted = 0u32;
+    let mut attempts = 0u64;
+    let max_attempts = (config.cases as u64).max(1) * 64;
+    while accepted < config.cases {
+        attempts += 1;
+        assert!(
+            attempts <= max_attempts,
+            "gave up after {attempts} attempts: too many rejected cases \
+             ({accepted}/{} accepted)",
+            config.cases
+        );
+        let mut rng = TestRng::new(attempts);
+        match body(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property failed (case seed {attempts}): {msg}")
+            }
+        }
+    }
+}
+
+/// Define property tests. Supports the subset of real proptest syntax used
+/// here: an optional `#![proptest_config(..)]` header followed by `#[test]`
+/// functions whose arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),* $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_property(&config, |prop_rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), prop_rng);)*
+                    $body
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Assert inside a property body; failure aborts only the current case
+/// runner with a message (no unwinding through generated values).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), l, r
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discard the current case (retry with new inputs) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pairs(n: u32, max_len: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+        prop::collection::vec((0..n, 0..n), 0..max_len)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 0usize..5, z in -2i32..9) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+            prop_assert!((-2..9).contains(&z), "z out of bounds: {}", z);
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies_compose(ps in pairs(40, 30)) {
+            prop_assert!(ps.len() < 30);
+            for &(a, b) in &ps {
+                prop_assert!(a < 40 && b < 40);
+            }
+        }
+
+        #[test]
+        fn maps_and_assume_work(v in (any::<bool>(), 0u32..10).prop_map(|(b, x)| if b { x } else { 0 })) {
+            prop_assume!(v != 3);
+            prop_assert_ne!(v, 3);
+            prop_assert_eq!(v.min(9), v);
+        }
+
+        #[test]
+        fn btree_set_is_sorted_unique(s in prop::collection::btree_set(0u32..1000, 0..50)) {
+            let v: Vec<u32> = s.iter().copied().collect();
+            prop_assert!(v.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(v.len() < 50);
+        }
+
+        #[test]
+        fn select_picks_from_options(t in prop::sample::select(vec![2u32, 4, 8])) {
+            prop_assert!(t == 2 || t == 4 || t == 8);
+        }
+    }
+
+    #[test]
+    fn failures_panic_with_message() {
+        let r = std::panic::catch_unwind(|| {
+            crate::run_property(&ProptestConfig::with_cases(5), |rng| {
+                let x = crate::Strategy::generate(&(0u32..100), rng);
+                prop_assert!(x > 1000, "x was {}", x);
+                Ok(())
+            });
+        });
+        assert!(r.is_err());
+    }
+}

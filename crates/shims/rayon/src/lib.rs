@@ -1,0 +1,527 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access, so the real rayon cannot be
+//! fetched. This shim reimplements the (small) slice of rayon's API that the
+//! workspace actually uses on top of `std::thread::scope`:
+//!
+//! * `(range).into_par_iter().for_each(..)` / `.map(..).collect::<Vec<_>>()`
+//! * `slice.par_iter()` / `slice.par_iter_mut()` with `.for_each(..)`
+//! * `slice.par_chunks_mut(n)` with `.enumerate().for_each(..)`
+//! * `ThreadPoolBuilder::new().num_threads(t).build()?.install(f)`
+//! * `current_num_threads()`
+//!
+//! Work is split into at most `current_num_threads()` contiguous chunks, one
+//! scoped thread per chunk (none when a single chunk suffices). `install`
+//! sets a thread-local worker-count override so nested parallel calls issued
+//! from the installed closure honor the requested pool size, matching how the
+//! callers here use dedicated pools (thread-scaling experiments).
+//!
+//! This is not a work-stealing scheduler; it trades scheduling quality for
+//! zero dependencies. The contiguous split preserves the cache-friendliness
+//! assumptions of the edge-range drivers (tasks near each other share a
+//! source vertex), which is what the paper's `schedule(dynamic, |T|)` loop
+//! relies on.
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::error::Error;
+use std::fmt;
+use std::ops::Range;
+use std::panic::resume_unwind;
+use std::thread;
+
+/// The traits a `use rayon::prelude::*;` caller expects in scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+thread_local! {
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_threads() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Number of worker threads parallel calls on this thread will use.
+///
+/// Inside [`ThreadPool::install`] this is the pool's configured size;
+/// elsewhere it is `std::thread::available_parallelism()`.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS
+        .with(|c| c.get())
+        .unwrap_or_else(default_threads)
+}
+
+/// Builder for a [`ThreadPool`]; only `num_threads` is supported.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    threads: Option<usize>,
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`]; never produced, but
+/// kept so call sites can `.expect(..)` exactly as with real rayon.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool with the default worker count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request `n` workers (0 means the default count, as in real rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Finish building. Infallible in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self.threads.unwrap_or_else(default_threads),
+        })
+    }
+}
+
+/// A pool of a fixed number of workers. In this shim a pool is only a
+/// worker-count override: threads are spawned per parallel call.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's configured worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f` with this pool's worker count governing nested parallel calls.
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let prev = self.0;
+                POOL_THREADS.with(|c| c.set(prev));
+            }
+        }
+        let _restore = Restore(POOL_THREADS.with(|c| c.replace(Some(self.threads))));
+        f()
+    }
+}
+
+/// Contiguous sub-ranges of `0..len`, at most `current_num_threads()` many.
+fn split_ranges(len: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunks = current_num_threads().clamp(1, len);
+    let per = len.div_ceil(chunks);
+    (0..len)
+        .step_by(per)
+        .map(|s| s..(s + per).min(len))
+        .collect()
+}
+
+/// Run `work` over each sub-range of `0..len` (one scoped thread per range
+/// when more than one), returning per-range results in range order. Worker
+/// panics are re-raised on the caller with their original payload.
+fn run_split<T, F>(len: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let ranges = split_ranges(len);
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(&work).collect();
+    }
+    let results: Vec<thread::Result<T>> = thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| {
+                let work = &work;
+                s.spawn(move || work(r))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join()).collect()
+    });
+    results
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|payload| resume_unwind(payload)))
+        .collect()
+}
+
+/// Like [`run_split`] but over owned per-range payloads (used for `&mut`
+/// splits, which must be carved up before spawning).
+fn run_parts<P, T, F>(parts: Vec<P>, work: F) -> Vec<T>
+where
+    P: Send,
+    T: Send,
+    F: Fn(P) -> T + Sync,
+{
+    if parts.len() <= 1 {
+        return parts.into_iter().map(&work).collect();
+    }
+    let results: Vec<thread::Result<T>> = thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|p| {
+                let work = &work;
+                s.spawn(move || work(p))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join()).collect()
+    });
+    results
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|payload| resume_unwind(payload)))
+        .collect()
+}
+
+/// Index types a parallel range can iterate over.
+pub trait ParIndex: Copy + Send + Sync + 'static {
+    /// Number of values in `r`.
+    fn range_len(r: &Range<Self>) -> usize;
+    /// `start + offset`.
+    fn offset(start: Self, offset: usize) -> Self;
+}
+
+macro_rules! par_index {
+    ($($t:ty),*) => {$(
+        impl ParIndex for $t {
+            fn range_len(r: &Range<Self>) -> usize {
+                if r.end > r.start { (r.end - r.start) as usize } else { 0 }
+            }
+            fn offset(start: Self, offset: usize) -> Self {
+                start + offset as $t
+            }
+        }
+    )*};
+}
+par_index!(usize, u32, u64, i32, i64);
+
+/// Conversion into a parallel iterator (ranges only in this shim).
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Convert `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: ParIndex> IntoParallelIterator for Range<I> {
+    type Iter = ParRange<I>;
+    fn into_par_iter(self) -> ParRange<I> {
+        ParRange {
+            len: I::range_len(&self),
+            start: self.start,
+        }
+    }
+}
+
+/// Parallel iterator over a numeric range.
+#[derive(Debug, Clone, Copy)]
+pub struct ParRange<I> {
+    start: I,
+    len: usize,
+}
+
+impl<I: ParIndex> ParRange<I> {
+    /// Apply `f` to every index in the range.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        run_split(self.len, |r| {
+            for off in r {
+                f(I::offset(self.start, off));
+            }
+        });
+    }
+
+    /// Map every index through `f`; finish with [`ParRangeMap::collect`].
+    pub fn map<R, F>(self, f: F) -> ParRangeMap<I, F>
+    where
+        R: Send,
+        F: Fn(I) -> R + Sync,
+    {
+        ParRangeMap { range: self, f }
+    }
+}
+
+/// A mapped parallel range (result of [`ParRange::map`]).
+#[derive(Debug)]
+pub struct ParRangeMap<I, F> {
+    range: ParRange<I>,
+    f: F,
+}
+
+impl<I: ParIndex, F> ParRangeMap<I, F> {
+    /// Collect the mapped values in index order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(I) -> R + Sync,
+        C: FromParallelIterator<R>,
+    {
+        let start = self.range.start;
+        let f = &self.f;
+        let parts = run_split(self.range.len, |r| {
+            r.map(|off| f(I::offset(start, off))).collect::<Vec<R>>()
+        });
+        C::from_ordered_parts(parts)
+    }
+
+    /// Apply the mapped function for its effect only.
+    pub fn for_each<R>(self)
+    where
+        R: Send,
+        F: Fn(I) -> R + Sync,
+    {
+        let start = self.range.start;
+        let f = &self.f;
+        run_split(self.range.len, |r| {
+            for off in r {
+                f(I::offset(start, off));
+            }
+        });
+    }
+}
+
+/// Collections that can be assembled from ordered per-chunk parts.
+pub trait FromParallelIterator<T> {
+    /// Concatenate `parts` (already in iteration order).
+    fn from_ordered_parts(parts: Vec<Vec<T>>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_parts(parts: Vec<Vec<T>>) -> Self {
+        let total = parts.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for p in parts {
+            out.extend(p);
+        }
+        out
+    }
+}
+
+/// `slice.par_iter()` support.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T` items.
+    fn par_iter(&self) -> ParSliceIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParSliceIter<'_, T> {
+        ParSliceIter { slice: self }
+    }
+}
+
+/// Parallel shared-slice iterator.
+#[derive(Debug)]
+pub struct ParSliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParSliceIter<'a, T> {
+    /// Apply `f` to every element.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        let slice = self.slice;
+        run_split(slice.len(), |r| {
+            for item in &slice[r] {
+                f(item);
+            }
+        });
+    }
+}
+
+/// `slice.par_iter_mut()` / `slice.par_chunks_mut(n)` support.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over `&mut T` items.
+    fn par_iter_mut(&mut self) -> ParSliceIterMut<'_, T>;
+    /// Parallel iterator over non-overlapping `&mut [T]` chunks of
+    /// `chunk_size` elements (the last chunk may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParSliceIterMut<'_, T> {
+        ParSliceIterMut { slice: self }
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Split `slice` at the given item boundaries (ascending, exclusive ends).
+fn carve<'a, T>(mut slice: &'a mut [T], ranges: &[Range<usize>]) -> Vec<&'a mut [T]> {
+    let mut parts = Vec::with_capacity(ranges.len());
+    let mut consumed = 0;
+    for r in ranges {
+        let (head, tail) = slice.split_at_mut(r.end - consumed);
+        consumed = r.end;
+        parts.push(head);
+        slice = tail;
+    }
+    parts
+}
+
+/// Parallel exclusive-slice iterator.
+#[derive(Debug)]
+pub struct ParSliceIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<T: Send> ParSliceIterMut<'_, T> {
+    /// Apply `f` to every element.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let ranges = split_ranges(self.slice.len());
+        let parts = carve(self.slice, &ranges);
+        run_parts(parts, |part| {
+            for item in part {
+                f(item);
+            }
+        });
+    }
+}
+
+/// Parallel iterator over mutable chunks.
+#[derive(Debug)]
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair every chunk with its chunk index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate(self)
+    }
+
+    /// Split into per-worker runs of whole chunks: `(first chunk index,
+    /// items)` per run.
+    fn runs(self) -> Vec<(usize, &'a mut [T])> {
+        let n_chunks = self.slice.len().div_ceil(self.chunk_size);
+        let chunk_ranges = split_ranges(n_chunks);
+        let item_ranges: Vec<Range<usize>> = chunk_ranges
+            .iter()
+            .map(|r| (r.start * self.chunk_size)..(r.end * self.chunk_size).min(self.slice.len()))
+            .collect();
+        let parts = carve(self.slice, &item_ranges);
+        chunk_ranges
+            .into_iter()
+            .map(|r| r.start)
+            .zip(parts)
+            .collect()
+    }
+
+    /// Apply `f` to every chunk.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        let chunk_size = self.chunk_size;
+        run_parts(self.runs(), |(_, items)| {
+            for chunk in items.chunks_mut(chunk_size) {
+                f(chunk);
+            }
+        });
+    }
+}
+
+/// Enumerated variant of [`ParChunksMut`].
+#[derive(Debug)]
+pub struct ParChunksMutEnumerate<'a, T>(ParChunksMut<'a, T>);
+
+impl<T: Send> ParChunksMutEnumerate<'_, T> {
+    /// Apply `f` to every `(chunk_index, chunk)` pair.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let chunk_size = self.0.chunk_size;
+        run_parts(self.0.runs(), |(first_chunk, items)| {
+            for (i, chunk) in items.chunks_mut(chunk_size).enumerate() {
+                f((first_chunk + i, chunk));
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn range_for_each_covers_every_index() {
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        (0..1000usize)
+            .into_par_iter()
+            .for_each(|i| drop(hits[i].fetch_add(1, Ordering::Relaxed)));
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..257u64).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(v, (0..257u64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_mut_enumerate_matches_serial() {
+        let mut a = vec![0usize; 1003];
+        a.par_chunks_mut(10)
+            .enumerate()
+            .for_each(|(ci, chunk)| chunk.iter_mut().for_each(|x| *x = ci));
+        for (i, &x) in a.iter().enumerate() {
+            assert_eq!(x, i / 10);
+        }
+    }
+
+    #[test]
+    fn par_iter_mut_touches_all() {
+        let mut a: Vec<u32> = (0..500).collect();
+        a.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(a, (1..501).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        // Restored afterwards.
+        assert_eq!(current_num_threads(), default_threads());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let r = std::panic::catch_unwind(|| {
+            pool.install(|| (0..100usize).into_par_iter().for_each(|i| assert!(i < 50)));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -34,17 +34,42 @@ fn main() {
     );
 
     let configs: Vec<(&str, Platform, Algorithm)> = vec![
-        ("CPU-MPS (modeled 56t)", Platform::CpuModel { threads: 56, capacity_scale: scale }, Algorithm::mps()),
-        ("CPU-BMP (modeled 56t)", Platform::CpuModel { threads: 56, capacity_scale: scale }, Algorithm::bmp_rf()),
-        ("KNL-MPS (256t, flat)", Platform::knl_flat(scale), Algorithm::mps()),
-        ("KNL-BMP (256t, flat)", Platform::knl_flat(scale), Algorithm::bmp_rf()),
+        (
+            "CPU-MPS (modeled 56t)",
+            Platform::CpuModel {
+                threads: 56,
+                capacity_scale: scale,
+            },
+            Algorithm::mps(),
+        ),
+        (
+            "CPU-BMP (modeled 56t)",
+            Platform::CpuModel {
+                threads: 56,
+                capacity_scale: scale,
+            },
+            Algorithm::bmp_rf(),
+        ),
+        (
+            "KNL-MPS (256t, flat)",
+            Platform::knl_flat(scale),
+            Algorithm::mps(),
+        ),
+        (
+            "KNL-BMP (256t, flat)",
+            Platform::knl_flat(scale),
+            Algorithm::bmp_rf(),
+        ),
         ("GPU-MPS", Platform::gpu(scale), Algorithm::mps()),
         ("GPU-BMP", Platform::gpu(scale), Algorithm::bmp_rf()),
     ];
 
     let mut results = Vec::new();
     let mut reference: Option<Vec<u32>> = None;
-    println!("\n{:<24} {:>14} {:>12}", "configuration", "modeled time", "notes");
+    println!(
+        "\n{:<24} {:>14} {:>12}",
+        "configuration", "modeled time", "notes"
+    );
     for (label, platform, algorithm) in configs {
         let r = Runner::new(platform, algorithm).run(&graph);
         // Every configuration must agree bit-for-bit.

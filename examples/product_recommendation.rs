@@ -17,7 +17,11 @@ use rand::{Rng, SeedableRng};
 
 /// Synthesize a co-purchasing graph: product categories are near-cliques
 /// (things bought together), plus random cross-category purchases.
-fn co_purchasing_graph(categories: usize, per_category: usize, seed: u64) -> (CsrGraph, Vec<String>) {
+fn co_purchasing_graph(
+    categories: usize,
+    per_category: usize,
+    seed: u64,
+) -> (CsrGraph, Vec<String>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let n = categories * per_category;
     let mut el = EdgeList::new(n);
@@ -42,7 +46,13 @@ fn co_purchasing_graph(categories: usize, per_category: usize, seed: u64) -> (Cs
     }
     el.normalize();
     let names: Vec<String> = (0..n)
-        .map(|p| format!("product-{}{:03}", (b'A' + (p / per_category) as u8) as char, p % per_category))
+        .map(|p| {
+            format!(
+                "product-{}{:03}",
+                (b'A' + (p / per_category) as u8) as char,
+                p % per_category
+            )
+        })
         .collect();
     (CsrGraph::from_edge_list(&el), names)
 }

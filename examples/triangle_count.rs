@@ -20,13 +20,21 @@ fn main() {
 
     // Triangle census of the five dataset analogues, cross-checked between
     // the merge-based and bitmap-based algorithm families.
-    println!("\n{:<8} {:>10} {:>12} {:>14}", "dataset", "|V|", "|E|", "triangles");
+    println!(
+        "\n{:<8} {:>10} {:>12} {:>14}",
+        "dataset", "|V|", "|E|", "triangles"
+    );
     for d in Dataset::ALL {
         let g = d.build(Scale::Tiny);
         let mps = Runner::new(Platform::cpu_parallel(), Algorithm::mps()).run(&g);
         let bmp = Runner::new(Platform::cpu_parallel(), Algorithm::bmp_rf()).run(&g);
         let t = mps.view(&g).triangle_count();
-        assert_eq!(t, bmp.view(&g).triangle_count(), "{} disagreement", d.name());
+        assert_eq!(
+            t,
+            bmp.view(&g).triangle_count(),
+            "{} disagreement",
+            d.name()
+        );
         println!(
             "{:<8} {:>10} {:>12} {:>14}",
             d.name(),
@@ -41,10 +49,7 @@ fn main() {
     let scale = Dataset::LjS.capacity_scale(&g);
     let knl = Runner::new(Platform::knl_flat(scale), Algorithm::mps()).run(&g);
     let gpu = Runner::new(Platform::gpu(scale), Algorithm::bmp_rf()).run(&g);
-    assert_eq!(
-        knl.view(&g).triangle_count(),
-        gpu.view(&g).triangle_count()
-    );
+    assert_eq!(knl.view(&g).triangle_count(), gpu.view(&g).triangle_count());
     println!(
         "\nKNL and GPU backends agree: {} triangles on lj-s (modeled {:.2} ms / {:.2} ms)",
         knl.view(&g).triangle_count(),
