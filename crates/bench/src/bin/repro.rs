@@ -107,6 +107,10 @@ fn main() -> ExitCode {
             }
         }
     }
+    // Preparation-work evidence: graph_builds counts CSR constructions this
+    // process performed (0 on a warm disk cache), mem/disk_hits count cache
+    // reuse. Each dataset is prepared at most once per process.
+    println!("\n# prepare: {}", cnc_graph::prepare::metrics());
     if failed {
         ExitCode::FAILURE
     } else {

@@ -26,9 +26,9 @@ pub fn six_configs(ps: &ProfileSet) -> [f64; 6] {
     let knl_bmp = knl
         .time_profile(&ps.bmp_rf, 64, MemMode::McdramFlat)
         .seconds;
-    let gpu_mps = gpu.run(&ps.graph, GpuAlgo::Mps, &cfg).report.total_seconds;
+    let gpu_mps = gpu.run(ps.graph(), GpuAlgo::Mps, &cfg).report.total_seconds;
     let gpu_bmp = gpu
-        .run(&ps.reordered, GpuAlgo::Bmp { rf: true }, &cfg)
+        .run(ps.reordered(), GpuAlgo::Bmp { rf: true }, &cfg)
         .report
         .total_seconds;
     [cpu_mps, cpu_bmp, knl_mps, knl_bmp, gpu_mps, gpu_bmp]

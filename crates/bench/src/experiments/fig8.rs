@@ -29,8 +29,8 @@ pub fn run(ctx: &Ctx) -> ExpOutput {
         let ps = ctx.profiles(d);
         let gpu = GpuRunner::titan_xp_for(ps.capacity_scale);
         for (algo, label, graph) in [
-            (GpuAlgo::Mps, "MPS", &ps.graph),
-            (GpuAlgo::Bmp { rf: false }, "BMP", &ps.reordered),
+            (GpuAlgo::Mps, "MPS", ps.graph()),
+            (GpuAlgo::Bmp { rf: false }, "BMP", ps.reordered()),
         ] {
             // Discover the estimate from a default run.
             let est = gpu

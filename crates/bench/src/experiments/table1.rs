@@ -2,7 +2,6 @@
 //! to the paper's originals.
 
 use cnc_graph::datasets::Dataset;
-use cnc_graph::stats::GraphStats;
 
 use crate::output::ExpOutput;
 
@@ -25,11 +24,11 @@ pub fn run(ctx: &Ctx) -> ExpOutput {
     );
     for d in Dataset::ALL {
         let ps = ctx.profiles(d);
-        let s = GraphStats::of(&ps.graph);
+        let s = ps.prepared.stats();
         t.row(vec![
             d.name().into(),
             s.num_vertices.to_string(),
-            ps.graph.num_undirected_edges().to_string(),
+            ps.graph().num_undirected_edges().to_string(),
             format!("{:.1}", s.avg_degree),
             s.max_degree.to_string(),
             d.paper_vertices().to_string(),

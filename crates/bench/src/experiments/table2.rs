@@ -2,7 +2,6 @@
 //! (`d_u/d_v > 50` with `d_u > d_v`) per dataset.
 
 use cnc_graph::datasets::Dataset;
-use cnc_graph::stats::{skew_percentage, SKEW_THRESHOLD};
 
 use crate::output::ExpOutput;
 
@@ -17,7 +16,7 @@ pub fn run(ctx: &Ctx) -> ExpOutput {
     );
     for d in Dataset::ALL {
         let ps = ctx.profiles(d);
-        let pct = skew_percentage(&ps.graph, SKEW_THRESHOLD);
+        let pct = ps.prepared.skew_pct();
         t.row(vec![d.name().into(), format!("{pct:.1}")]);
     }
     t.note("paper reports ~31% for twitter; WI/TW skew-heavy, LJ/OR/FR low");

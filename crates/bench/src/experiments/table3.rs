@@ -17,7 +17,7 @@ pub fn run(ctx: &Ctx) -> ExpOutput {
     );
     for d in Dataset::ALL {
         let ps = ctx.profiles(d);
-        let n = ps.graph.num_vertices();
+        let n = ps.graph().num_vertices();
         let ratio = scaled_rf_ratio(n);
         let rf = RfBitmap::with_ratio(n, ratio);
         let (big, small) = rf.bytes();
@@ -48,8 +48,8 @@ mod tests {
         let fr = t.rows.iter().find(|r| r[0] == "fr-s").unwrap();
         let tw = t.rows.iter().find(|r| r[0] == "tw-s").unwrap();
         let ctx2 = Ctx::new(Scale::Tiny);
-        let fr_n = ctx2.profiles(Dataset::FrS).graph.num_vertices();
-        let tw_n = ctx2.profiles(Dataset::TwS).graph.num_vertices();
+        let fr_n = ctx2.profiles(Dataset::FrS).graph().num_vertices();
+        let tw_n = ctx2.profiles(Dataset::TwS).graph().num_vertices();
         assert!(fr_n > tw_n, "fr {fr:?} tw {tw:?}");
     }
 }

@@ -20,14 +20,14 @@ pub fn run(ctx: &Ctx) -> ExpOutput {
         let gpu = GpuRunner::titan_xp_for(ps.capacity_scale);
         let algo = GpuAlgo::Bmp { rf: true };
         let without = gpu.run(
-            &ps.reordered,
+            ps.reordered(),
             algo,
             &GpuRunConfig {
                 coprocess: false,
                 ..GpuRunConfig::default()
             },
         );
-        let with = gpu.run(&ps.reordered, algo, &GpuRunConfig::default());
+        let with = gpu.run(ps.reordered(), algo, &GpuRunConfig::default());
         assert_eq!(with.counts, without.counts);
         t.row(vec![
             ps.dataset.name().into(),

@@ -29,13 +29,13 @@ pub fn run(ctx: &Ctx) -> ExpOutput {
             let bitmap_bytes = if algo == "BMP" {
                 DeviceBitmapPool::new(
                     spec.bitmap_pool_size(launch.warps_per_block),
-                    ps.graph.num_vertices(),
+                    ps.graph().num_vertices(),
                 )
                 .device_bytes()
             } else {
                 0
             };
-            let plan = estimate_passes(&ps.graph, &spec, bitmap_bytes);
+            let plan = estimate_passes(ps.graph(), &spec, bitmap_bytes);
             t.row(vec![
                 ps.dataset.name().into(),
                 algo.into(),

@@ -24,8 +24,8 @@ pub fn run(ctx: &Ctx) -> ExpOutput {
         let ps = ctx.profiles(d);
         let gpu = GpuRunner::titan_xp_for(ps.capacity_scale);
         let cfg = GpuRunConfig::default();
-        let plain = gpu.run(&ps.reordered, GpuAlgo::Bmp { rf: false }, &cfg);
-        let rf = gpu.run(&ps.reordered, GpuAlgo::Bmp { rf: true }, &cfg);
+        let plain = gpu.run(ps.reordered(), GpuAlgo::Bmp { rf: false }, &cfg);
+        let rf = gpu.run(ps.reordered(), GpuAlgo::Bmp { rf: true }, &cfg);
         assert_eq!(plain.counts, rf.counts);
         let saved = 100.0
             * (1.0

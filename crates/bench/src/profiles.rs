@@ -1,23 +1,27 @@
 //! Cached work profiles per dataset — every algorithm is profiled once and
 //! the machine models price the same profile under many configurations.
 
+use std::sync::Arc;
+
 use cnc_graph::datasets::{Dataset, Scale};
-use cnc_graph::{reorder, CsrGraph};
+use cnc_graph::{prepare, CsrGraph, PreparedGraph, ReorderPolicy};
 use cnc_knl::{profile_of, ModeledAlgo};
 use cnc_machine::WorkProfile;
 
 /// All the profiles the shared-memory experiments need for one dataset.
 ///
-/// BMP profiles are taken on the degree-descending-reordered graph (the
-/// paper's required preprocessing); merge-family profiles on the graph as
-/// generated.
+/// The graph itself comes from the process-wide prepared-graph cache
+/// (`cnc_graph::prepare`): CSR construction and the degree-descending
+/// relabel happen at most once per process — and not at all when the
+/// on-disk cache is warm. BMP profiles are taken on the relabeled graph
+/// (the paper's required preprocessing); merge-family profiles on the
+/// graph as generated.
 pub struct ProfileSet {
     /// The dataset.
     pub dataset: Dataset,
-    /// The generated graph.
-    pub graph: CsrGraph,
-    /// Degree-descending relabeled graph (BMP's input).
-    pub reordered: CsrGraph,
+    /// The shared preparation (original + relabeled CSR, remap tables,
+    /// statistics).
+    pub prepared: Arc<PreparedGraph>,
     /// Capacity scale vs the paper's original dataset.
     pub capacity_scale: f64,
     /// Baseline M.
@@ -35,25 +39,43 @@ pub struct ProfileSet {
 }
 
 impl ProfileSet {
-    /// Build the graph and profile all six algorithm configurations.
+    /// Fetch the shared prepared graph and profile all six algorithm
+    /// configurations.
     pub fn build(dataset: Dataset, scale: Scale) -> Self {
-        let graph = dataset.build(scale);
-        let reordered = reorder::degree_descending(&graph).graph;
-        let capacity_scale = dataset.capacity_scale(&graph);
+        let prepared = prepare::prepared(dataset, scale, ReorderPolicy::DegreeDescending);
+        let graph = prepared.graph();
+        let reordered = &prepared
+            .reordered()
+            .expect("prepared with ReorderPolicy::DegreeDescending")
+            .graph;
+        let capacity_scale = prepared.capacity_scale();
         let prof = |g: &CsrGraph, a: &ModeledAlgo| profile_of(g, a).1;
         let n = graph.num_vertices();
         Self {
             capacity_scale,
-            m: prof(&graph, &ModeledAlgo::MergeBaseline),
-            mps_scalar: prof(&graph, &ModeledAlgo::mps_scalar()),
-            mps_avx2: prof(&graph, &ModeledAlgo::mps_avx2()),
-            mps_avx512: prof(&graph, &ModeledAlgo::mps_avx512()),
-            bmp: prof(&reordered, &ModeledAlgo::bmp_plain()),
-            bmp_rf: prof(&reordered, &ModeledAlgo::bmp_rf(n)),
+            m: prof(graph, &ModeledAlgo::MergeBaseline),
+            mps_scalar: prof(graph, &ModeledAlgo::mps_scalar()),
+            mps_avx2: prof(graph, &ModeledAlgo::mps_avx2()),
+            mps_avx512: prof(graph, &ModeledAlgo::mps_avx512()),
+            bmp: prof(reordered, &ModeledAlgo::bmp_plain()),
+            bmp_rf: prof(reordered, &ModeledAlgo::bmp_rf(n)),
             dataset,
-            graph,
-            reordered,
+            prepared,
         }
+    }
+
+    /// The generated graph (original vertex ids).
+    pub fn graph(&self) -> &CsrGraph {
+        self.prepared.graph()
+    }
+
+    /// The degree-descending relabeled graph (BMP's input).
+    pub fn reordered(&self) -> &CsrGraph {
+        &self
+            .prepared
+            .reordered()
+            .expect("prepared with ReorderPolicy::DegreeDescending")
+            .graph
     }
 }
 
@@ -70,8 +92,22 @@ mod tests {
         assert!(!ps.m.ws_replicated_per_thread);
         assert!(ps.capacity_scale > 0.0 && ps.capacity_scale < 1.0);
         assert_eq!(
-            ps.graph.num_directed_edges(),
-            ps.reordered.num_directed_edges()
+            ps.graph().num_directed_edges(),
+            ps.reordered().num_directed_edges()
         );
+    }
+
+    #[test]
+    fn profile_sets_share_one_preparation() {
+        // Two sets for the same key must share the cached Arc rather than
+        // rebuilding the graph.
+        let a = ProfileSet::build(Dataset::OrS, Scale::Tiny);
+        let before = cnc_graph::prepare::metrics();
+        let b = ProfileSet::build(Dataset::OrS, Scale::Tiny);
+        let d = cnc_graph::prepare::metrics().since(&before);
+        assert!(Arc::ptr_eq(&a.prepared, &b.prepared));
+        assert_eq!(d.graph_builds, 0);
+        assert_eq!(d.reorders, 0);
+        assert_eq!(d.mem_hits, 1);
     }
 }

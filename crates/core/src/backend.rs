@@ -1,10 +1,14 @@
 //! The execute step of a run: one [`Backend`] per processor.
 //!
-//! A backend takes a validated [`Plan`] and a graph and produces counts
-//! plus whatever timing/work evidence its platform has — measured wall
-//! clock for the real CPU, modeled seconds and exact [`WorkCounts`] for the
-//! simulated processors. The four implementations mirror the paper's
-//! processor line-up:
+//! A backend takes a validated [`Plan`] and a [`PreparedGraph`] and
+//! produces counts plus whatever timing/work evidence its platform has —
+//! measured wall clock for the real CPU, modeled seconds and exact
+//! [`WorkCounts`] for the simulated processors. Backends never preprocess:
+//! the preparation layer already built the CSR and (when the policy asked
+//! for it) the degree-descending relabel, so
+//! [`PreparedGraph::execution_graph`] just *selects* which of the two CSRs
+//! to run on. The four implementations mirror the paper's processor
+//! line-up:
 //!
 //! * [`CpuSeqBackend`] — the real host CPU, sequential;
 //! * [`CpuParBackend`] — the real host CPU through the rayon skeleton;
@@ -18,7 +22,7 @@
 
 use cnc_cpu::{CpuKernel, ParConfig};
 use cnc_gpu::{GpuAlgo, GpuRunConfig, GpuRunner};
-use cnc_graph::CsrGraph;
+use cnc_graph::PreparedGraph;
 use cnc_intersect::{NullMeter, WorkCounts};
 use cnc_knl::{counts_and_work_of, profile_from_work, ModeledAlgo, ModeledProcessor};
 use cnc_machine::MemMode;
@@ -44,9 +48,10 @@ pub trait Backend {
     /// Short platform label for reports (`cpu-seq`, `knl`, …).
     fn label(&self) -> String;
 
-    /// Execute `plan` on `g`. Counts are in `g`'s edge offsets; the caller
-    /// handles reorder remapping.
-    fn execute(&self, g: &CsrGraph, plan: &Plan) -> Execution;
+    /// Execute `plan` on a prepared graph. Counts are in the offsets of
+    /// [`PreparedGraph::execution_graph`] for the plan's reorder flag; the
+    /// caller handles remapping back to original ids.
+    fn execute(&self, prepared: &PreparedGraph, plan: &Plan) -> Execution;
 }
 
 /// The real host CPU, sequential.
@@ -58,7 +63,8 @@ impl Backend for CpuSeqBackend {
         "cpu-seq".into()
     }
 
-    fn execute(&self, g: &CsrGraph, plan: &Plan) -> Execution {
+    fn execute(&self, prepared: &PreparedGraph, plan: &Plan) -> Execution {
+        let g = prepared.execution_graph(plan.reorder);
         Execution {
             counts: plan.cpu_kernel.run_seq(g, &mut NullMeter),
             modeled_seconds: None,
@@ -80,7 +86,8 @@ impl Backend for CpuParBackend {
         "cpu-par".into()
     }
 
-    fn execute(&self, g: &CsrGraph, plan: &Plan) -> Execution {
+    fn execute(&self, prepared: &PreparedGraph, plan: &Plan) -> Execution {
+        let g = prepared.execution_graph(plan.reorder);
         let cfg = plan.partitioning.unwrap_or(self.cfg);
         Execution {
             counts: plan.cpu_kernel.run_par(g, &cfg),
@@ -124,7 +131,8 @@ impl Backend for ModeledBackend {
         self.name.into()
     }
 
-    fn execute(&self, g: &CsrGraph, plan: &Plan) -> Execution {
+    fn execute(&self, prepared: &PreparedGraph, plan: &Plan) -> Execution {
+        let g = prepared.execution_graph(plan.reorder);
         let algo = modeled_algo_of(&plan.cpu_kernel);
         let (counts, work) = counts_and_work_of(g, &algo);
         let profile = profile_from_work(g, &algo, &work);
@@ -154,7 +162,8 @@ impl Backend for GpuSimBackend {
         "gpu-sim".into()
     }
 
-    fn execute(&self, g: &CsrGraph, plan: &Plan) -> Execution {
+    fn execute(&self, prepared: &PreparedGraph, plan: &Plan) -> Execution {
+        let g = prepared.execution_graph(plan.reorder);
         let gpu = GpuRunner::titan_xp_for(self.capacity_scale);
         let algo = match &plan.algorithm {
             Algorithm::MergeBaseline | Algorithm::Mps(_) => GpuAlgo::Mps,

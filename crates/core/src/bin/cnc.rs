@@ -16,7 +16,7 @@
 use std::io::{BufWriter, Write};
 use std::process::ExitCode;
 
-use cnc_core::{scan, truss_decomposition, Algorithm, CncView, Platform, Runner};
+use cnc_core::{scan, truss_decomposition, Algorithm, CncView, Platform, PreparedGraph, Runner};
 use cnc_graph::stats::{skew_percentage, GraphStats};
 use cnc_graph::{io, CsrGraph};
 
@@ -102,14 +102,20 @@ fn run() -> Result<(), String> {
         other => return Err(format!("unknown --platform {other:?}")),
     };
 
+    // Prepare once (CSR + reorder tables + statistics); every subcommand
+    // below shares the result instead of re-deriving it per run.
+    let runner = Runner::new(platform, algo);
+    let prepared = PreparedGraph::from_csr(g, runner.reorder_policy());
+    let g = prepared.graph();
+
     match command.as_str() {
         "stats" => {
-            print_stats(&g);
+            print_stats(g);
             Ok(())
         }
         "count" => {
-            let result = Runner::new(platform, algo).run(&g);
-            let view = result.view(&g);
+            let result = runner.run_prepared(&prepared);
+            let view = result.view(g);
             eprintln!(
                 "counted {} edge slots in {:.1} ms wall{}",
                 result.counts.len(),
@@ -121,7 +127,7 @@ fn run() -> Result<(), String> {
             );
             eprintln!("triangles: {}", view.triangle_count());
             if want_stats {
-                print_stats(&g);
+                print_stats(g);
             }
             if let Some(path) = out_path {
                 let f = std::fs::File::create(&path)
@@ -145,8 +151,8 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "scan" => {
-            let result = Runner::new(platform, algo).run(&g);
-            let view = result.view(&g);
+            let result = runner.run_prepared(&prepared);
+            let view = result.view(g);
             let r = scan(&view, eps, mu);
             println!(
                 "SCAN(eps={eps}, mu={mu}): {} clusters; cores {}, borders {}, hubs {}, outliers {}",
@@ -164,17 +170,17 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "truss" => {
-            let result = Runner::new(platform, algo).run(&g);
-            let r = truss_decomposition(&g, &result.counts);
+            let result = runner.run_prepared(&prepared);
+            let r = truss_decomposition(g, &result.counts);
             println!("max trussness: {}", r.max_k);
             for k in 3..=r.max_k {
-                let edges = r.truss_edge_count(&g, k);
+                let edges = r.truss_edge_count(g, k);
                 if edges > 0 {
                     println!("  {k}-truss: {edges} edges");
                 }
             }
             // Also report the densest layer's clustering quality.
-            let view = CncView::new(&g, &result.counts);
+            let view = CncView::new(g, &result.counts);
             println!(
                 "global clustering coefficient: {:.4}",
                 view.global_clustering_coefficient()

@@ -46,6 +46,7 @@ pub use backend::{
     modeled_algo_of, Backend, CpuParBackend, CpuSeqBackend, Execution, GpuSimBackend,
     ModeledBackend,
 };
+pub use cnc_graph::{PreparedGraph, ReorderPolicy};
 pub use incremental::IncrementalCnc;
 pub use plan::{KernelSubstitution, Plan, PlanError};
 pub use runner::{Algorithm, CncResult, Platform, RfChoice, RunDetail, RunStats, Runner};

@@ -2,7 +2,7 @@
 //! touching edge data, resolved into an explicit, inspectable value.
 //!
 //! [`Runner::plan`](crate::Runner::plan) produces a [`Plan`] from the
-//! platform × algorithm configuration and the target graph:
+//! platform × algorithm configuration and the target [`PreparedGraph`]:
 //!
 //! * the reordering decision (degree-descending preprocessing on/off);
 //! * kernel selection — the `RfChoice` is resolved against `|V|` into a
@@ -16,7 +16,7 @@
 //!   silently.
 
 use cnc_cpu::{CpuKernel, ParConfig};
-use cnc_graph::CsrGraph;
+use cnc_graph::PreparedGraph;
 use cnc_intersect::RfRatioError;
 
 use crate::runner::{Algorithm, Platform, Runner};
@@ -81,14 +81,16 @@ pub struct Plan {
 }
 
 impl Runner {
-    /// Resolve this configuration against `g` into an executable [`Plan`],
-    /// rejecting invalid kernel configuration with a descriptive error.
-    pub fn plan(&self, g: &CsrGraph) -> Result<Plan, PlanError> {
+    /// Resolve this configuration against a prepared graph into an
+    /// executable [`Plan`], rejecting invalid kernel configuration with a
+    /// descriptive error. Planning reads only the preparation's metadata
+    /// (`|V|` for the range-filter ratio) — no edge data is touched.
+    pub fn plan(&self, prepared: &PreparedGraph) -> Result<Plan, PlanError> {
         let algorithm = self.algorithm();
         let cpu_kernel = match &algorithm {
             Algorithm::MergeBaseline => CpuKernel::Merge,
             Algorithm::Mps(cfg) => CpuKernel::Mps(*cfg),
-            Algorithm::Bmp(rf) => CpuKernel::Bmp(rf.mode(g.num_vertices())),
+            Algorithm::Bmp(rf) => CpuKernel::Bmp(rf.mode(prepared.graph().num_vertices())),
         };
         cpu_kernel.validate()?;
         let substitution = match (self.platform(), &algorithm) {

@@ -10,12 +10,19 @@
 //! 3. **Report** — assemble the unified [`RunStats`] (requested vs
 //!    effective kernel, work tallies, wall and modeled time) alongside the
 //!    platform-specific [`RunDetail`].
+//!
+//! Preprocessing lives *outside* the three steps: runs consume an
+//! immutable [`PreparedGraph`] (CSR + optional degree-descending relabel +
+//! statistics, computed once — see `cnc_graph::prepare`). Call
+//! [`Runner::run_prepared`] to share one preparation across many runs;
+//! [`Runner::run`] remains as a convenience that prepares a bare
+//! [`CsrGraph`] on the spot.
 
 use std::time::Instant;
 
 use cnc_cpu::{BmpMode, ParConfig};
 use cnc_gpu::{GpuReport, GpuRunConfig};
-use cnc_graph::{reorder, CsrGraph};
+use cnc_graph::{CsrGraph, PreparedGraph, ReorderPolicy};
 use cnc_intersect::{MpsConfig, WorkCounts};
 use cnc_knl::ModeledProcessor;
 use cnc_machine::{MemMode, ModelReport};
@@ -276,7 +283,17 @@ impl Runner {
         }
     }
 
-    /// Execute on `g`.
+    /// The reorder policy a preparation must carry for this runner to
+    /// execute without re-deriving anything.
+    pub fn reorder_policy(&self) -> ReorderPolicy {
+        if self.reorder {
+            ReorderPolicy::DegreeDescending
+        } else {
+            ReorderPolicy::None
+        }
+    }
+
+    /// Execute on `g`, preparing it on the spot.
     ///
     /// # Panics
     /// On invalid kernel configuration (see [`Runner::try_run`] for the
@@ -286,21 +303,44 @@ impl Runner {
             .unwrap_or_else(|e| panic!("cannot run {:?}: {e}", self.algorithm.label()))
     }
 
-    /// Execute on `g`: plan, execute, report.
+    /// Execute on a shared prepared graph.
+    ///
+    /// # Panics
+    /// On invalid kernel configuration (see [`Runner::try_run_prepared`]
+    /// for the non-panicking form).
+    pub fn run_prepared(&self, prepared: &PreparedGraph) -> CncResult {
+        self.try_run_prepared(prepared)
+            .unwrap_or_else(|e| panic!("cannot run {:?}: {e}", self.algorithm.label()))
+    }
+
+    /// Execute on `g`: prepare (one-shot, matching this runner's reorder
+    /// flag), then delegate to [`Runner::try_run_prepared`]. Callers running
+    /// the same graph more than once should prepare it themselves and share
+    /// the `Arc` — this convenience path re-prepares per call.
     pub fn try_run(&self, g: &CsrGraph) -> Result<CncResult, PlanError> {
+        let prepared = PreparedGraph::from_csr(g.clone(), self.reorder_policy());
+        self.try_run_prepared(&prepared)
+    }
+
+    /// Execute on a prepared graph: plan, execute, report. No preprocessing
+    /// happens here — the backend runs on the CSR the preparation already
+    /// holds, and reordering only takes effect when the preparation
+    /// computed the relabel (counts are then remapped back to the original
+    /// graph's offsets).
+    pub fn try_run_prepared(&self, prepared: &PreparedGraph) -> Result<CncResult, PlanError> {
         let t0 = Instant::now();
         // Plan.
-        let plan = self.plan(g)?;
+        let plan = self.plan(prepared)?;
         let backend = self.backend();
-        // Execute (with reorder remapping around the backend).
-        let mut exec = if plan.reorder {
-            let r = reorder::degree_descending(g);
-            let mut e = backend.execute(&r.graph, &plan);
-            e.counts = counts_to_original(g, &r, &e.counts);
-            e
-        } else {
-            backend.execute(g, &plan)
-        };
+        // Execute. The backend picks the prepared execution graph; counts
+        // come back in that graph's offsets.
+        let mut exec = backend.execute(prepared, &plan);
+        // The reorder is effective only if the preparation computed tables.
+        let effective_reorder = plan.reorder && prepared.reordered().is_some();
+        if effective_reorder {
+            let r = prepared.reordered().expect("checked above");
+            exec.counts = counts_to_original(prepared.graph(), r, &exec.counts);
+        }
         // Report.
         let wall_seconds = t0.elapsed().as_secs_f64();
         let effective_algorithm = plan
@@ -312,7 +352,7 @@ impl Runner {
             platform: backend.label(),
             requested_algorithm: plan.algorithm.label().to_string(),
             effective_algorithm,
-            reordered: plan.reorder,
+            reordered: effective_reorder,
             substitution: plan.substitution,
             work: exec.work.take(),
             wall_seconds,
@@ -482,7 +522,8 @@ mod tests {
                 msg.contains("power of two") || msg.contains("at least 2"),
                 "unhelpful error: {msg}"
             );
-            assert!(runner.plan(&g).is_err());
+            let pg = PreparedGraph::from_csr(g.clone(), runner.reorder_policy());
+            assert!(runner.plan(&pg).is_err());
         }
         // A valid explicit ratio still runs.
         let ok = Runner::new(Platform::CpuSequential, Algorithm::Bmp(RfChoice::Ratio(64)))
@@ -494,18 +535,88 @@ mod tests {
     #[test]
     fn plan_resolves_scaled_rf_against_graph_size() {
         let g = CsrGraph::from_edge_list(&generators::gnm(40_000, 80_000, 2));
-        let plan = Runner::new(Platform::CpuSequential, Algorithm::bmp_rf())
-            .plan(&g)
+        let n = g.num_vertices();
+        let bmp = Runner::new(Platform::CpuSequential, Algorithm::bmp_rf());
+        let plan = bmp
+            .plan(&PreparedGraph::from_csr(g.clone(), bmp.reorder_policy()))
             .unwrap();
         assert_eq!(
             plan.cpu_kernel,
-            cnc_cpu::CpuKernel::Bmp(BmpMode::rf_scaled(g.num_vertices()))
+            cnc_cpu::CpuKernel::Bmp(BmpMode::rf_scaled(n))
         );
         assert!(plan.reorder);
         assert!(plan.partitioning.is_none());
-        let par_plan = Runner::new(Platform::cpu_parallel(), Algorithm::mps())
-            .plan(&g)
+        let mps = Runner::new(Platform::cpu_parallel(), Algorithm::mps());
+        let par_plan = mps
+            .plan(&PreparedGraph::from_csr(g, mps.reorder_policy()))
             .unwrap();
         assert_eq!(par_plan.partitioning, Some(ParConfig::default()));
+    }
+
+    #[test]
+    fn shared_preparation_reorders_exactly_once() {
+        // The acceptance property of the preparation layer: two runs over
+        // the same Arc<PreparedGraph> perform exactly one degree-descending
+        // relabel — during prepare — and none during execution.
+        let g = Dataset::WiS.build(Scale::Tiny);
+        let runner = Runner::new(Platform::cpu_parallel(), Algorithm::bmp_rf());
+        let before = cnc_graph::prepare::metrics();
+        let pg = PreparedGraph::from_csr(g.clone(), runner.reorder_policy());
+        let after_prepare = cnc_graph::prepare::metrics();
+        assert_eq!(after_prepare.since(&before).reorders, 1);
+        let r1 = runner.run_prepared(&pg);
+        let r2 = runner.run_prepared(&pg);
+        let after_runs = cnc_graph::prepare::metrics();
+        assert_eq!(
+            after_runs.since(&after_prepare).reorders,
+            0,
+            "running must not re-reorder"
+        );
+        assert_eq!(after_runs.since(&after_prepare).graph_builds, 0);
+        assert_eq!(r1.counts, r2.counts);
+        assert_eq!(r1.counts, reference_counts(&g));
+        assert!(r1.stats.reordered && r2.stats.reordered);
+    }
+
+    #[test]
+    fn every_backend_matches_reference_on_every_dataset() {
+        // All backends, all datasets, one shared preparation each: counts
+        // must equal the sequential reference in original edge offsets.
+        // Route the disk cache to a throwaway directory so the test leaves
+        // no files in the repository tree.
+        let dir = std::env::temp_dir().join(format!("cnc-core-prep-{}", std::process::id()));
+        std::env::set_var("CNC_CACHE_DIR", &dir);
+        for d in Dataset::ALL {
+            let pg = d.prepare(Scale::Tiny, cnc_graph::ReorderPolicy::DegreeDescending);
+            let want = reference_counts(pg.graph());
+            for platform in platforms(pg.capacity_scale()) {
+                for algorithm in [Algorithm::mps(), Algorithm::bmp_rf()] {
+                    let r = Runner::new(platform.clone(), algorithm).run_prepared(&pg);
+                    assert_eq!(
+                        r.counts,
+                        want,
+                        "dataset={} platform={platform:?} algorithm={}",
+                        d.name(),
+                        algorithm.label()
+                    );
+                }
+            }
+        }
+        std::env::remove_var("CNC_CACHE_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unreordered_preparation_downgrades_gracefully() {
+        // A runner that wants reordering but receives a ReorderPolicy::None
+        // preparation still produces exact counts and reports what happened.
+        let g = Dataset::LjS.build(Scale::Tiny);
+        let pg = PreparedGraph::from_csr(g.clone(), cnc_graph::ReorderPolicy::None);
+        let r = Runner::new(Platform::cpu_parallel(), Algorithm::bmp_rf()).run_prepared(&pg);
+        assert_eq!(r.counts, reference_counts(&g));
+        assert!(
+            !r.stats.reordered,
+            "no tables → reorder cannot be effective"
+        );
     }
 }

@@ -89,16 +89,31 @@ impl CsrGraph {
     /// Parallel CSR construction for large edge lists: degree counting,
     /// scattering and per-vertex sorting all fan out over rayon. Produces
     /// exactly the same CSR as [`CsrGraph::from_edge_list`].
+    ///
+    /// The fan-out requires the canonical edge-list form (`u < v`, sorted,
+    /// deduplicated); an input that is not [`EdgeList::is_normalized`] is
+    /// normalized into an internal copy first instead of silently producing
+    /// a corrupt CSR.
     pub fn from_edge_list_parallel(el: &EdgeList) -> Self {
+        if !el.is_normalized() {
+            let mut owned = el.clone();
+            owned.normalize();
+            return Self::from_normalized_parallel(&owned);
+        }
+        Self::from_normalized_parallel(el)
+    }
+
+    /// The parallel builder proper; `el` must be normalized.
+    fn from_normalized_parallel(el: &EdgeList) -> Self {
         use rayon::prelude::*;
         use std::sync::atomic::{AtomicUsize, Ordering};
 
+        debug_assert!(el.is_normalized());
         let n = el.num_vertices;
         // Degrees via atomic counters (the edge list is normalized: u < v,
         // no self-loops, no duplicates).
         let deg: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
         el.edges.par_iter().for_each(|&(u, v)| {
-            debug_assert!(u < v, "parallel builder requires a normalized list");
             deg[u as usize].fetch_add(1, Ordering::Relaxed);
             deg[v as usize].fetch_add(1, Ordering::Relaxed);
         });
@@ -135,9 +150,19 @@ impl CsrGraph {
 
     /// Build directly from parts. Panics if the parts are inconsistent.
     pub fn from_parts(offsets: Vec<usize>, dst: Vec<u32>) -> Self {
+        Self::try_from_parts(offsets, dst).expect("invalid CSR parts")
+    }
+
+    /// Build directly from parts, returning a description of the violated
+    /// invariant instead of panicking. This is the constructor for
+    /// *untrusted* parts (deserialized files, caches).
+    pub fn try_from_parts(offsets: Vec<usize>, dst: Vec<u32>) -> Result<Self, String> {
+        if offsets.is_empty() {
+            return Err("offsets must have length |V| + 1, got 0".into());
+        }
         let g = Self { offsets, dst };
-        g.validate().expect("invalid CSR parts");
-        g
+        g.validate()?;
+        Ok(g)
     }
 
     /// Number of vertices `|V|`.
@@ -393,6 +418,36 @@ mod tests {
             assert_eq!(seq, par);
             par.validate().unwrap();
         }
+    }
+
+    #[test]
+    fn parallel_builder_normalizes_raw_input() {
+        // Reversed orientation, duplicates, a self-loop, unsorted — the
+        // parallel builder must still agree with the sequential one.
+        let mut el = EdgeList::new(5);
+        for &(u, v) in &[(3, 1), (1, 3), (2, 2), (4, 0), (0, 1), (0, 1)] {
+            el.push(u, v);
+        }
+        assert!(!el.is_normalized());
+        let par = CsrGraph::from_edge_list_parallel(&el);
+        let seq = CsrGraph::from_edge_list(&el);
+        assert_eq!(par, seq);
+        par.validate().unwrap();
+    }
+
+    #[test]
+    fn try_from_parts_rejects_inconsistent_parts() {
+        assert!(CsrGraph::try_from_parts(vec![], vec![]).is_err());
+        // Endpoint broken: last offset != dst.len().
+        assert!(CsrGraph::try_from_parts(vec![0, 2], vec![1]).is_err());
+        // Non-monotone offsets.
+        assert!(CsrGraph::try_from_parts(vec![0, 2, 1, 3], vec![1, 2, 0]).is_err());
+        // Asymmetric edge: 0 lists 1 but 1 does not list 0.
+        assert!(CsrGraph::try_from_parts(vec![0, 1, 1], vec![1]).is_err());
+        // A valid pair round-trips.
+        let g = triangle_plus_tail();
+        let ok = CsrGraph::try_from_parts(g.offsets().to_vec(), g.dst().to_vec()).unwrap();
+        assert_eq!(ok, g);
     }
 
     #[test]

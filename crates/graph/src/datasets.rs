@@ -40,6 +40,16 @@ impl Scale {
             Scale::Medium => 4.0,
         }
     }
+
+    /// Stable lower-case tag (`tiny` / `small` / `medium`), used in CLI
+    /// arguments and prepared-graph cache file names.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+        }
+    }
 }
 
 /// One of the five dataset analogues.
@@ -142,9 +152,22 @@ impl Dataset {
         }
     }
 
-    /// Generate and convert to CSR.
+    /// Generate and convert to CSR (through the parallel builder — the
+    /// generators emit normalized lists, so the fan-out path applies
+    /// directly).
     pub fn build(self, scale: Scale) -> CsrGraph {
-        CsrGraph::from_edge_list(&self.edge_list(scale))
+        CsrGraph::from_edge_list_parallel(&self.edge_list(scale))
+    }
+
+    /// The shared prepared form of this dataset: reorder, remap tables and
+    /// statistics computed once per process and cached on disk. See
+    /// [`crate::prepare::prepared`].
+    pub fn prepare(
+        self,
+        scale: Scale,
+        policy: crate::prepare::ReorderPolicy,
+    ) -> std::sync::Arc<crate::prepare::PreparedGraph> {
+        crate::prepare::prepared(self, scale, policy)
     }
 
     /// CSR plus its Table 1 statistics.
@@ -227,5 +250,19 @@ mod tests {
         assert_eq!(Dataset::LjS.name(), "lj-s");
         assert_eq!(Dataset::FrS.paper_name(), "friendster (FR)");
         assert_eq!(Dataset::ALL.len(), 5);
+        assert_eq!(Scale::Tiny.name(), "tiny");
+        assert_eq!(Scale::Small.name(), "small");
+        assert_eq!(Scale::Medium.name(), "medium");
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_reference() {
+        // Dataset::build routes through the parallel builder; it must stay
+        // bit-identical to the sequential reference construction.
+        for d in Dataset::ALL {
+            let el = d.edge_list(Scale::Tiny);
+            assert!(el.is_normalized(), "{} generator output", d.name());
+            assert_eq!(d.build(Scale::Tiny), crate::CsrGraph::from_edge_list(&el));
+        }
     }
 }

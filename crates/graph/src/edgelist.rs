@@ -59,6 +59,14 @@ impl EdgeList {
         self.edges.dedup();
     }
 
+    /// Whether the list is already in canonical form: every edge oriented
+    /// as `(min, max)` with `u < v`, sorted, and deduplicated — exactly what
+    /// [`EdgeList::normalize`] produces. The parallel CSR builder requires
+    /// this form and uses the check to normalize a copy when it is not met.
+    pub fn is_normalized(&self) -> bool {
+        self.edges.iter().all(|&(u, v)| u < v) && self.edges.windows(2).all(|w| w[0] < w[1])
+    }
+
     /// Number of undirected edges.
     pub fn len(&self) -> usize {
         self.edges.len()
@@ -101,6 +109,23 @@ mod tests {
         let el = EdgeList::from_pairs(std::iter::empty());
         assert!(el.is_empty());
         assert_eq!(el.num_vertices, 0);
+    }
+
+    #[test]
+    fn is_normalized_tracks_canonical_form() {
+        let mut el = EdgeList::new(4);
+        assert!(el.is_normalized(), "empty list is canonical");
+        el.push(2, 1);
+        assert!(!el.is_normalized(), "reversed orientation");
+        el.normalize();
+        assert!(el.is_normalized());
+        el.push(1, 2);
+        assert!(!el.is_normalized(), "duplicate edge");
+        el.normalize();
+        el.push(0, 1);
+        assert!(!el.is_normalized(), "unsorted");
+        el.normalize();
+        assert!(el.is_normalized());
     }
 
     #[test]

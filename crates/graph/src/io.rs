@@ -38,6 +38,23 @@ fn get_u32_le(buf: &mut &[u8]) -> u32 {
 /// Magic header of the binary CSR format.
 const MAGIC: &[u8; 8] = b"CNCCSR01";
 
+/// Read exactly `len` bytes of `what` into a fresh buffer, growing it as the
+/// data arrives. Unlike `vec![0; len]` + `read_exact`, a malformed header
+/// advertising an absurd element count cannot trigger a huge up-front
+/// allocation (or an arithmetic panic): allocation is bounded by what the
+/// reader actually yields, and a short read is an `InvalidData` error.
+pub(crate) fn read_exact_vec<R: Read>(r: &mut R, len: u64, what: &str) -> io::Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    let got = r.take(len).read_to_end(&mut buf)?;
+    if got as u64 != len {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("truncated {what}: expected {len} bytes, got {got}"),
+        ));
+    }
+    Ok(buf)
+}
+
 /// Parse a SNAP-style edge list from a reader.
 ///
 /// Lines starting with `#` (or `%`, as used by some mirrors) are comments.
@@ -137,6 +154,10 @@ pub fn write_csr<W: Write>(g: &CsrGraph, writer: W) -> io::Result<()> {
 }
 
 /// Deserialize a CSR graph written by [`write_csr`].
+///
+/// Any malformed input — wrong magic, truncation, or a byte stream whose
+/// offsets/dst arrays violate the CSR invariants — is an
+/// [`io::ErrorKind::InvalidData`] error, never a panic.
 pub fn read_csr<R: Read>(reader: R) -> io::Result<CsrGraph> {
     let mut r = BufReader::new(reader);
     let mut header = [0u8; 24];
@@ -148,29 +169,26 @@ pub fn read_csr<R: Read>(reader: R) -> io::Result<CsrGraph> {
         ));
     }
     let mut hdr = &header[8..];
-    let n = get_u64_le(&mut hdr) as usize;
-    let m = get_u64_le(&mut hdr) as usize;
-    let mut offsets_raw = vec![0u8; (n + 1) * 8];
-    r.read_exact(&mut offsets_raw)?;
-    let mut offsets = Vec::with_capacity(n + 1);
+    let n = get_u64_le(&mut hdr);
+    let m = get_u64_le(&mut hdr);
+    let offsets_raw = read_exact_vec(
+        &mut r,
+        n.saturating_add(1).saturating_mul(8),
+        "offset array",
+    )?;
+    let mut offsets = Vec::with_capacity(offsets_raw.len() / 8);
     let mut buf = offsets_raw.as_slice();
     for _ in 0..=n {
         offsets.push(get_u64_le(&mut buf) as usize);
     }
-    let mut dst_raw = vec![0u8; m * 4];
-    r.read_exact(&mut dst_raw)?;
-    let mut dst = Vec::with_capacity(m);
+    let dst_raw = read_exact_vec(&mut r, m.saturating_mul(4), "dst array")?;
+    let mut dst = Vec::with_capacity(dst_raw.len() / 4);
     let mut buf = dst_raw.as_slice();
     for _ in 0..m {
         dst.push(get_u32_le(&mut buf));
     }
-    if offsets.first() != Some(&0) || offsets.last() != Some(&m) {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "inconsistent offsets",
-        ));
-    }
-    Ok(CsrGraph::from_parts(offsets, dst))
+    CsrGraph::try_from_parts(offsets, dst)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("inconsistent CSR: {e}")))
 }
 
 /// Magic header of the binary counts format.
@@ -197,6 +215,9 @@ pub fn write_counts<W: Write>(counts: &[u32], writer: W) -> io::Result<()> {
 }
 
 /// Deserialize a counts array written by [`write_counts`].
+///
+/// Malformed input (wrong magic, truncation, an absurd advertised length) is
+/// an [`io::ErrorKind::InvalidData`] error, never a panic.
 pub fn read_counts<R: Read>(reader: R) -> io::Result<Vec<u32>> {
     let mut r = BufReader::new(reader);
     let mut header = [0u8; 16];
@@ -207,10 +228,9 @@ pub fn read_counts<R: Read>(reader: R) -> io::Result<Vec<u32>> {
             "bad magic: not a CNCCNT01 file",
         ));
     }
-    let m = get_u64_le(&mut &header[8..]) as usize;
-    let mut raw = vec![0u8; m * 4];
-    r.read_exact(&mut raw)?;
-    let mut out = Vec::with_capacity(m);
+    let m = get_u64_le(&mut &header[8..]);
+    let raw = read_exact_vec(&mut r, m.saturating_mul(4), "counts array")?;
+    let mut out = Vec::with_capacity(raw.len() / 4);
     let mut buf = raw.as_slice();
     for _ in 0..m {
         out.push(get_u32_le(&mut buf));
@@ -268,6 +288,51 @@ mod tests {
         write_csr(&g, &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
         assert!(read_csr(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_invalid_csr_with_valid_magic() {
+        // Valid magic and lengths but inconsistent offsets: must be an
+        // InvalidData error, not a panic out of CsrGraph::from_parts.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        put_u64_le(&mut buf, 1); // |V| = 1
+        put_u64_le(&mut buf, 1); // |dst| = 1
+        put_u64_le(&mut buf, 0); // offsets[0]
+        put_u64_le(&mut buf, 2); // offsets[1] — endpoint != |dst|
+        put_u32_le(&mut buf, 0);
+        let err = read_csr(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // Asymmetric adjacency behind a well-formed header.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        put_u64_le(&mut buf, 2); // |V| = 2
+        put_u64_le(&mut buf, 1); // |dst| = 1
+        for o in [0u64, 1, 1] {
+            put_u64_le(&mut buf, o);
+        }
+        put_u32_le(&mut buf, 1); // 0 → 1 but no 1 → 0
+        let err = read_csr(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn binary_rejects_absurd_advertised_sizes() {
+        // A header claiming u64::MAX vertices must fail cleanly instead of
+        // panicking on size arithmetic or attempting a huge allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        put_u64_le(&mut buf, u64::MAX);
+        put_u64_le(&mut buf, u64::MAX);
+        let err = read_csr(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        let mut buf = Vec::new();
+        buf.extend_from_slice(COUNTS_MAGIC);
+        put_u64_le(&mut buf, u64::MAX);
+        let err = read_counts(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

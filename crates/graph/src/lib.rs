@@ -16,7 +16,10 @@
 //!   graphs (livejournal, orkut, web-it, twitter, friendster);
 //! * [`stats`] — the statistics of Tables 1 and 2 (sizes, degrees, fraction
 //!   of highly skewed intersections);
-//! * [`io`] — SNAP-style edge-list text I/O and a compact binary CSR format.
+//! * [`io`] — SNAP-style edge-list text I/O and a compact binary CSR format;
+//! * [`prepare`] — the one-shot preparation pipeline ([`PreparedGraph`]):
+//!   normalize → CSR → optional reorder → statistics, with a process-wide
+//!   and on-disk cache so every consumer shares one immutable result.
 //!
 //! # Example
 //!
@@ -41,8 +44,10 @@ mod edgelist;
 pub mod datasets;
 pub mod generators;
 pub mod io;
+pub mod prepare;
 pub mod reorder;
 pub mod stats;
 
 pub use csr::CsrGraph;
 pub use edgelist::EdgeList;
+pub use prepare::{PreparedGraph, ReorderPolicy};

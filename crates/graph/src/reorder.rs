@@ -10,7 +10,7 @@
 use crate::csr::CsrGraph;
 
 /// The result of a degree-descending relabel.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Reordered {
     /// The relabeled graph (new ids).
     pub graph: CsrGraph,

@@ -1,0 +1,124 @@
+//! Property-based tests for the binary graph formats: round trips are
+//! lossless, and malformed bytes — truncation or corruption anywhere in the
+//! stream — surface as `io::ErrorKind::InvalidData`-style errors, never as
+//! panics.
+
+use std::io::ErrorKind;
+
+use cnc_graph::{io, prepare, CsrGraph, EdgeList, PreparedGraph, ReorderPolicy};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary raw pair list over up to `n` vertices.
+fn pairs(n: u32, max_len: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..n, 0..n), 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn csr_round_trips_exactly(ps in pairs(64, 300)) {
+        let g = CsrGraph::from_edge_list(&EdgeList::from_pairs(ps));
+        let mut buf = Vec::new();
+        io::write_csr(&g, &mut buf).unwrap();
+        prop_assert_eq!(io::read_csr(buf.as_slice()).unwrap(), g);
+    }
+
+    #[test]
+    fn counts_round_trip_exactly(counts in prop::collection::vec(any::<u32>(), 0..500)) {
+        let mut buf = Vec::new();
+        io::write_counts(&counts, &mut buf).unwrap();
+        prop_assert_eq!(io::read_counts(buf.as_slice()).unwrap(), counts);
+    }
+
+    #[test]
+    fn truncated_csr_errors_never_panics(ps in pairs(48, 200), frac in 0.0f64..1.0) {
+        let g = CsrGraph::from_edge_list(&EdgeList::from_pairs(ps));
+        let mut buf = Vec::new();
+        io::write_csr(&g, &mut buf).unwrap();
+        let cut = ((buf.len() as f64) * frac) as usize;
+        prop_assume!(cut < buf.len());
+        prop_assert!(io::read_csr(buf[..cut].to_vec().as_slice()).is_err());
+    }
+
+    #[test]
+    fn corrupted_csr_errors_or_stays_valid(
+        ps in pairs(48, 200),
+        pos in any::<usize>(),
+        xor in 1u8..255,
+    ) {
+        // Flipping any byte must either produce a valid CSR (e.g. a dst id
+        // change that keeps all invariants) or a clean InvalidData /
+        // UnexpectedEof error — never a panic or an invariant-violating
+        // graph.
+        let g = CsrGraph::from_edge_list(&EdgeList::from_pairs(ps));
+        let mut buf = Vec::new();
+        io::write_csr(&g, &mut buf).unwrap();
+        let i = pos % buf.len();
+        buf[i] ^= xor;
+        match io::read_csr(buf.as_slice()) {
+            Ok(back) => prop_assert!(back.validate().is_ok()),
+            Err(e) => prop_assert!(
+                matches!(e.kind(), ErrorKind::InvalidData | ErrorKind::UnexpectedEof),
+                "unexpected error kind {:?}", e.kind()
+            ),
+        }
+    }
+
+    #[test]
+    fn truncated_counts_error_never_panic(
+        counts in prop::collection::vec(any::<u32>(), 1..200),
+        frac in 0.0f64..1.0,
+    ) {
+        let mut buf = Vec::new();
+        io::write_counts(&counts, &mut buf).unwrap();
+        let cut = ((buf.len() as f64) * frac) as usize;
+        prop_assume!(cut < buf.len());
+        prop_assert!(io::read_counts(buf[..cut].to_vec().as_slice()).is_err());
+    }
+
+    #[test]
+    fn prepared_round_trips_both_policies(ps in pairs(48, 200), degdesc in any::<bool>()) {
+        let policy = if degdesc { ReorderPolicy::DegreeDescending } else { ReorderPolicy::None };
+        let g = CsrGraph::from_edge_list(&EdgeList::from_pairs(ps));
+        let pg = PreparedGraph::from_csr(g, policy);
+        let mut buf = Vec::new();
+        prepare::write_prepared(&pg, &mut buf).unwrap();
+        let back = prepare::read_prepared(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.graph(), pg.graph());
+        prop_assert_eq!(back.policy(), policy);
+        prop_assert_eq!(back.reordered(), pg.reordered());
+    }
+
+    #[test]
+    fn truncated_prepared_errors_never_panics(ps in pairs(48, 200), frac in 0.0f64..1.0) {
+        let pg = PreparedGraph::from_csr(
+            CsrGraph::from_edge_list(&EdgeList::from_pairs(ps)),
+            ReorderPolicy::DegreeDescending,
+        );
+        let mut buf = Vec::new();
+        prepare::write_prepared(&pg, &mut buf).unwrap();
+        let cut = ((buf.len() as f64) * frac) as usize;
+        prop_assume!(cut < buf.len());
+        prop_assert!(prepare::read_prepared(buf[..cut].to_vec().as_slice()).is_err());
+    }
+}
+
+#[test]
+fn wrong_magic_is_invalid_data() {
+    let g = CsrGraph::from_edge_list(&EdgeList::from_pairs([(0, 1), (1, 2)]));
+    let mut buf = Vec::new();
+    io::write_csr(&g, &mut buf).unwrap();
+    buf[0..8].copy_from_slice(b"NOTMAGIC");
+    assert_eq!(
+        io::read_csr(buf.as_slice()).unwrap_err().kind(),
+        ErrorKind::InvalidData
+    );
+    let mut cbuf = Vec::new();
+    io::write_counts(&[1, 2, 3], &mut cbuf).unwrap();
+    cbuf[0..8].copy_from_slice(b"NOTMAGIC");
+    assert_eq!(
+        io::read_counts(cbuf.as_slice()).unwrap_err().kind(),
+        ErrorKind::InvalidData
+    );
+}

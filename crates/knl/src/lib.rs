@@ -40,6 +40,7 @@ mod profiles;
 mod runner;
 
 pub use profiles::{
-    counts_and_work_of, cpu_kernel_of, profile_from_work, profile_of, working_set_of,
+    counts_and_work_of, cpu_kernel_of, execution_graph_of, profile_from_work, profile_of,
+    profile_of_prepared, working_set_of,
 };
 pub use runner::{ModeledAlgo, ModeledProcessor, ModeledRun};

@@ -1,7 +1,7 @@
 //! Exact work profiles of the counting algorithms on a concrete graph.
 
 use cnc_cpu::{BmpMode, CpuKernel};
-use cnc_graph::CsrGraph;
+use cnc_graph::{CsrGraph, PreparedGraph};
 use cnc_intersect::{Bitmap, CountingMeter, MpsConfig, RfBitmap, WorkCounts};
 use cnc_machine::WorkProfile;
 
@@ -85,6 +85,23 @@ pub fn profile_from_work(g: &CsrGraph, algo: &ModeledAlgo, work: &WorkCounts) ->
 pub fn profile_of(g: &CsrGraph, algo: &ModeledAlgo) -> (Vec<u32>, WorkProfile) {
     let (counts, work) = counts_and_work_of(g, algo);
     (counts, profile_from_work(g, algo, &work))
+}
+
+/// The prepared-graph input `algo` should execute on: BMP takes the
+/// degree-descending relabel (its complexity bound requires it) when the
+/// preparation computed one; the merge family runs on the original ids.
+pub fn execution_graph_of<'a>(prepared: &'a PreparedGraph, algo: &ModeledAlgo) -> &'a CsrGraph {
+    prepared.execution_graph(matches!(algo, ModeledAlgo::Bmp { .. }))
+}
+
+/// [`profile_of`] over a shared preparation: the graph (and its reorder)
+/// come from the [`PreparedGraph`] — no preprocessing happens here. Counts
+/// are in the executed graph's offsets (the relabeled graph for BMP).
+pub fn profile_of_prepared(
+    prepared: &PreparedGraph,
+    algo: &ModeledAlgo,
+) -> (Vec<u32>, WorkProfile) {
+    profile_of(execution_graph_of(prepared, algo), algo)
 }
 
 #[cfg(test)]

@@ -143,6 +143,24 @@ impl ModeledProcessor {
         }
     }
 
+    /// [`ModeledProcessor::run`] over a shared preparation: BMP executes on
+    /// the prepared degree-descending relabel, the merge family on the
+    /// original graph — nothing is re-derived here.
+    pub fn run_prepared(
+        &self,
+        prepared: &cnc_graph::PreparedGraph,
+        algo: &ModeledAlgo,
+        threads: usize,
+        mode: MemMode,
+    ) -> ModeledRun {
+        self.run(
+            crate::profiles::execution_graph_of(prepared, algo),
+            algo,
+            threads,
+            mode,
+        )
+    }
+
     /// Model timing only, reusing an existing profile (cheap: lets sweeps
     /// over threads / memory modes profile the algorithm once).
     pub fn time_profile(
