@@ -1,12 +1,14 @@
 //! Wall-clock benchmarks of the graph substrate: CSR construction, the
 //! degree-descending relabeling (the paper notes it costs < 3 s on the
-//! billion-edge graphs), generators, and I/O.
+//! billion-edge graphs), generators, I/O, and the cold-vs-warm preparation
+//! gap the zero-copy cache buys.
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use cnc_graph::datasets::{Dataset, Scale};
+use cnc_graph::prepare::{self, map_prepared, write_prepared, PreparedGraph, ReorderPolicy};
 use cnc_graph::{generators, io, reorder, CsrGraph};
 
 fn bench_build(c: &mut Criterion) {
@@ -62,9 +64,40 @@ fn bench_io(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cold preparation (edge list → parallel CSR build → relabel) against a
+/// warm zero-copy load of the same preparation from its `CNCPREP2` cache
+/// file. The warm path must win by a wide margin — that gap is the whole
+/// point of the mmap-backed cache.
+fn bench_prepare_cold_vs_warm(c: &mut Criterion) {
+    let el = Dataset::OrS.edge_list(Scale::Small);
+    let dir = std::env::temp_dir().join(format!("cnc-bench-cache-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("or-s-small-degdesc.prep");
+    let pg = PreparedGraph::from_edge_list(&el, ReorderPolicy::DegreeDescending);
+    write_prepared(&pg, std::fs::File::create(&path).unwrap()).unwrap();
+
+    let mut group = c.benchmark_group("prepare_cold_vs_warm");
+    group.throughput(Throughput::Bytes(std::fs::metadata(&path).unwrap().len()));
+    group.sample_size(10);
+    group.bench_function("cold_build", |b| {
+        b.iter(|| PreparedGraph::from_edge_list(&el, ReorderPolicy::DegreeDescending))
+    });
+    let before = prepare::metrics();
+    group.bench_function("warm_mmap", |b| {
+        b.iter(|| map_prepared(&path).expect("cache file must map"))
+    });
+    let warm_work = prepare::metrics().since(&before);
+    assert!(
+        warm_work.mmap_hits > 0 && warm_work.graph_builds == 0,
+        "warm path must be zero-copy: {warm_work}"
+    );
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
-    targets = bench_build, bench_generators, bench_io
+    targets = bench_build, bench_generators, bench_io, bench_prepare_cold_vs_warm
 }
 criterion_main!(benches);

@@ -6,17 +6,26 @@
 //! cnc stats  GRAPH
 //! cnc scan   GRAPH [--eps 0.6] [--mu 3]
 //! cnc truss  GRAPH
+//! cnc cache  [ls|gc|clear] [--dir D] [--max-bytes N]
 //! ```
 //!
 //! `GRAPH` is a SNAP-style edge-list text file (`u v` per line, `#`
 //! comments) or a binary CSR written by `cnc-graph::io::write_csr`
 //! (detected by magic). `--out` writes the per-edge counts as
 //! `u v count` lines (canonical `u < v` edges once each).
+//!
+//! `cnc cache` manages the on-disk prepared-graph cache (default
+//! directory: `$CNC_CACHE_DIR` or `results/cache`): `ls` lists entries
+//! most-recently-used first, `gc --max-bytes N` evicts least-recently-used
+//! files down to the byte budget, `clear` removes everything evictable.
+//! Files held by live readers are never removed.
 
 use std::io::{BufWriter, Write};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use cnc_core::{scan, truss_decomposition, Algorithm, CncView, Platform, PreparedGraph, Runner};
+use cnc_graph::prepare;
 use cnc_graph::stats::{skew_percentage, GraphStats};
 use cnc_graph::{io, CsrGraph};
 
@@ -60,15 +69,72 @@ fn print_stats(g: &CsrGraph) {
     println!("CSR bytes      {}", g.csr_bytes());
 }
 
+/// `cnc cache [ls|gc|clear]` — inspect and trim the prepared-graph cache.
+fn run_cache(mut args: Vec<String>) -> Result<(), String> {
+    let dir = parse_flag(&mut args, "--dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(prepare::default_cache_dir);
+    let max_bytes = parse_flag(&mut args, "--max-bytes")
+        .map(|s| {
+            s.parse::<u64>()
+                .map_err(|e| format!("bad --max-bytes: {e}"))
+        })
+        .transpose()?;
+    let report = |verb: &str, out: prepare::GcOutcome| {
+        let locked = if out.skipped_locked > 0 {
+            format!(", {} in use (kept)", out.skipped_locked)
+        } else {
+            String::new()
+        };
+        println!(
+            "{verb} {} files ({} bytes); kept {} files ({} bytes){locked}",
+            out.evicted, out.evicted_bytes, out.kept, out.kept_bytes
+        );
+    };
+    match args.first().map(String::as_str).unwrap_or("ls") {
+        "ls" => {
+            // A missing directory is just an empty cache.
+            let entries = prepare::cache_entries(&dir).unwrap_or_default();
+            let total: u64 = entries.iter().map(|e| e.bytes).sum();
+            for e in &entries {
+                println!("{:>12}  {}", e.bytes, e.path.display());
+            }
+            println!(
+                "{total:>12}  total: {} files in {}",
+                entries.len(),
+                dir.display()
+            );
+            Ok(())
+        }
+        "gc" => {
+            let cap = max_bytes.ok_or_else(|| "cache gc needs --max-bytes N".to_string())?;
+            let out = prepare::cache_gc(&dir, cap)
+                .map_err(|e| format!("cannot gc {}: {e}", dir.display()))?;
+            report("evicted", out);
+            Ok(())
+        }
+        "clear" => {
+            let out = prepare::cache_clear(&dir)
+                .map_err(|e| format!("cannot clear {}: {e}", dir.display()))?;
+            report("removed", out);
+            Ok(())
+        }
+        other => Err(format!("unknown cache action {other:?}")),
+    }
+}
+
 fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         eprintln!(
-            "usage: cnc <count|stats|scan|truss> GRAPH [--algo A] [--platform P] [--out F] [--eps E] [--mu M] [--stats]"
+            "usage: cnc <count|stats|scan|truss> GRAPH [--algo A] [--platform P] [--out F] [--eps E] [--mu M] [--stats]\n       cnc cache [ls|gc|clear] [--dir D] [--max-bytes N]"
         );
         return Ok(());
     }
     let command = args.remove(0);
+    if command == "cache" {
+        return run_cache(args);
+    }
     let algo = match parse_flag(&mut args, "--algo").as_deref() {
         None | Some("bmp-rf") => Algorithm::bmp_rf(),
         Some("bmp") => Algorithm::bmp(),

@@ -8,30 +8,45 @@
 //! indexed by this offset.
 
 use crate::edgelist::EdgeList;
+use crate::store::GraphStore;
 
 /// An undirected graph in CSR form with sorted neighbor lists.
+///
+/// Both arrays live behind [`GraphStore`]: owned heap vectors for freshly
+/// built graphs, or zero-copy views into an `mmap`ed cache file for warm
+/// loads. Every accessor exposes plain slices, so consumers never see the
+/// difference.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CsrGraph {
     /// `offsets[u]..offsets[u+1]` is the slice of `dst` holding `N(u)`.
-    offsets: Vec<usize>,
+    offsets: GraphStore<usize>,
     /// Concatenated neighbor lists, each strictly ascending.
-    dst: Vec<u32>,
+    dst: GraphStore<u32>,
 }
 
 impl CsrGraph {
     /// Build from a normalized-or-not edge list: symmetrizes, sorts and
     /// deduplicates per-vertex neighbor lists.
     pub fn from_edge_list(el: &EdgeList) -> Self {
-        Self::from_undirected_pairs(el.num_vertices, el.edges.iter().copied())
+        Self::from_pair_slice(el.num_vertices, &el.edges)
     }
 
     /// Build from raw undirected pairs over `n` vertices. Self-loops are
     /// dropped; parallel edges are merged.
+    ///
+    /// The iterator is collected exactly once; both construction passes
+    /// (degree counting, scattering) then run over that one slice.
     pub fn from_undirected_pairs(n: usize, pairs: impl Iterator<Item = (u32, u32)>) -> Self {
-        // Counting sort into CSR: first degrees, then scatter.
+        let pairs: Vec<(u32, u32)> = pairs.collect();
+        Self::from_pair_slice(n, &pairs)
+    }
+
+    /// Counting-sort construction over an edge slice: pass 1 counts degrees,
+    /// pass 2 scatters. No staging copy of the input is made — peak memory
+    /// is the input slice plus the output CSR.
+    fn from_pair_slice(n: usize, pairs: &[(u32, u32)]) -> Self {
         let mut deg = vec![0usize; n];
-        let mut kept: Vec<(u32, u32)> = Vec::new();
-        for (u, v) in pairs {
+        for &(u, v) in pairs {
             if u == v {
                 continue;
             }
@@ -39,7 +54,6 @@ impl CsrGraph {
                 (u as usize) < n && (v as usize) < n,
                 "edge ({u},{v}) out of range for {n} vertices"
             );
-            kept.push((u, v));
             deg[u as usize] += 1;
             deg[v as usize] += 1;
         }
@@ -49,7 +63,10 @@ impl CsrGraph {
         }
         let mut dst = vec![0u32; offsets[n]];
         let mut cursor = offsets[..n].to_vec();
-        for &(u, v) in &kept {
+        for &(u, v) in pairs {
+            if u == v {
+                continue;
+            }
             dst[cursor[u as usize]] = v;
             cursor[u as usize] += 1;
             dst[cursor[v as usize]] = u;
@@ -79,11 +96,14 @@ impl CsrGraph {
                 new_offsets[u + 1] = new_dst.len();
             }
             return Self {
-                offsets: new_offsets,
-                dst: new_dst,
+                offsets: new_offsets.into(),
+                dst: new_dst.into(),
             };
         }
-        Self { offsets, dst }
+        Self {
+            offsets: offsets.into(),
+            dst: dst.into(),
+        }
     }
 
     /// Parallel CSR construction for large edge lists: degree counting,
@@ -145,7 +165,10 @@ impl CsrGraph {
             rest = tail;
         }
         runs.par_iter_mut().for_each(|run| run.sort_unstable());
-        Self { offsets, dst }
+        Self {
+            offsets: offsets.into(),
+            dst: dst.into(),
+        }
     }
 
     /// Build directly from parts. Panics if the parts are inconsistent.
@@ -157,12 +180,47 @@ impl CsrGraph {
     /// invariant instead of panicking. This is the constructor for
     /// *untrusted* parts (deserialized files, caches).
     pub fn try_from_parts(offsets: Vec<usize>, dst: Vec<u32>) -> Result<Self, String> {
+        Self::try_from_stores(offsets.into(), dst.into())
+    }
+
+    /// Build from arbitrary [`GraphStore`] backings (owned or mapped) with
+    /// the full invariant check of [`CsrGraph::validate`].
+    pub fn try_from_stores(
+        offsets: GraphStore<usize>,
+        dst: GraphStore<u32>,
+    ) -> Result<Self, String> {
         if offsets.is_empty() {
             return Err("offsets must have length |V| + 1, got 0".into());
         }
         let g = Self { offsets, dst };
         g.validate()?;
         Ok(g)
+    }
+
+    /// Build from [`GraphStore`] backings with only the linear-time
+    /// [`CsrGraph::validate_structure`] check.
+    ///
+    /// This is the constructor for *integrity-protected* inputs — mapped
+    /// `CNCPREP2` sections whose per-section checksums already verified the
+    /// bytes are exactly what [`crate::io::write_csr`]-style serialization of
+    /// a valid graph produced. The `O(|E| log d)` symmetry probes of the full
+    /// validation are skipped so warm loads stay cheap.
+    pub(crate) fn try_from_stores_structural(
+        offsets: GraphStore<usize>,
+        dst: GraphStore<u32>,
+    ) -> Result<Self, String> {
+        if offsets.is_empty() {
+            return Err("offsets must have length |V| + 1, got 0".into());
+        }
+        let g = Self { offsets, dst };
+        g.validate_structure()?;
+        Ok(g)
+    }
+
+    /// Whether both CSR arrays are served zero-copy from a mapped cache
+    /// file rather than from heap allocations.
+    pub fn storage_mapped(&self) -> bool {
+        self.offsets.is_mapped() && self.dst.is_mapped()
     }
 
     /// Number of vertices `|V|`.
@@ -263,6 +321,23 @@ impl CsrGraph {
     /// Check the CSR invariants: monotone offsets, in-range ids, strictly
     /// ascending neighbor runs, no self-loops, and symmetry.
     pub fn validate(&self) -> Result<(), String> {
+        self.validate_structure()?;
+        let n = self.num_vertices();
+        for u in 0..n as u32 {
+            for &v in self.neighbors(u) {
+                if self.edge_offset(v, u).is_none() {
+                    return Err(format!("edge ({u},{v}) not symmetric"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The linear-time subset of [`CsrGraph::validate`]: monotone offsets
+    /// with correct endpoints, in-range neighbor ids, strictly ascending
+    /// runs, no self-loops. Everything except the `O(|E| log d)` symmetry
+    /// probes — `O(|V| + |E|)` total, allocation-free.
+    pub fn validate_structure(&self) -> Result<(), String> {
         let n = self.num_vertices();
         if self.offsets[0] != 0 || *self.offsets.last().unwrap() != self.dst.len() {
             return Err("offset endpoints broken".into());
@@ -281,9 +356,6 @@ impl CsrGraph {
                 }
                 if v == u {
                     return Err(format!("self-loop at {u}"));
-                }
-                if self.edge_offset(v, u).is_none() {
-                    return Err(format!("edge ({u},{v}) not symmetric"));
                 }
             }
         }

@@ -19,7 +19,12 @@
 //! * [`io`] — SNAP-style edge-list text I/O and a compact binary CSR format;
 //! * [`prepare`] — the one-shot preparation pipeline ([`PreparedGraph`]):
 //!   normalize → CSR → optional reorder → statistics, with a process-wide
-//!   and on-disk cache so every consumer shares one immutable result.
+//!   memory cache and a zero-copy on-disk cache (`CNCPREP2`) so every
+//!   consumer shares one immutable result;
+//! * [`mmap`] — in-tree `mmap(2)`/`flock(2)` bindings (the crate's only
+//!   `unsafe`) backing the zero-copy cache and its cross-process locking;
+//! * [`store`] — [`GraphStore`], the owned-or-mapped backing storage CSR
+//!   arrays live behind.
 //!
 //! # Example
 //!
@@ -35,7 +40,10 @@
 //! }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `mmap` module opts back in with a module-level
+// `allow` — it is the single place in the workspace that holds `unsafe`
+// (raw `mmap`/`munmap`/`flock` bindings and the typed mapped-slice views).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod csr;
@@ -44,10 +52,13 @@ mod edgelist;
 pub mod datasets;
 pub mod generators;
 pub mod io;
+pub mod mmap;
 pub mod prepare;
 pub mod reorder;
 pub mod stats;
+pub mod store;
 
 pub use csr::CsrGraph;
 pub use edgelist::EdgeList;
 pub use prepare::{PreparedGraph, ReorderPolicy};
+pub use store::GraphStore;

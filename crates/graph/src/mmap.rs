@@ -1,0 +1,426 @@
+//! Minimal in-tree `mmap(2)` / `flock(2)` bindings for the zero-copy
+//! prepared-graph cache.
+//!
+//! The build environment is fully offline (see the workspace shims policy in
+//! `Cargo.toml`), so instead of the `memmap2`/`fs2` crates this module binds
+//! the three syscalls the cache needs directly through `extern "C"` — libc is
+//! already linked by `std` on every supported platform. All `unsafe` in the
+//! crate lives in this file; the rest of the workspace stays
+//! `deny(unsafe_code)`-clean.
+//!
+//! Three exports:
+//!
+//! * [`MappedFile`] — a whole file mapped read-only (`PROT_READ`,
+//!   `MAP_PRIVATE`), held behind an `Arc`. Opening takes a **shared**
+//!   advisory `flock` on the file that lives as long as the mapping, which is
+//!   how the cache GC knows a file is in use by a reader.
+//! * [`MappedSlice`] — a typed `&[T]` view of a 64-byte-aligned region inside
+//!   a [`MappedFile`]; the `Arc` keeps the mapping (and the reader lock)
+//!   alive for as long as any slice exists.
+//! * [`FileLock`] — an exclusive advisory `flock` with RAII release, used to
+//!   serialize cache writers across processes.
+//!
+//! On non-Unix platforms [`MappedFile::open`] returns
+//! [`io::ErrorKind::Unsupported`] (callers fall back to owned heap reads) and
+//! [`FileLock`] degrades to a lock-free no-op, so the cache protocol still
+//! works single-process.
+#![allow(unsafe_code)]
+
+use std::fs::File;
+use std::io;
+use std::marker::PhantomData;
+use std::ops::Deref;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Alignment guaranteed for every section of the `CNCPREP2` cache format;
+/// also satisfies every element type [`Pod`] is implemented for.
+pub const SECTION_ALIGN: usize = 64;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+    impl Sealed for usize {}
+}
+
+/// Element types that may be read directly out of a mapped byte region:
+/// plain-old-data integers with no invalid bit patterns, no padding, and no
+/// drop glue. Sealed — the soundness of [`MappedSlice`] depends on the
+/// implementor list staying exactly this.
+pub trait Pod: sealed::Sealed + Copy + Send + Sync + 'static {}
+impl Pod for u32 {}
+impl Pod for u64 {}
+impl Pod for usize {}
+
+/// Whether this platform can serve `u64`-typed file sections as `&[usize]`
+/// without conversion: 64-bit little-endian targets only. Elsewhere the
+/// cache silently falls back to owned heap loads.
+pub fn zero_copy_layout() -> bool {
+    cfg!(target_endian = "little") && std::mem::size_of::<usize>() == 8
+}
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 0x1;
+    pub const MAP_PRIVATE: c_int = 0x2;
+    pub const LOCK_SH: c_int = 1;
+    pub const LOCK_EX: c_int = 2;
+    pub const LOCK_NB: c_int = 4;
+
+    pub fn map_failed() -> *mut c_void {
+        usize::MAX as *mut c_void
+    }
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        pub fn flock(fd: c_int, operation: c_int) -> c_int;
+    }
+}
+
+#[cfg(unix)]
+fn flock_fd(file: &File, operation: std::ffi::c_int) -> io::Result<()> {
+    use std::os::unix::io::AsRawFd;
+    // Restart on EINTR: a blocking flock may be interrupted by signals.
+    loop {
+        let rc = unsafe { sys::flock(file.as_raw_fd(), operation) };
+        if rc == 0 {
+            return Ok(());
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// A read-only memory mapping of an entire file.
+///
+/// The mapping is `MAP_PRIVATE` + `PROT_READ`: the bytes are immutable
+/// through this handle and never written back. The opened [`File`] is kept
+/// (it holds the shared advisory lock and, on Unix, pins the inode), and the
+/// region is `munmap`ed on drop.
+#[derive(Debug)]
+pub struct MappedFile {
+    ptr: *mut u8,
+    len: usize,
+    /// Keeps the fd (and its shared `flock`) alive as long as the mapping.
+    _file: File,
+}
+
+// SAFETY: the mapping is read-only for its entire lifetime and the raw
+// pointer is only exposed as `&[u8]`/`&[T]` borrows of `self`.
+unsafe impl Send for MappedFile {}
+unsafe impl Sync for MappedFile {}
+
+impl MappedFile {
+    /// Map `path` read-only, taking a shared advisory `flock` that is held
+    /// until the mapping is dropped.
+    ///
+    /// Errors with [`io::ErrorKind::Unsupported`] on non-Unix platforms so
+    /// callers can fall back to an owned read.
+    #[cfg(unix)]
+    pub fn open(path: &Path) -> io::Result<Arc<Self>> {
+        use std::os::unix::io::AsRawFd;
+
+        let file = File::open(path)?;
+        flock_fd(&file, sys::LOCK_SH)?;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+        if len == 0 {
+            // mmap(2) rejects zero-length mappings; an empty file maps to an
+            // empty (dangling but never dereferenced) region.
+            return Ok(Arc::new(Self {
+                ptr: std::ptr::null_mut(),
+                len: 0,
+                _file: file,
+            }));
+        }
+        // SAFETY: fd is a valid open file of at least `len` bytes; we request
+        // a fresh PROT_READ private mapping at a kernel-chosen address.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::map_failed() {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Arc::new(Self {
+            ptr: ptr.cast(),
+            len,
+            _file: file,
+        }))
+    }
+
+    /// Non-Unix fallback: mapping is unavailable, callers use owned reads.
+    #[cfg(not(unix))]
+    pub fn open(_path: &Path) -> io::Result<Arc<Self>> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "memory mapping is only wired up on Unix platforms",
+        ))
+    }
+
+    /// The mapped bytes.
+    pub fn bytes(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len` bytes
+        // owned by `self`; the borrow ties the slice to the mapping.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A typed view of `count` elements of `T` starting at byte `offset`,
+    /// sharing ownership of the mapping.
+    ///
+    /// Errors (never panics) on out-of-bounds ranges, misaligned offsets, or
+    /// arithmetic overflow — the inputs come from untrusted file headers.
+    pub fn typed_slice<T: Pod>(
+        self: &Arc<Self>,
+        offset: usize,
+        count: usize,
+    ) -> io::Result<MappedSlice<T>> {
+        let invalid = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        let byte_len = count
+            .checked_mul(std::mem::size_of::<T>())
+            .ok_or_else(|| invalid("typed slice length overflows"))?;
+        let end = offset
+            .checked_add(byte_len)
+            .ok_or_else(|| invalid("typed slice range overflows"))?;
+        if end > self.len {
+            return Err(invalid("typed slice out of the mapped range"));
+        }
+        let ptr = if self.len == 0 {
+            std::ptr::NonNull::<T>::dangling().as_ptr() as *const T
+        } else {
+            // SAFETY: offset <= end <= len, so the pointer stays inside (or
+            // one past) the mapping.
+            unsafe { self.ptr.add(offset) as *const T }
+        };
+        if !(ptr as usize).is_multiple_of(std::mem::align_of::<T>()) {
+            return Err(invalid("typed slice is misaligned for its element type"));
+        }
+        Ok(MappedSlice {
+            ptr,
+            len: count,
+            _map: Arc::clone(self),
+            _elem: PhantomData,
+        })
+    }
+}
+
+impl Drop for MappedFile {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if self.len != 0 {
+            // SAFETY: `ptr`/`len` describe the mapping created in `open`,
+            // unmapped exactly once here.
+            unsafe {
+                sys::munmap(self.ptr.cast(), self.len);
+            }
+        }
+    }
+}
+
+/// A `&[T]` view into a [`MappedFile`], keeping the mapping alive.
+///
+/// Dereferences to a slice; cloning is an `Arc` bump.
+#[derive(Debug, Clone)]
+pub struct MappedSlice<T: Pod> {
+    ptr: *const T,
+    len: usize,
+    _map: Arc<MappedFile>,
+    _elem: PhantomData<T>,
+}
+
+// SAFETY: the underlying memory is immutable and `T: Pod` is Send + Sync.
+unsafe impl<T: Pod> Send for MappedSlice<T> {}
+unsafe impl<T: Pod> Sync for MappedSlice<T> {}
+
+impl<T: Pod> Deref for MappedSlice<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        // SAFETY: construction checked bounds and alignment against the
+        // mapping, `_map` keeps the memory alive, and `T: Pod` admits every
+        // bit pattern.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+/// An exclusive advisory lock on a file, released on drop (or process exit).
+///
+/// `flock` semantics: cooperating processes (and separate opens within one
+/// process) exclude each other; the lock never blocks non-cooperating I/O.
+#[derive(Debug)]
+pub struct FileLock {
+    _file: File,
+}
+
+impl FileLock {
+    fn open_lock_file(path: &Path) -> io::Result<File> {
+        File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+    }
+
+    /// Take an exclusive lock on `path` (creating the file if absent),
+    /// blocking until it is available.
+    pub fn exclusive(path: &Path) -> io::Result<Self> {
+        let file = Self::open_lock_file(path)?;
+        #[cfg(unix)]
+        flock_fd(&file, sys::LOCK_EX)?;
+        Ok(Self { _file: file })
+    }
+
+    /// Try to take an exclusive lock on `path` without blocking. `Ok(None)`
+    /// means some other holder (a mapped reader or another writer) has it.
+    pub fn try_exclusive(path: &Path) -> io::Result<Option<Self>> {
+        let file = Self::open_lock_file(path)?;
+        #[cfg(unix)]
+        {
+            let rc = flock_fd(&file, sys::LOCK_EX | sys::LOCK_NB);
+            if let Err(e) = rc {
+                return if e.kind() == io::ErrorKind::WouldBlock {
+                    Ok(None)
+                } else {
+                    Err(e)
+                };
+            }
+        }
+        Ok(Some(Self { _file: file }))
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::path::PathBuf;
+
+    fn temp_file(name: &str, bytes: &[u8]) -> PathBuf {
+        let path = std::env::temp_dir().join(format!("cnc-mmap-{}-{name}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn maps_file_bytes_exactly() {
+        let data: Vec<u8> = (0..=255).collect();
+        let path = temp_file("exact", &data);
+        let map = MappedFile::open(&path).unwrap();
+        assert_eq!(map.bytes(), data.as_slice());
+        assert_eq!(map.len(), 256);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_file_maps_empty() {
+        let path = temp_file("empty", &[]);
+        let map = MappedFile::open(&path).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(map.bytes(), &[] as &[u8]);
+        assert!(map.typed_slice::<u64>(0, 0).unwrap().is_empty());
+        assert!(map.typed_slice::<u64>(0, 1).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn typed_slices_decode_little_endian_payload() {
+        let mut bytes = Vec::new();
+        for v in [1u64, u64::MAX, 42] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in [7u32, 0, u32::MAX] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let path = temp_file("typed", &bytes);
+        let map = MappedFile::open(&path).unwrap();
+        let words = map.typed_slice::<u64>(0, 3).unwrap();
+        assert_eq!(&*words, &[1, u64::MAX, 42]);
+        let ints = map.typed_slice::<u32>(24, 3).unwrap();
+        assert_eq!(&*ints, &[7, 0, u32::MAX]);
+        // The slice keeps the mapping alive after the Arc handle is gone.
+        drop(map);
+        assert_eq!(words[2], 42);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn typed_slice_rejects_bad_ranges() {
+        let path = temp_file("ranges", &[0u8; 64]);
+        let map = MappedFile::open(&path).unwrap();
+        assert!(map.typed_slice::<u64>(0, 9).is_err(), "out of bounds");
+        assert!(map.typed_slice::<u64>(3, 1).is_err(), "misaligned");
+        assert!(
+            map.typed_slice::<u64>(usize::MAX, 1).is_err(),
+            "range overflow"
+        );
+        assert!(
+            map.typed_slice::<u64>(0, usize::MAX).is_err(),
+            "length overflow"
+        );
+        assert!(map.typed_slice::<u32>(60, 1).is_ok(), "tail u32 fits");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn exclusive_locks_exclude_each_other() {
+        let path = std::env::temp_dir().join(format!("cnc-mmap-lock-{}", std::process::id()));
+        let a = FileLock::try_exclusive(&path).unwrap();
+        assert!(a.is_some(), "first lock must succeed");
+        assert!(
+            FileLock::try_exclusive(&path).unwrap().is_none(),
+            "second exclusive lock must be refused (flock is per open-file-description)"
+        );
+        drop(a);
+        assert!(FileLock::try_exclusive(&path).unwrap().is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mapped_reader_blocks_exclusive_lock() {
+        let path = temp_file("readerlock", &[1, 2, 3, 4]);
+        let map = MappedFile::open(&path).unwrap();
+        assert!(
+            FileLock::try_exclusive(&path).unwrap().is_none(),
+            "a live mapping holds a shared lock"
+        );
+        drop(map);
+        assert!(FileLock::try_exclusive(&path).unwrap().is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -22,9 +22,22 @@
 //! * a process-wide in-memory cache keyed by `(dataset, scale, reorder
 //!   policy)` — see [`prepared`];
 //! * a versioned on-disk binary cache (default `results/cache/`, override
-//!   with `CNC_CACHE_DIR`) holding the CSR plus the remap tables — a warm
-//!   process skips generation, CSR construction *and* reordering. Stale or
-//!   corrupt cache files are silently discarded and rebuilt.
+//!   with `CNC_CACHE_DIR`) in the **`CNCPREP2`** format: a fixed 64-byte
+//!   header followed by 64-byte-aligned, length-prefixed, checksummed
+//!   sections holding the CSR arrays (u64 little-endian offsets, u32
+//!   neighbors) and the remap table. A warm load `mmap`s the file and serves
+//!   the offset/adjacency arrays **zero-copy** straight out of the page
+//!   cache ([`map_prepared`]); platforms or files that cannot be mapped fall
+//!   back to an owned heap read, and stale, corrupt or misaligned files are
+//!   silently discarded and rebuilt.
+//!
+//! The cache is safe to share across processes: writers serialize through an
+//! advisory `flock` on [`CACHE_LOCK_FILE`] (the losers of a populate race
+//! load the winner's file instead of rewriting it), files appear atomically
+//! via write-once temp names + rename, live readers hold a shared lock on
+//! their mapped file, and [`cache_gc`] evicts least-recently-used files down
+//! to a byte budget without ever touching a reader-locked file
+//! (automatically after each write when `CNC_CACHE_MAX_BYTES` is set).
 //!
 //! Preparation work is observable through per-thread [`PrepareMetrics`]
 //! counters ([`metrics`]): tests prove single-shot preprocessing with them
@@ -34,16 +47,19 @@ use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
 use std::fs::{self, File};
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::SystemTime;
 
 use crate::csr::CsrGraph;
 use crate::datasets::{Dataset, Scale};
 use crate::edgelist::EdgeList;
-use crate::io::{read_csr, read_exact_vec, write_csr};
+use crate::mmap::{self, FileLock, MappedFile};
 use crate::reorder::{self, Reordered};
 use crate::stats::{skew_percentage, GraphStats, SKEW_THRESHOLD};
+use crate::store::GraphStore;
 
 /// Which relabeling the preparation pipeline applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -91,10 +107,16 @@ pub struct PrepareMetrics {
     pub reorders: u64,
     /// In-memory prepared-graph cache hits.
     pub mem_hits: u64,
-    /// On-disk prepared-graph cache hits.
+    /// On-disk prepared-graph cache hits (mapped or owned-fallback loads).
     pub disk_hits: u64,
     /// On-disk prepared-graph cache writes.
     pub disk_writes: u64,
+    /// Zero-copy loads: cache files served through `mmap` with no heap copy
+    /// of the CSR arrays.
+    pub mmap_hits: u64,
+    /// Total CSR bytes served zero-copy across all `mmap_hits` (the sum of
+    /// the mapped offset + adjacency section sizes).
+    pub bytes_mapped: u64,
 }
 
 impl PrepareMetrics {
@@ -104,6 +126,8 @@ impl PrepareMetrics {
         mem_hits: 0,
         disk_hits: 0,
         disk_writes: 0,
+        mmap_hits: 0,
+        bytes_mapped: 0,
     };
 
     /// The work done between `earlier` and `self` (component-wise
@@ -115,6 +139,8 @@ impl PrepareMetrics {
             mem_hits: self.mem_hits.saturating_sub(earlier.mem_hits),
             disk_hits: self.disk_hits.saturating_sub(earlier.disk_hits),
             disk_writes: self.disk_writes.saturating_sub(earlier.disk_writes),
+            mmap_hits: self.mmap_hits.saturating_sub(earlier.mmap_hits),
+            bytes_mapped: self.bytes_mapped.saturating_sub(earlier.bytes_mapped),
         }
     }
 }
@@ -123,8 +149,14 @@ impl fmt::Display for PrepareMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "graph_builds={} reorders={} mem_hits={} disk_hits={} disk_writes={}",
-            self.graph_builds, self.reorders, self.mem_hits, self.disk_hits, self.disk_writes
+            "graph_builds={} reorders={} mem_hits={} disk_hits={} disk_writes={} mmap_hits={} bytes_mapped={}",
+            self.graph_builds,
+            self.reorders,
+            self.mem_hits,
+            self.disk_hits,
+            self.disk_writes,
+            self.mmap_hits,
+            self.bytes_mapped
         )
     }
 }
@@ -196,8 +228,8 @@ impl PreparedGraph {
         Self::assemble(graph, reordered, policy, capacity_scale)
     }
 
-    /// Assemble from already-computed parts (cache load): derives only the
-    /// cheap statistics, bumps no work counters.
+    /// Assemble from already-computed parts: derives the statistics, bumps
+    /// no work counters.
     fn assemble(
         graph: CsrGraph,
         reordered: Option<Reordered>,
@@ -213,6 +245,32 @@ impl PreparedGraph {
             skew_pct,
             capacity_scale,
             policy,
+        }
+    }
+
+    /// Assemble a cache load using the statistics persisted in the file's
+    /// (checksummed) header, sparing the warm path the `O(|E|)` skew and
+    /// degree scans that computed them at build time.
+    fn assemble_loaded(
+        graph: CsrGraph,
+        reordered: Option<Reordered>,
+        parsed: &ParsedPrepared,
+    ) -> Self {
+        let n = graph.num_vertices();
+        let m = graph.num_directed_edges();
+        let stats = GraphStats {
+            num_vertices: n,
+            num_edges: m,
+            avg_degree: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+            max_degree: parsed.max_degree,
+        };
+        Self {
+            graph,
+            reordered,
+            stats,
+            skew_pct: parsed.skew_pct,
+            capacity_scale: 1.0,
+            policy: parsed.policy,
         }
     }
 
@@ -258,131 +316,420 @@ impl PreparedGraph {
     pub fn policy(&self) -> ReorderPolicy {
         self.policy
     }
+
+    /// CSR bytes served zero-copy out of a mapped cache file: the summed
+    /// offset + adjacency array sizes of every mapped graph (original and,
+    /// when present, relabeled). Zero for heap-backed preparations.
+    pub fn mapped_bytes(&self) -> u64 {
+        let one = |g: &CsrGraph| {
+            if g.storage_mapped() {
+                g.csr_bytes() as u64
+            } else {
+                0
+            }
+        };
+        one(&self.graph) + self.reordered.as_ref().map(|r| one(&r.graph)).unwrap_or(0)
+    }
 }
 
-/// Magic + version header of the on-disk prepared-graph format. Bump the
-/// trailing digit on any layout change: a stale file fails the magic check
-/// and is rebuilt.
-const PREPARED_MAGIC: &[u8; 8] = b"CNCPREP1";
+// ---------------------------------------------------------------------------
+// CNCPREP2: the zero-copy on-disk format.
+//
+//   byte 0..8    magic "CNCPREP2"
+//   byte 8       reorder policy byte
+//   byte 9       reordered-sections flag (0|1, must match the policy)
+//   byte 16..24  section count (u64 LE): 2 without reorder, 5 with
+//   byte 24..32  skew percentage (f64 LE bits)
+//   byte 32..40  maximum degree (u64 LE)
+//   byte 40..56  reserved (zero)
+//   byte 56..64  checksum of bytes 0..56
+//
+// followed by that many sections, each starting on a 64-byte boundary:
+//
+//   byte 0..8    payload length in bytes (u64 LE)
+//   byte 8..16   checksum of the payload
+//   byte 16..24  element width (u64 LE: 8 for offsets, 4 for u32 arrays)
+//   byte 24..64  reserved (zero)
+//   byte 64..    payload, zero-padded to the next 64-byte boundary
+//
+// Section order: offsets (u64 LE) and neighbors (u32 LE) of the original
+// graph, then — with reordering — offsets + neighbors of the relabeled graph
+// and the new→old remap table (u32 LE). The 64-byte alignment means a
+// page-aligned mmap of the file can serve every array in place on 64-bit
+// little-endian targets; the checksums let a mapped file be validated
+// without copying it, and the persisted skew/degree statistics spare warm
+// loads the O(|E|) scans that computed them. The checksum is an FNV-style
+// multiply-xor fold over four interleaved u64 lanes (not byte-serial FNV:
+// the four independent multiply chains keep verification at memory speed,
+// which the warm path is benchmarked on). Bump the trailing magic digit on
+// any layout change: a stale file fails the magic check and is rebuilt.
+// ---------------------------------------------------------------------------
 
-/// Serialize a prepared graph (CSR, policy, optional relabeled CSR + remap
-/// table) in the versioned binary cache format.
-pub fn write_prepared<W: Write>(pg: &PreparedGraph, writer: W) -> io::Result<()> {
-    let mut w = BufWriter::new(writer);
-    w.write_all(PREPARED_MAGIC)?;
-    w.write_all(&[pg.policy.byte()])?;
-    write_csr_section(&pg.graph, &mut w)?;
-    match &pg.reordered {
-        None => w.write_all(&[0])?,
-        Some(r) => {
-            w.write_all(&[1])?;
-            write_csr_section(&r.graph, &mut w)?;
-            let mut buf = Vec::with_capacity(8 + r.new_to_old.len() * 4);
-            buf.extend_from_slice(&(r.new_to_old.len() as u64).to_le_bytes());
-            for &x in &r.new_to_old {
-                buf.extend_from_slice(&x.to_le_bytes());
-            }
-            w.write_all(&buf)?;
+const PREPARED_MAGIC: &[u8; 8] = b"CNCPREP2";
+const ALIGN: usize = mmap::SECTION_ALIGN;
+const HEADER_LEN: usize = 64;
+const SECTION_HEADER_LEN: usize = 64;
+
+/// Name of the advisory lock file cache writers serialize on (one per cache
+/// directory).
+pub const CACHE_LOCK_FILE: &str = ".cnc-cache.lock";
+
+/// Environment variable holding an automatic cache size cap in bytes: after
+/// every cache write, [`cache_gc`] trims the directory down to this budget.
+pub const CACHE_MAX_BYTES_ENV: &str = "CNC_CACHE_MAX_BYTES";
+
+fn align_up(x: usize) -> usize {
+    x.div_ceil(ALIGN) * ALIGN
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Content checksum of a payload: an FNV-style multiply-xor fold computed
+/// over four interleaved u64 lanes, combined with the length at the end.
+///
+/// The four lanes break the serial multiply dependency chain of byte-wise
+/// FNV-1a, so verification runs at several GB/s — warm cache loads verify
+/// every section, and the checksum must not dominate a load that otherwise
+/// copies nothing. The tail (payloads are always a multiple of 4 bytes,
+/// not necessarily of 32) is zero-padded into one final word; folding in
+/// the length keeps images that differ only in trailing zeros distinct.
+fn checksum(bytes: &[u8]) -> u64 {
+    let mut lanes = [
+        FNV_OFFSET ^ 0x01,
+        FNV_OFFSET ^ 0x10,
+        FNV_OFFSET ^ 0x11,
+        FNV_OFFSET,
+    ];
+    let mut chunks = bytes.chunks_exact(32);
+    for chunk in &mut chunks {
+        for (lane, word) in lanes.iter_mut().zip(chunk.chunks_exact(8)) {
+            let w = u64::from_le_bytes(word.try_into().expect("8-byte word"));
+            *lane = (*lane ^ w).wrapping_mul(FNV_PRIME);
         }
     }
-    w.flush()
-}
-
-/// Embed a CSR as a length-prefixed section: the u64 byte length followed by
-/// the [`write_csr`] stream. The prefix lets [`read_prepared`] hand the CSR
-/// reader an exact slice — `read_csr` buffers internally and would otherwise
-/// consume bytes belonging to the next section.
-fn write_csr_section<W: Write>(g: &CsrGraph, w: &mut W) -> io::Result<()> {
-    let mut blob = Vec::new();
-    write_csr(g, &mut blob)?;
-    w.write_all(&(blob.len() as u64).to_le_bytes())?;
-    w.write_all(&blob)
-}
-
-/// Read back one [`write_csr_section`] section.
-fn read_csr_section<R: Read>(r: &mut R) -> io::Result<CsrGraph> {
-    let mut len_raw = [0u8; 8];
-    r.read_exact(&mut len_raw)?;
-    let len = u64::from_le_bytes(len_raw);
-    let blob = read_exact_vec(r, len, "embedded CSR section")?;
-    read_csr(blob.as_slice())
+    let mut hash = FNV_OFFSET;
+    for lane in lanes {
+        hash = (hash ^ lane).wrapping_mul(FNV_PRIME);
+    }
+    for word in chunks.remainder().chunks(8) {
+        let mut padded = [0u8; 8];
+        padded[..word.len()].copy_from_slice(word);
+        hash = (hash ^ u64::from_le_bytes(padded)).wrapping_mul(FNV_PRIME);
+    }
+    (hash ^ bytes.len() as u64).wrapping_mul(FNV_PRIME)
 }
 
 fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-/// Deserialize a prepared graph written by [`write_prepared`].
-///
-/// Every invariant the format implies is checked — magic/version, policy
-/// byte, CSR validity of both graphs, the remap table being a permutation
-/// consistent with the pair of graphs — and any violation is an
-/// [`io::ErrorKind::InvalidData`] error, never a panic. The capacity scale
-/// is not stored; it is re-derived by the dataset cache.
-pub fn read_prepared<R: Read>(reader: R) -> io::Result<PreparedGraph> {
-    let mut r = BufReader::new(reader);
-    let mut magic = [0u8; 9];
-    r.read_exact(&mut magic)?;
-    if &magic[..8] != PREPARED_MAGIC {
-        return Err(invalid("bad magic: not a CNCPREP1 file"));
+fn write_section_header<W: Write>(
+    w: &mut W,
+    payload_len: u64,
+    checksum: u64,
+    elem_width: u64,
+) -> io::Result<()> {
+    let mut header = [0u8; SECTION_HEADER_LEN];
+    header[..8].copy_from_slice(&payload_len.to_le_bytes());
+    header[8..16].copy_from_slice(&checksum.to_le_bytes());
+    header[16..24].copy_from_slice(&elem_width.to_le_bytes());
+    w.write_all(&header)
+}
+
+fn write_padding<W: Write>(w: &mut W, payload_len: usize) -> io::Result<()> {
+    let pad = align_up(payload_len) - payload_len;
+    w.write_all(&[0u8; ALIGN][..pad])
+}
+
+/// One aligned, checksummed section: serialize the elements once into a
+/// payload buffer (the header's checksum precedes the payload on disk),
+/// checksum it, stream it out.
+fn write_section<W: Write>(w: &mut W, payload: &[u8], elem_width: u64) -> io::Result<()> {
+    write_section_header(w, payload.len() as u64, checksum(payload), elem_width)?;
+    w.write_all(payload)?;
+    write_padding(w, payload.len())
+}
+
+fn u64_payload(vals: &[usize]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 8);
+    for &v in vals {
+        out.extend_from_slice(&(v as u64).to_le_bytes());
+    }
+    out
+}
+
+fn u32_payload(vals: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 4);
+    for &v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Serialize a prepared graph (CSR, policy, statistics, optional relabeled
+/// CSR + remap table) in the `CNCPREP2` cache format.
+pub fn write_prepared<W: Write>(pg: &PreparedGraph, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    let sections: u64 = if pg.reordered.is_some() { 5 } else { 2 };
+    let mut header = [0u8; HEADER_LEN];
+    header[..8].copy_from_slice(PREPARED_MAGIC);
+    header[8] = pg.policy.byte();
+    header[9] = pg.reordered.is_some() as u8;
+    header[16..24].copy_from_slice(&sections.to_le_bytes());
+    header[24..32].copy_from_slice(&pg.skew_pct.to_bits().to_le_bytes());
+    header[32..40].copy_from_slice(&(pg.stats.max_degree as u64).to_le_bytes());
+    let hcheck = checksum(&header[..56]);
+    header[56..64].copy_from_slice(&hcheck.to_le_bytes());
+    w.write_all(&header)?;
+    write_section(&mut w, &u64_payload(pg.graph.offsets()), 8)?;
+    write_section(&mut w, &u32_payload(pg.graph.dst()), 4)?;
+    if let Some(r) = &pg.reordered {
+        write_section(&mut w, &u64_payload(r.graph.offsets()), 8)?;
+        write_section(&mut w, &u32_payload(r.graph.dst()), 4)?;
+        write_section(&mut w, &u32_payload(&r.new_to_old), 4)?;
+    }
+    w.flush()
+}
+
+/// A parsed (and checksum-verified) section of a `CNCPREP2` byte image.
+struct Section {
+    /// Payload byte range within the file.
+    start: usize,
+    payload_len: usize,
+    elem_width: usize,
+}
+
+impl Section {
+    fn count(&self) -> usize {
+        self.payload_len / self.elem_width
+    }
+
+    fn bytes<'a>(&self, image: &'a [u8]) -> &'a [u8] {
+        &image[self.start..self.start + self.payload_len]
+    }
+}
+
+fn read_u64_at(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8-byte range"))
+}
+
+/// Validate a `CNCPREP2` byte image *in place* — header, section layout,
+/// alignment, per-section checksums — without copying any payload. Returns
+/// the policy, the persisted statistics, and the section table (2 sections,
+/// or 5 with reorder data).
+fn parse_prepared(bytes: &[u8]) -> io::Result<ParsedPrepared> {
+    if bytes.len() < HEADER_LEN {
+        return Err(invalid("truncated CNCPREP2 header"));
+    }
+    if &bytes[..8] != PREPARED_MAGIC {
+        return Err(invalid("bad magic: not a CNCPREP2 file"));
+    }
+    if checksum(&bytes[..56]) != read_u64_at(bytes, 56) {
+        return Err(invalid("header checksum mismatch"));
     }
     let policy =
-        ReorderPolicy::from_byte(magic[8]).ok_or_else(|| invalid("unknown reorder policy byte"))?;
-    let graph = read_csr_section(&mut r)?;
-    let mut flag = [0u8; 1];
-    r.read_exact(&mut flag)?;
-    let has_reordered = match flag[0] {
+        ReorderPolicy::from_byte(bytes[8]).ok_or_else(|| invalid("unknown reorder policy byte"))?;
+    let has_reordered = match bytes[9] {
         0 => false,
         1 => true,
         _ => return Err(invalid("bad reordered-presence flag")),
     };
     if has_reordered != matches!(policy, ReorderPolicy::DegreeDescending) {
-        return Err(invalid("reorder tables inconsistent with policy byte"));
+        return Err(invalid("reorder sections inconsistent with policy byte"));
     }
-    let reordered = if has_reordered {
-        let rg = read_csr_section(&mut r)?;
-        let mut len_raw = [0u8; 8];
-        r.read_exact(&mut len_raw)?;
-        let len = u64::from_le_bytes(len_raw);
-        let n = graph.num_vertices();
-        if len as usize != n || rg.num_vertices() != n {
-            return Err(invalid("remap table length does not match |V|"));
+    let expected_widths: &[usize] = if has_reordered {
+        &[8, 4, 8, 4, 4]
+    } else {
+        &[8, 4]
+    };
+    if read_u64_at(bytes, 16) != expected_widths.len() as u64 {
+        return Err(invalid("section count inconsistent with header flags"));
+    }
+    let mut sections = Vec::with_capacity(expected_widths.len());
+    let mut pos = HEADER_LEN;
+    for (i, &width) in expected_widths.iter().enumerate() {
+        debug_assert_eq!(pos % ALIGN, 0);
+        let header_end = pos
+            .checked_add(SECTION_HEADER_LEN)
+            .filter(|&e| e <= bytes.len())
+            .ok_or_else(|| invalid(format!("truncated header of section {i}")))?;
+        let payload_len = read_u64_at(bytes, pos);
+        let want_checksum = read_u64_at(bytes, pos + 8);
+        if read_u64_at(bytes, pos + 16) != width as u64 {
+            return Err(invalid(format!("unexpected element width in section {i}")));
         }
-        if rg.num_directed_edges() != graph.num_directed_edges() {
-            return Err(invalid("relabeled graph has a different edge count"));
+        let payload_len = usize::try_from(payload_len)
+            .map_err(|_| invalid(format!("section {i} too large for this platform")))?;
+        if payload_len % width != 0 {
+            return Err(invalid(format!(
+                "section {i} length is not a multiple of its element width"
+            )));
         }
-        let raw = read_exact_vec(&mut r, len.saturating_mul(4), "remap table")?;
-        let mut new_to_old = Vec::with_capacity(n);
-        for chunk in raw.chunks_exact(4) {
-            new_to_old.push(u32::from_le_bytes(
-                chunk.try_into().expect("chunks_exact(4)"),
-            ));
+        let end = header_end
+            .checked_add(payload_len)
+            .filter(|&e| e <= bytes.len())
+            .ok_or_else(|| invalid(format!("truncated payload of section {i}")))?;
+        if checksum(&bytes[header_end..end]) != want_checksum {
+            return Err(invalid(format!("checksum mismatch in section {i}")));
         }
-        // The table must be a permutation that preserves degrees — cheap
-        // O(|V|) checks that catch corrupt-but-well-formed files.
-        let mut seen = vec![false; n];
-        let mut old_to_new = vec![0u32; n];
-        for (new_id, &old_id) in new_to_old.iter().enumerate() {
-            let Some(slot) = seen.get_mut(old_id as usize) else {
-                return Err(invalid("remap table entry out of range"));
-            };
-            if std::mem::replace(slot, true) {
-                return Err(invalid("remap table is not a permutation"));
-            }
-            if graph.degree(old_id) != rg.degree(new_id as u32) {
-                return Err(invalid("remap table does not preserve degrees"));
-            }
-            old_to_new[old_id as usize] = new_id as u32;
+        sections.push(Section {
+            start: header_end,
+            payload_len,
+            elem_width: width,
+        });
+        pos = align_up(end);
+    }
+    if pos != bytes.len() {
+        return Err(invalid("file length inconsistent with section table"));
+    }
+    Ok(ParsedPrepared {
+        policy,
+        skew_pct: f64::from_bits(read_u64_at(bytes, 24)),
+        max_degree: usize::try_from(read_u64_at(bytes, 32))
+            .map_err(|_| invalid("max degree exceeds platform usize"))?,
+        sections,
+    })
+}
+
+/// The validated header fields + section table of a `CNCPREP2` image.
+struct ParsedPrepared {
+    policy: ReorderPolicy,
+    skew_pct: f64,
+    max_degree: usize,
+    sections: Vec<Section>,
+}
+
+fn decode_usize_payload(payload: &[u8]) -> io::Result<Vec<usize>> {
+    let mut out = Vec::with_capacity(payload.len() / 8);
+    for chunk in payload.chunks_exact(8) {
+        let v = u64::from_le_bytes(chunk.try_into().expect("chunks_exact(8)"));
+        out.push(usize::try_from(v).map_err(|_| invalid("offset value exceeds platform usize"))?);
+    }
+    Ok(out)
+}
+
+fn decode_u32_payload(payload: &[u8]) -> Vec<u32> {
+    payload
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("chunks_exact(4)")))
+        .collect()
+}
+
+/// Rebuild [`Reordered`] from a deserialized relabeled graph + new→old
+/// table, checking every invariant the format implies: matching sizes, the
+/// table being a degree-preserving permutation. Derives the old→new inverse
+/// (the one per-load `O(|V|)` allocation the zero-copy path keeps).
+fn build_reordered(
+    graph: &CsrGraph,
+    relabeled: CsrGraph,
+    new_to_old: Vec<u32>,
+) -> io::Result<Reordered> {
+    let n = graph.num_vertices();
+    if new_to_old.len() != n || relabeled.num_vertices() != n {
+        return Err(invalid("remap table length does not match |V|"));
+    }
+    if relabeled.num_directed_edges() != graph.num_directed_edges() {
+        return Err(invalid("relabeled graph has a different edge count"));
+    }
+    let mut seen = vec![false; n];
+    let mut old_to_new = vec![0u32; n];
+    for (new_id, &old_id) in new_to_old.iter().enumerate() {
+        let Some(slot) = seen.get_mut(old_id as usize) else {
+            return Err(invalid("remap table entry out of range"));
+        };
+        if std::mem::replace(slot, true) {
+            return Err(invalid("remap table is not a permutation"));
         }
-        Some(Reordered {
-            graph: rg,
-            old_to_new,
-            new_to_old,
-        })
+        if graph.degree(old_id) != relabeled.degree(new_id as u32) {
+            return Err(invalid("remap table does not preserve degrees"));
+        }
+        old_to_new[old_id as usize] = new_id as u32;
+    }
+    Ok(Reordered {
+        graph: relabeled,
+        old_to_new,
+        new_to_old,
+    })
+}
+
+fn prepared_from_image(bytes: &[u8]) -> io::Result<PreparedGraph> {
+    let parsed = parse_prepared(bytes)?;
+    let decode_csr = |so: &Section, sd: &Section| -> io::Result<CsrGraph> {
+        let offsets = decode_usize_payload(so.bytes(bytes))?;
+        let dst = decode_u32_payload(sd.bytes(bytes));
+        CsrGraph::try_from_parts(offsets, dst)
+            .map_err(|e| invalid(format!("inconsistent CSR: {e}")))
+    };
+    let graph = decode_csr(&parsed.sections[0], &parsed.sections[1])?;
+    let reordered = if parsed.sections.len() == 5 {
+        let relabeled = decode_csr(&parsed.sections[2], &parsed.sections[3])?;
+        let new_to_old = decode_u32_payload(parsed.sections[4].bytes(bytes));
+        Some(build_reordered(&graph, relabeled, new_to_old)?)
     } else {
         None
     };
-    Ok(PreparedGraph::assemble(graph, reordered, policy, 1.0))
+    Ok(PreparedGraph::assemble_loaded(graph, reordered, &parsed))
+}
+
+/// Deserialize a prepared graph written by [`write_prepared`] into owned
+/// heap storage — the portable path, used where mapping is unavailable.
+///
+/// Every invariant the format implies is checked — magic/version, policy
+/// byte, section layout and checksums, CSR validity of both graphs, the
+/// remap table being a permutation consistent with the pair of graphs — and
+/// any violation is an [`io::ErrorKind::InvalidData`] error, never a panic.
+/// The capacity scale is not stored; it is re-derived by the dataset cache.
+pub fn read_prepared<R: Read>(mut reader: R) -> io::Result<PreparedGraph> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    prepared_from_image(&bytes)
+}
+
+/// Load a `CNCPREP2` cache file **zero-copy**: the file is `mmap`ed,
+/// validated in place (header, alignment, per-section checksums, structural
+/// CSR invariants), and the resulting graphs serve their offset/adjacency
+/// arrays directly out of the mapping — no heap copy, and the page cache is
+/// shared with every other process mapping the same file. The mapping (plus
+/// a shared advisory lock that shields the file from [`cache_gc`]) lives as
+/// long as any clone of the returned graph.
+///
+/// On success the calling thread's `mmap_hits` / `bytes_mapped` counters are
+/// bumped. Errors — and `Unsupported` on platforms without `mmap` or whose
+/// memory layout cannot alias u64 little-endian arrays — leave callers to
+/// fall back to [`read_prepared`].
+pub fn map_prepared(path: &Path) -> io::Result<PreparedGraph> {
+    if !mmap::zero_copy_layout() {
+        return Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "zero-copy load needs a 64-bit little-endian platform",
+        ));
+    }
+    let map = MappedFile::open(path)?;
+    let parsed = parse_prepared(map.bytes())?;
+    let map_csr = |so: &Section, sd: &Section| -> io::Result<CsrGraph> {
+        let offsets: GraphStore<usize> = map.typed_slice::<usize>(so.start, so.count())?.into();
+        let dst: GraphStore<u32> = map.typed_slice::<u32>(sd.start, sd.count())?.into();
+        // Structural validation only: the section checksums already verified
+        // these are the exact bytes a valid graph serialized to, so the
+        // O(|E| log d) symmetry probes of the full check are skipped.
+        CsrGraph::try_from_stores_structural(offsets, dst)
+            .map_err(|e| invalid(format!("inconsistent CSR: {e}")))
+    };
+    let graph = map_csr(&parsed.sections[0], &parsed.sections[1])?;
+    let reordered = if parsed.sections.len() == 5 {
+        let relabeled = map_csr(&parsed.sections[2], &parsed.sections[3])?;
+        let new_to_old = decode_u32_payload(parsed.sections[4].bytes(map.bytes()));
+        Some(build_reordered(&graph, relabeled, new_to_old)?)
+    } else {
+        None
+    };
+    let pg = PreparedGraph::assemble_loaded(graph, reordered, &parsed);
+    bump(|m| {
+        m.mmap_hits += 1;
+        m.bytes_mapped += pg.mapped_bytes();
+    });
+    Ok(pg)
 }
 
 /// The on-disk cache directory: `$CNC_CACHE_DIR` when set, `results/cache`
@@ -410,9 +757,9 @@ static MEM_CACHE: OnceLock<Mutex<HashMap<CacheKey, Arc<PreparedGraph>>>> = OnceL
 /// The process-wide prepared form of a dataset analogue.
 ///
 /// First call per `(dataset, scale, policy)` key goes through
-/// [`prepared_on_disk`] (warm disk cache → zero preprocessing; cold → build
-/// and persist); every later call in the process returns the same
-/// `Arc<PreparedGraph>` from memory.
+/// [`prepared_on_disk`] (warm disk cache → zero preprocessing, zero-copy
+/// where the platform allows; cold → build and persist); every later call in
+/// the process returns the same `Arc<PreparedGraph>` from memory.
 pub fn prepared(dataset: Dataset, scale: Scale, policy: ReorderPolicy) -> Arc<PreparedGraph> {
     let cache = MEM_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
@@ -425,14 +772,45 @@ pub fn prepared(dataset: Dataset, scale: Scale, policy: ReorderPolicy) -> Arc<Pr
     pg
 }
 
+/// Refresh `path`'s modification time — the LRU recency signal [`cache_gc`]
+/// orders evictions by. Best-effort: failures (read-only dirs) are ignored.
+fn touch(path: &Path) {
+    if let Ok(f) = File::options().append(true).open(path) {
+        let _ = f.set_modified(SystemTime::now());
+    }
+}
+
+/// Try to serve `path` from the cache: zero-copy map first, owned read as
+/// the fallback. `None` on any failure (missing/stale/corrupt/misaligned
+/// file) — the caller rebuilds.
+fn load_cached(path: &Path, dataset: Dataset, policy: ReorderPolicy) -> Option<PreparedGraph> {
+    let mut pg = map_prepared(path)
+        .or_else(|_| File::open(path).and_then(read_prepared))
+        .ok()?;
+    if pg.policy != policy {
+        return None;
+    }
+    pg.capacity_scale = dataset.capacity_scale(&pg.graph);
+    bump(|m| m.disk_hits += 1);
+    touch(path);
+    Some(pg)
+}
+
+/// Monotonic discriminator for write-once temp names: concurrent writers in
+/// one process never collide, and the pid isolates across processes.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
 /// The prepared form of a dataset analogue backed only by the on-disk cache
 /// under `dir` (no process-wide memoization — the entry point for cache
 /// management and tests).
 ///
-/// A readable, valid cache file is loaded as-is; a missing, stale (old
-/// version byte) or corrupt file falls back to a fresh build, and the cache
-/// is then rewritten best-effort (atomically, via a temp file). No error is
-/// ever surfaced: the cache is an optimization, not a dependency.
+/// A readable, valid cache file is loaded as-is — zero-copy via `mmap` where
+/// the platform allows, owned otherwise; a missing, stale (old format
+/// version), corrupt or misaligned file falls back to a fresh build. Cold
+/// builds serialize on an exclusive [`CACHE_LOCK_FILE`] `flock`, so when
+/// several processes miss simultaneously exactly one builds and writes (via
+/// a write-once temp name + atomic rename) and the rest load its file. No
+/// error is ever surfaced: the cache is an optimization, not a dependency.
 pub fn prepared_on_disk(
     dir: &Path,
     dataset: Dataset,
@@ -440,34 +818,156 @@ pub fn prepared_on_disk(
     policy: ReorderPolicy,
 ) -> Arc<PreparedGraph> {
     let path = cache_path(dir, dataset, scale, policy);
-    if let Ok(f) = File::open(&path) {
-        if let Ok(mut pg) = read_prepared(f) {
-            if pg.policy == policy {
-                pg.capacity_scale = dataset.capacity_scale(&pg.graph);
-                bump(|m| m.disk_hits += 1);
-                return Arc::new(pg);
-            }
+    if let Some(pg) = load_cached(&path, dataset, policy) {
+        return Arc::new(pg);
+    }
+    // Cold path: become the writer, or wait for whoever is.
+    let lock = if fs::create_dir_all(dir).is_ok() {
+        FileLock::exclusive(&dir.join(CACHE_LOCK_FILE)).ok()
+    } else {
+        None
+    };
+    if lock.is_some() {
+        // Re-check under the lock: a concurrent process may have built and
+        // renamed the file while we waited. Loading it here is what makes
+        // the populate race single-writer.
+        if let Some(pg) = load_cached(&path, dataset, policy) {
+            return Arc::new(pg);
         }
-        // Stale or corrupt: fall through and rebuild over it.
     }
     let el = dataset.edge_list(scale);
     let graph = CsrGraph::from_edge_list_parallel(&el);
     bump(|m| m.graph_builds += 1);
     let mut pg = PreparedGraph::finish(graph, policy, 1.0);
     pg.capacity_scale = dataset.capacity_scale(&pg.graph);
-    if fs::create_dir_all(dir).is_ok() {
-        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+    if lock.is_some() {
+        let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp-{}-{seq}", std::process::id()));
         let wrote = File::create(&tmp)
             .and_then(|f| write_prepared(&pg, f))
             .and_then(|()| fs::rename(&tmp, &path));
         match wrote {
-            Ok(()) => bump(|m| m.disk_writes += 1),
+            Ok(()) => {
+                bump(|m| m.disk_writes += 1);
+                // Automatic size cap: trim least-recently-used entries while
+                // we still hold the writer lock.
+                if let Some(cap) = env_cache_cap() {
+                    let _ = cache_gc(dir, cap);
+                }
+            }
             Err(_) => {
                 let _ = fs::remove_file(&tmp);
             }
         }
     }
     Arc::new(pg)
+}
+
+fn env_cache_cap() -> Option<u64> {
+    std::env::var(CACHE_MAX_BYTES_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+}
+
+/// One `.prep` file in a cache directory.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// Full path of the cache file.
+    pub path: PathBuf,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Last-used time (refreshed on every warm hit; the LRU key).
+    pub modified: SystemTime,
+}
+
+/// The `.prep` files under `dir`, most recently used first. Errors only if
+/// the directory itself cannot be read.
+pub fn cache_entries(dir: &Path) -> io::Result<Vec<CacheEntry>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("prep") {
+            continue;
+        }
+        let Ok(meta) = entry.metadata() else {
+            continue; // vanished concurrently
+        };
+        if !meta.is_file() {
+            continue;
+        }
+        out.push(CacheEntry {
+            bytes: meta.len(),
+            modified: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+            path,
+        });
+    }
+    out.sort_by(|a, b| {
+        b.modified
+            .cmp(&a.modified)
+            .then_with(|| a.path.cmp(&b.path))
+    });
+    Ok(out)
+}
+
+/// What a [`cache_gc`] / [`cache_clear`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcOutcome {
+    /// Files left in place.
+    pub kept: usize,
+    /// Bytes left in place.
+    pub kept_bytes: u64,
+    /// Files evicted.
+    pub evicted: usize,
+    /// Bytes evicted.
+    pub evicted_bytes: u64,
+    /// Files that were over budget but skipped because a reader (live
+    /// mapping) or writer holds their lock.
+    pub skipped_locked: usize,
+}
+
+/// Evict least-recently-used cache files until the directory holds at most
+/// `max_bytes` of `.prep` data.
+///
+/// A file whose advisory lock cannot be taken — a live [`map_prepared`]
+/// reader holds a shared lock for the lifetime of its mapping — is never
+/// evicted; it is skipped and counted in
+/// [`GcOutcome::skipped_locked`].
+pub fn cache_gc(dir: &Path, max_bytes: u64) -> io::Result<GcOutcome> {
+    let entries = cache_entries(dir)?;
+    let mut out = GcOutcome::default();
+    let mut total: u64 = entries.iter().map(|e| e.bytes).sum();
+    let mut evicted = vec![false; entries.len()];
+    // Newest-first order: walk from the old end while over budget.
+    for (i, e) in entries.iter().enumerate().rev() {
+        if total <= max_bytes {
+            break;
+        }
+        match FileLock::try_exclusive(&e.path) {
+            Ok(Some(_guard)) => {
+                if fs::remove_file(&e.path).is_ok() {
+                    evicted[i] = true;
+                    out.evicted += 1;
+                    out.evicted_bytes += e.bytes;
+                    total -= e.bytes;
+                }
+            }
+            _ => out.skipped_locked += 1,
+        }
+    }
+    for (i, e) in entries.iter().enumerate() {
+        if !evicted[i] {
+            out.kept += 1;
+            out.kept_bytes += e.bytes;
+        }
+    }
+    Ok(out)
+}
+
+/// Remove every evictable cache file under `dir` (equivalent to
+/// [`cache_gc`] with a zero budget: reader-locked files survive).
+pub fn cache_clear(dir: &Path) -> io::Result<GcOutcome> {
+    cache_gc(dir, 0)
 }
 
 #[cfg(test)]
@@ -489,6 +989,7 @@ mod tests {
         assert_eq!(pg.stats().num_vertices, pg.graph().num_vertices());
         assert!(pg.skew_pct() >= 0.0);
         assert_eq!(pg.capacity_scale(), 1.0);
+        assert_eq!(pg.mapped_bytes(), 0, "fresh builds are heap-backed");
         // Execution graph selection.
         assert_eq!(pg.execution_graph(true), &r.graph);
         assert_eq!(pg.execution_graph(false), pg.graph());
@@ -512,6 +1013,7 @@ mod tests {
             let pg = PreparedGraph::from_edge_list(&el, policy);
             let mut buf = Vec::new();
             write_prepared(&pg, &mut buf).unwrap();
+            assert_eq!(buf.len() % ALIGN, 0, "file is a whole number of blocks");
             let back = read_prepared(buf.as_slice()).unwrap();
             assert_eq!(back.graph(), pg.graph());
             assert_eq!(back.policy(), policy);
@@ -528,6 +1030,20 @@ mod tests {
     }
 
     #[test]
+    fn sections_are_aligned() {
+        let el = generators::gnm(64, 100, 3);
+        let pg = PreparedGraph::from_edge_list(&el, ReorderPolicy::DegreeDescending);
+        let mut buf = Vec::new();
+        write_prepared(&pg, &mut buf).unwrap();
+        let parsed = parse_prepared(&buf).unwrap();
+        let sections = &parsed.sections;
+        assert_eq!(sections.len(), 5);
+        for (i, s) in sections.iter().enumerate() {
+            assert_eq!(s.start % ALIGN, 0, "payload of section {i} misaligned");
+        }
+    }
+
+    #[test]
     fn deserialization_rejects_tampering() {
         let el = generators::gnm(50, 150, 2);
         let pg = PreparedGraph::from_edge_list(&el, ReorderPolicy::DegreeDescending);
@@ -535,19 +1051,29 @@ mod tests {
         write_prepared(&pg, &mut buf).unwrap();
         // Stale version byte.
         let mut stale = buf.clone();
-        stale[7] = b'9';
+        stale[7] = b'1';
         assert!(read_prepared(stale.as_slice()).is_err());
         // Unknown policy byte.
         let mut bad_policy = buf.clone();
         bad_policy[8] = 7;
         assert!(read_prepared(bad_policy.as_slice()).is_err());
+        // A flipped payload byte fails its section checksum.
+        let mut flipped = buf.clone();
+        let at = HEADER_LEN + SECTION_HEADER_LEN + 1;
+        flipped[at] ^= 0xff;
+        let err = read_prepared(flipped.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
         // Truncation anywhere must error, never panic.
-        for cut in [9, buf.len() / 2, buf.len() - 1] {
+        for cut in [9, HEADER_LEN, buf.len() / 2, buf.len() - 1] {
             assert!(
                 read_prepared(buf[..cut].to_vec().as_slice()).is_err(),
                 "cut={cut}"
             );
         }
+        // Trailing garbage is rejected too.
+        let mut padded = buf.clone();
+        padded.extend_from_slice(&[0u8; ALIGN]);
+        assert!(read_prepared(padded.as_slice()).is_err());
     }
 
     #[test]
@@ -558,10 +1084,12 @@ mod tests {
             mem_hits: 3,
             disk_hits: 4,
             disk_writes: 5,
+            mmap_hits: 6,
+            bytes_mapped: 7,
         };
         assert_eq!(
             m.to_string(),
-            "graph_builds=1 reorders=2 mem_hits=3 disk_hits=4 disk_writes=5"
+            "graph_builds=1 reorders=2 mem_hits=3 disk_hits=4 disk_writes=5 mmap_hits=6 bytes_mapped=7"
         );
     }
 

@@ -1,0 +1,56 @@
+//! `CNC_CACHE_MAX_BYTES`: every cache write triggers an automatic LRU trim
+//! down to the configured byte budget.
+//!
+//! Kept in its own test binary: it mutates process-wide environment state,
+//! which must not race other tests that populate caches.
+
+use std::fs;
+use std::path::PathBuf;
+
+use cnc_graph::datasets::{Dataset, Scale};
+use cnc_graph::prepare::{self, prepared_on_disk, CACHE_MAX_BYTES_ENV};
+use cnc_graph::ReorderPolicy;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cnc-cap-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn env_cap_trims_the_cache_after_each_write() {
+    let dir = temp_dir("auto");
+
+    // Generous cap: both entries fit and survive their writes.
+    std::env::set_var(CACHE_MAX_BYTES_ENV, u64::MAX.to_string());
+    prepared_on_disk(&dir, Dataset::LjS, Scale::Tiny, ReorderPolicy::None);
+    prepared_on_disk(&dir, Dataset::WiS, Scale::Tiny, ReorderPolicy::None);
+    let both = prepare::cache_entries(&dir).unwrap();
+    assert_eq!(both.len(), 2);
+    let newest_bytes = both[0].bytes;
+
+    // Cap sized for one file: the next write keeps itself (most recent) and
+    // evicts down to budget automatically — no explicit gc call.
+    let _ = fs::remove_dir_all(&dir);
+    std::env::set_var(CACHE_MAX_BYTES_ENV, newest_bytes.to_string());
+    prepared_on_disk(&dir, Dataset::LjS, Scale::Tiny, ReorderPolicy::None);
+    prepared_on_disk(&dir, Dataset::WiS, Scale::Tiny, ReorderPolicy::None);
+    let entries = prepare::cache_entries(&dir).unwrap();
+    let total: u64 = entries.iter().map(|e| e.bytes).sum();
+    assert!(
+        total <= newest_bytes,
+        "cap not enforced: {total} > {newest_bytes}"
+    );
+    assert_eq!(entries.len(), 1, "only the newest write fits the budget");
+    assert!(entries[0].path.ends_with("wi-s-tiny-none.prep"));
+
+    // An unparsable cap is ignored: writes proceed, nothing is evicted.
+    let _ = fs::remove_dir_all(&dir);
+    std::env::set_var(CACHE_MAX_BYTES_ENV, "not-a-number");
+    prepared_on_disk(&dir, Dataset::LjS, Scale::Tiny, ReorderPolicy::None);
+    prepared_on_disk(&dir, Dataset::WiS, Scale::Tiny, ReorderPolicy::None);
+    assert_eq!(prepare::cache_entries(&dir).unwrap().len(), 2);
+
+    std::env::remove_var(CACHE_MAX_BYTES_ENV);
+    let _ = fs::remove_dir_all(&dir);
+}
