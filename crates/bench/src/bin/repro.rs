@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--scale tiny|small|medium] [--out DIR] [EXPERIMENT...]
+//! repro [--scale tiny|small|medium] [--out DIR] [--metrics FILE] [EXPERIMENT...]
 //! repro all                  # everything, paper order
 //! repro table4 fig10         # a subset
 //! repro --list               # available experiment ids
@@ -9,24 +9,30 @@
 //!
 //! Each experiment prints an aligned table (with the paper's reference
 //! numbers as notes) and, when `--out` is given, writes a CSV per
-//! experiment.
+//! experiment. `--metrics FILE` writes the process-wide observability
+//! report (counters + span tree) as a `cnc-metrics` JSON file — the same
+//! schema `cnc run --metrics` emits.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 use cnc_bench::experiments::{self, Ctx};
 use cnc_graph::datasets::Scale;
+use cnc_obs::{Counter, MetricsFile, ObsContext, RunReport};
 
 struct Args {
     scale: Scale,
     out: Option<PathBuf>,
+    metrics: Option<PathBuf>,
     experiments: Vec<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut scale = Scale::Small;
     let mut out = None;
+    let mut metrics = None;
     let mut experiments = Vec::new();
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
@@ -43,6 +49,9 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 out = Some(PathBuf::from(argv.next().ok_or("--out needs a value")?));
             }
+            "--metrics" => {
+                metrics = Some(PathBuf::from(argv.next().ok_or("--metrics needs a value")?));
+            }
             "--list" => {
                 for e in experiments::ALL {
                     println!("{e}");
@@ -51,7 +60,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale tiny|small|medium] [--out DIR] [EXPERIMENT...|all]"
+                    "usage: repro [--scale tiny|small|medium] [--out DIR] [--metrics FILE] [EXPERIMENT...|all]"
                 );
                 std::process::exit(0);
             }
@@ -65,6 +74,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         scale,
         out,
+        metrics,
         experiments,
     })
 }
@@ -77,6 +87,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // One process-wide observability context: preparation-work evidence and
+    // `--metrics` both read from this registry instead of ad-hoc printf
+    // state. Experiments prepare and run on this thread, so the ambient
+    // context sees every probe.
+    let obs = Arc::new(ObsContext::new());
+    let _obs_guard = obs.install();
     let ctx = Ctx::new(args.scale);
     println!(
         "# aecnc repro — scale={:?}, experiments: {}",
@@ -107,10 +123,42 @@ fn main() -> ExitCode {
             }
         }
     }
-    // Preparation-work evidence: graph_builds counts CSR constructions this
-    // process performed (0 on a warm disk cache), mem/disk_hits count cache
-    // reuse. Each dataset is prepared at most once per process.
-    println!("\n# prepare: {}", cnc_graph::prepare::metrics());
+    // Preparation-work evidence, read from the metrics registry:
+    // graph_builds counts CSR constructions this process performed (0 on a
+    // warm disk cache), mem/disk_hits count cache reuse. Each dataset is
+    // prepared at most once per process. The line format is stable — CI
+    // greps it.
+    let report = RunReport::from_context(&obs);
+    println!(
+        "\n# prepare: graph_builds={} reorders={} mem_hits={} disk_hits={} disk_writes={} mmap_hits={} bytes_mapped={}",
+        report.counter(Counter::PrepareGraphBuilds),
+        report.counter(Counter::PrepareReorders),
+        report.counter(Counter::PrepareMemHits),
+        report.counter(Counter::PrepareDiskHits),
+        report.counter(Counter::PrepareDiskWrites),
+        report.counter(Counter::PrepareMmapHits),
+        report.counter(Counter::PrepareBytesMapped),
+    );
+    if let Some(path) = &args.metrics {
+        let mut file = MetricsFile::new();
+        file.begin_run();
+        file.field_str("label", "repro");
+        file.field_str("scale", args.scale.name());
+        let mut names = String::from("[");
+        for (i, e) in args.experiments.iter().enumerate() {
+            if i > 0 {
+                names.push(',');
+            }
+            cnc_obs::json_string(&mut names, e);
+        }
+        names.push(']');
+        file.field_raw("experiments", &names);
+        file.end_run(&report);
+        if let Err(e) = std::fs::write(path, file.finish()) {
+            eprintln!("repro: failed to write {}: {e}", path.display());
+            failed = true;
+        }
+    }
     if failed {
         ExitCode::FAILURE
     } else {

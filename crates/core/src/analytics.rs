@@ -207,11 +207,9 @@ impl<'a> CncView<'a> {
                 scored.push((u, v, score(self, eid)));
             }
         }
-        scored.sort_by(|a, b| {
-            b.2.partial_cmp(&a.2)
-                .unwrap()
-                .then(a.0.cmp(&b.0).then(a.1.cmp(&b.1)))
-        });
+        // total_cmp: a NaN-producing score function must not panic the
+        // sort (NaN scores order deterministically instead).
+        scored.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0).then(a.1.cmp(&b.1))));
         scored.truncate(k);
         scored
     }

@@ -23,9 +23,10 @@
 use cnc_cpu::{CpuKernel, ParConfig};
 use cnc_gpu::{GpuAlgo, GpuRunConfig, GpuRunner};
 use cnc_graph::PreparedGraph;
-use cnc_intersect::{NullMeter, WorkCounts};
+use cnc_intersect::{CountingMeter, NullMeter, WorkCounts};
 use cnc_knl::{counts_and_work_of, profile_from_work, ModeledAlgo, ModeledProcessor};
 use cnc_machine::MemMode;
+use cnc_obs::ObsContext;
 
 use crate::plan::Plan;
 use crate::runner::{Algorithm, RfChoice, RunDetail};
@@ -65,10 +66,25 @@ impl Backend for CpuSeqBackend {
 
     fn execute(&self, prepared: &PreparedGraph, plan: &Plan) -> Execution {
         let g = prepared.execution_graph(plan.reorder);
+        // Observed runs meter (the metered specialization provably returns
+        // identical counts) so the registry carries exact kernel tallies;
+        // plain runs keep the zero-overhead NullMeter path.
+        let (counts, work) = match ObsContext::current() {
+            Some(ctx) => {
+                let mut meter = CountingMeter::new();
+                let counts = {
+                    let _s = ctx.span("kernel");
+                    plan.cpu_kernel.run_seq(g, &mut meter)
+                };
+                meter.counts.record_to(&*ctx);
+                (counts, Some(meter.counts))
+            }
+            None => (plan.cpu_kernel.run_seq(g, &mut NullMeter), None),
+        };
         Execution {
-            counts: plan.cpu_kernel.run_seq(g, &mut NullMeter),
+            counts,
             modeled_seconds: None,
-            work: None,
+            work,
             detail: RunDetail::Measured,
         }
     }
@@ -89,10 +105,21 @@ impl Backend for CpuParBackend {
     fn execute(&self, prepared: &PreparedGraph, plan: &Plan) -> Execution {
         let g = prepared.execution_graph(plan.reorder);
         let cfg = plan.partitioning.unwrap_or(self.cfg);
+        // Observed runs take the metered parallel path (identical counts by
+        // construction — every driver mode runs the same `run_range` loop)
+        // and record the merged per-task tallies.
+        let (counts, work) = match ObsContext::current() {
+            Some(ctx) => {
+                let (counts, work) = plan.cpu_kernel.run_par_metered(g, &cfg);
+                work.record_to(&*ctx);
+                (counts, Some(work))
+            }
+            None => (plan.cpu_kernel.run_par(g, &cfg), None),
+        };
         Execution {
-            counts: plan.cpu_kernel.run_par(g, &cfg),
+            counts,
             modeled_seconds: None,
-            work: None,
+            work,
             detail: RunDetail::Measured,
         }
     }

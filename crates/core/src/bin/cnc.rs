@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! cnc count  GRAPH [--algo mps|bmp|bmp-rf|m] [--platform cpu|cpu-seq|knl|gpu]
-//!            [--out FILE] [--stats]
+//!            [--out FILE] [--stats] [--metrics FILE] [--trace]
+//! cnc run    [--scale tiny|small|medium] [--dataset NAME] [--algo A]
+//!            [--platform P] [--metrics FILE] [--trace]
 //! cnc stats  GRAPH
 //! cnc scan   GRAPH [--eps 0.6] [--mu 3]
 //! cnc truss  GRAPH
@@ -14,6 +16,14 @@
 //! (detected by magic). `--out` writes the per-edge counts as
 //! `u v count` lines (canonical `u < v` edges once each).
 //!
+//! `cnc run` counts the built-in paper analogues (all five, or one via
+//! `--dataset lj-s|or-s|wi-s|tw-s|fr-s`), one observed run each.
+//! `--metrics FILE` writes a `cnc-metrics` JSON file (schema documented in
+//! DESIGN.md §Observability): `{"schema": "cnc-metrics", "version": 1,
+//! "runs": [...]}` with per-run counter totals and the span tree.
+//! `--trace` prints each run's span tree (prepare → plan → execute)
+//! human-readably. Both flags also work on `count` for ad-hoc graphs.
+//!
 //! `cnc cache` manages the on-disk prepared-graph cache (default
 //! directory: `$CNC_CACHE_DIR` or `results/cache`): `ls` lists entries
 //! most-recently-used first, `gc --max-bytes N` evicts least-recently-used
@@ -23,11 +33,16 @@
 use std::io::{BufWriter, Write};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use cnc_core::{scan, truss_decomposition, Algorithm, CncView, Platform, PreparedGraph, Runner};
+use cnc_core::{
+    truss_decomposition, try_scan, Algorithm, CncView, Platform, PreparedGraph, Runner,
+};
+use cnc_graph::datasets::{Dataset, Scale};
 use cnc_graph::prepare;
 use cnc_graph::stats::{skew_percentage, GraphStats};
 use cnc_graph::{io, CsrGraph};
+use cnc_obs::{MetricsFile, ObsContext, RunReport};
 
 fn load_graph(path: &str) -> Result<CsrGraph, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -123,11 +138,136 @@ fn run_cache(mut args: Vec<String>) -> Result<(), String> {
     }
 }
 
+fn parse_algo(args: &mut Vec<String>) -> Result<Algorithm, String> {
+    match parse_flag(args, "--algo").as_deref() {
+        None | Some("bmp-rf") => Ok(Algorithm::bmp_rf()),
+        Some("bmp") => Ok(Algorithm::bmp()),
+        Some("mps") => Ok(Algorithm::mps()),
+        Some("m") => Ok(Algorithm::MergeBaseline),
+        Some(other) => Err(format!("unknown --algo {other:?}")),
+    }
+}
+
+fn platform_for(name: &str, capacity_scale: f64) -> Result<Platform, String> {
+    match name {
+        "cpu" => Ok(Platform::cpu_parallel()),
+        "cpu-seq" => Ok(Platform::CpuSequential),
+        "knl" => Ok(Platform::knl_flat(capacity_scale)),
+        "gpu" => Ok(Platform::gpu(capacity_scale)),
+        other => Err(format!("unknown --platform {other:?}")),
+    }
+}
+
+/// Append one run entry (identity fields + observability report) to a
+/// metrics file being built.
+fn push_metrics_entry(
+    file: &mut MetricsFile,
+    dataset: &str,
+    scale: &str,
+    result: &cnc_core::CncResult,
+    report: &RunReport,
+) {
+    file.begin_run();
+    file.field_str("dataset", dataset);
+    file.field_str("scale", scale);
+    file.field_str("platform", &result.stats.platform);
+    file.field_str("algorithm", &result.stats.requested_algorithm);
+    file.field_str("effective_algorithm", &result.stats.effective_algorithm);
+    file.field_raw(
+        "reordered",
+        if result.stats.reordered {
+            "true"
+        } else {
+            "false"
+        },
+    );
+    file.field_raw("wall_seconds", &format!("{}", result.wall_seconds));
+    file.field_raw(
+        "modeled_seconds",
+        &result
+            .modeled_seconds
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "null".into()),
+    );
+    file.end_run(report);
+}
+
+fn print_run_summary(label: &str, result: &cnc_core::CncResult) {
+    eprintln!(
+        "{label}: {} [{}] counted {} edge slots in {:.1} ms wall{}",
+        result.stats.platform,
+        result.stats.effective_algorithm,
+        result.counts.len(),
+        result.wall_seconds * 1e3,
+        result
+            .modeled_seconds
+            .map(|s| format!(" ({:.3} ms modeled)", s * 1e3))
+            .unwrap_or_default()
+    );
+}
+
+/// `cnc run` — one observed counting run per built-in paper analogue,
+/// with optional `--metrics` JSON and `--trace` span-tree output.
+fn run_suite(mut args: Vec<String>) -> Result<(), String> {
+    let scale = match parse_flag(&mut args, "--scale").as_deref() {
+        None | Some("tiny") => Scale::Tiny,
+        Some("small") => Scale::Small,
+        Some("medium") => Scale::Medium,
+        Some(other) => return Err(format!("unknown --scale {other:?}")),
+    };
+    let algo = parse_algo(&mut args)?;
+    let platform_name = parse_flag(&mut args, "--platform").unwrap_or_else(|| "cpu".into());
+    let metrics_path = parse_flag(&mut args, "--metrics");
+    let trace = parse_switch(&mut args, "--trace");
+    let datasets: Vec<Dataset> = match parse_flag(&mut args, "--dataset") {
+        Some(name) => vec![*Dataset::ALL
+            .iter()
+            .find(|d| d.name() == name)
+            .ok_or_else(|| format!("unknown --dataset {name:?} (try lj-s|or-s|wi-s|tw-s|fr-s)"))?],
+        None => Dataset::ALL.to_vec(),
+    };
+    if let Some(stray) = args.first() {
+        return Err(format!("unexpected argument {stray:?}"));
+    }
+
+    let mut metrics = MetricsFile::new();
+    for d in datasets {
+        // One fresh context per dataset run: counters in the report are
+        // per-run totals, and the span tree covers prepare → plan → execute.
+        let ctx = Arc::new(ObsContext::new());
+        let result = {
+            let _obs = ctx.install();
+            // The reorder policy doesn't depend on the capacity scale, so a
+            // provisional runner decides how to prepare; the real runner is
+            // built once the graph (and its edge count) exists.
+            let policy = Runner::new(platform_for(&platform_name, 1.0)?, algo).reorder_policy();
+            let prepared = d.prepare(scale, policy);
+            let capacity = d.capacity_scale(prepared.graph());
+            let runner = Runner::new(platform_for(&platform_name, capacity)?, algo);
+            runner
+                .try_run_prepared(&prepared)
+                .map_err(|e| format!("{}: {e}", d.name()))?
+        };
+        let report = RunReport::from_context(&ctx);
+        print_run_summary(d.name(), &result);
+        if trace {
+            println!("# {} ({})", d.name(), scale.name());
+            print!("{}", report.render_trace());
+        }
+        push_metrics_entry(&mut metrics, d.name(), scale.name(), &result, &report);
+    }
+    if let Some(path) = metrics_path {
+        std::fs::write(&path, metrics.finish()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         eprintln!(
-            "usage: cnc <count|stats|scan|truss> GRAPH [--algo A] [--platform P] [--out F] [--eps E] [--mu M] [--stats]\n       cnc cache [ls|gc|clear] [--dir D] [--max-bytes N]"
+            "usage: cnc <count|stats|scan|truss> GRAPH [--algo A] [--platform P] [--out F] [--eps E] [--mu M] [--stats] [--metrics F] [--trace]\n       cnc run [--scale S] [--dataset D] [--algo A] [--platform P] [--metrics F] [--trace]\n       cnc cache [ls|gc|clear] [--dir D] [--max-bytes N]"
         );
         return Ok(());
     }
@@ -135,13 +275,10 @@ fn run() -> Result<(), String> {
     if command == "cache" {
         return run_cache(args);
     }
-    let algo = match parse_flag(&mut args, "--algo").as_deref() {
-        None | Some("bmp-rf") => Algorithm::bmp_rf(),
-        Some("bmp") => Algorithm::bmp(),
-        Some("mps") => Algorithm::mps(),
-        Some("m") => Algorithm::MergeBaseline,
-        Some(other) => return Err(format!("unknown --algo {other:?}")),
-    };
+    if command == "run" {
+        return run_suite(args);
+    }
+    let algo = parse_algo(&mut args)?;
     let out_path = parse_flag(&mut args, "--out");
     let eps: f64 = parse_flag(&mut args, "--eps")
         .map(|s| s.parse().map_err(|e| format!("bad --eps: {e}")))
@@ -152,21 +289,23 @@ fn run() -> Result<(), String> {
         .transpose()?
         .unwrap_or(3);
     let want_stats = parse_switch(&mut args, "--stats");
+    let metrics_path = parse_flag(&mut args, "--metrics");
+    let trace = parse_switch(&mut args, "--trace");
     let platform_name = parse_flag(&mut args, "--platform").unwrap_or_else(|| "cpu".into());
     let graph_path = args
         .first()
-        .ok_or_else(|| "missing GRAPH argument".to_string())?;
-    let g = load_graph(graph_path)?;
+        .ok_or_else(|| "missing GRAPH argument".to_string())?
+        .clone();
+    // Observability is opt-in: install a context before preparation so the
+    // report covers the prepare spans too. Without the flags nothing is
+    // recorded and execution takes the unobserved code paths.
+    let ctx = (metrics_path.is_some() || trace).then(|| Arc::new(ObsContext::new()));
+    let _obs = ctx.as_ref().map(|c| c.install());
+    let g = load_graph(&graph_path)?;
     // Modeled platforms need a capacity scale; for ad-hoc files use the
     // graph's ratio to the paper's twitter dataset as a sensible default.
     let scale = (g.num_undirected_edges() as f64 / 684_500_375.0).min(1.0);
-    let platform = match platform_name.as_str() {
-        "cpu" => Platform::cpu_parallel(),
-        "cpu-seq" => Platform::CpuSequential,
-        "knl" => Platform::knl_flat(scale),
-        "gpu" => Platform::gpu(scale),
-        other => return Err(format!("unknown --platform {other:?}")),
-    };
+    let platform = platform_for(&platform_name, scale)?;
 
     // Prepare once (CSR + reorder tables + statistics); every subcommand
     // below shares the result instead of re-deriving it per run.
@@ -180,18 +319,25 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "count" => {
-            let result = runner.run_prepared(&prepared);
+            let result = runner
+                .try_run_prepared(&prepared)
+                .map_err(|e| e.to_string())?;
             let view = result.view(g);
-            eprintln!(
-                "counted {} edge slots in {:.1} ms wall{}",
-                result.counts.len(),
-                result.wall_seconds * 1e3,
-                result
-                    .modeled_seconds
-                    .map(|s| format!(" ({:.3} ms modeled)", s * 1e3))
-                    .unwrap_or_default()
-            );
+            print_run_summary(&graph_path, &result);
             eprintln!("triangles: {}", view.triangle_count());
+            if let Some(ctx) = &ctx {
+                let report = RunReport::from_context(ctx);
+                if trace {
+                    print!("{}", report.render_trace());
+                }
+                if let Some(path) = &metrics_path {
+                    let mut metrics = MetricsFile::new();
+                    push_metrics_entry(&mut metrics, &graph_path, "file", &result, &report);
+                    std::fs::write(path, metrics.finish())
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    eprintln!("wrote {path}");
+                }
+            }
             if want_stats {
                 print_stats(g);
             }
@@ -217,9 +363,11 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "scan" => {
-            let result = runner.run_prepared(&prepared);
+            let result = runner
+                .try_run_prepared(&prepared)
+                .map_err(|e| e.to_string())?;
             let view = result.view(g);
-            let r = scan(&view, eps, mu);
+            let r = try_scan(&view, eps, mu).map_err(|e| e.to_string())?;
             println!(
                 "SCAN(eps={eps}, mu={mu}): {} clusters; cores {}, borders {}, hubs {}, outliers {}",
                 r.num_clusters,
@@ -236,8 +384,10 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "truss" => {
-            let result = runner.run_prepared(&prepared);
-            let r = truss_decomposition(g, &result.counts);
+            let result = runner
+                .try_run_prepared(&prepared)
+                .map_err(|e| e.to_string())?;
+            let r = truss_decomposition(g, &result.counts).map_err(|e| e.to_string())?;
             println!("max trussness: {}", r.max_k);
             for k in 3..=r.max_k {
                 let edges = r.truss_edge_count(g, k);

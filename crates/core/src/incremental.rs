@@ -21,6 +21,47 @@ use std::collections::HashMap;
 use cnc_graph::CsrGraph;
 use cnc_intersect::{merge_collect, NullMeter};
 
+/// Why an incremental operation rejected its input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncrementalError {
+    /// The counts slice does not align with the graph's directed edge slots.
+    CountsLengthMismatch {
+        /// `g.num_directed_edges()`.
+        expected: usize,
+        /// `counts.len()` as passed.
+        got: usize,
+    },
+    /// `(u, u)` edges are not representable.
+    SelfLoop(u32),
+    /// An endpoint is not a vertex of the graph.
+    VertexOutOfRange {
+        /// The offending endpoint.
+        vertex: u32,
+        /// Current vertex-id bound.
+        num_vertices: usize,
+    },
+}
+
+impl std::fmt::Display for IncrementalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IncrementalError::CountsLengthMismatch { expected, got } => write!(
+                f,
+                "counts length {got} does not match {expected} directed edge slots"
+            ),
+            IncrementalError::SelfLoop(u) => {
+                write!(f, "self-loop ({u}, {u}) is not representable")
+            }
+            IncrementalError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(f, "vertex {vertex} out of range (|V| = {num_vertices})"),
+        }
+    }
+}
+
+impl std::error::Error for IncrementalError {}
+
 /// Dynamically maintained graph + exact per-edge common neighbor counts.
 #[derive(Debug, Clone, Default)]
 pub struct IncrementalCnc {
@@ -42,8 +83,16 @@ impl IncrementalCnc {
     }
 
     /// Initialize from a static graph and its (verified) counts.
-    pub fn from_graph(g: &CsrGraph, counts: &[u32]) -> Self {
-        assert_eq!(counts.len(), g.num_directed_edges());
+    ///
+    /// Fails with [`IncrementalError::CountsLengthMismatch`] when `counts`
+    /// is not aligned to `g`'s directed edge slots.
+    pub fn from_graph(g: &CsrGraph, counts: &[u32]) -> Result<Self, IncrementalError> {
+        if counts.len() != g.num_directed_edges() {
+            return Err(IncrementalError::CountsLengthMismatch {
+                expected: g.num_directed_edges(),
+                got: counts.len(),
+            });
+        }
         let adj: Vec<Vec<u32>> = (0..g.num_vertices() as u32)
             .map(|u| g.neighbors(u).to_vec())
             .collect();
@@ -53,11 +102,11 @@ impl IncrementalCnc {
                 map.insert((u, v), counts[eid]);
             }
         }
-        Self {
+        Ok(Self {
             adj,
             counts: map,
             scratch: Vec::new(),
-        }
+        })
     }
 
     /// Number of vertices.
@@ -93,14 +142,22 @@ impl IncrementalCnc {
         self.counts.values().map(|&c| c as u64).sum::<u64>() / 3
     }
 
-    /// Insert the undirected edge `(u, v)`; returns `false` if it already
-    /// exists (no change). Self-loops are rejected. `O(d_u + d_v)`.
-    pub fn insert_edge(&mut self, u: u32, v: u32) -> bool {
-        assert!(u != v, "self-loops are not representable");
-        assert!((u.max(v) as usize) < self.adj.len(), "vertex out of range");
+    /// Insert the undirected edge `(u, v)`; returns `Ok(false)` if it
+    /// already exists (no change). Self-loops and out-of-range endpoints
+    /// are typed errors, not panics. `O(d_u + d_v)`.
+    pub fn insert_edge(&mut self, u: u32, v: u32) -> Result<bool, IncrementalError> {
+        if u == v {
+            return Err(IncrementalError::SelfLoop(u));
+        }
+        if (u.max(v) as usize) >= self.adj.len() {
+            return Err(IncrementalError::VertexOutOfRange {
+                vertex: u.max(v),
+                num_vertices: self.adj.len(),
+            });
+        }
         let (a, b) = canonical(u, v);
         if self.counts.contains_key(&(a, b)) {
-            return false;
+            return Ok(false);
         }
         // Common neighbors BEFORE linking (u ∉ N(v) and v ∉ N(u) yet).
         let mut scratch = std::mem::take(&mut self.scratch);
@@ -118,7 +175,7 @@ impl IncrementalCnc {
         insert_sorted(&mut self.adj[a as usize], b);
         insert_sorted(&mut self.adj[b as usize], a);
         self.scratch = scratch;
-        true
+        Ok(true)
     }
 
     /// Remove the undirected edge `(u, v)`; returns `false` if absent.
@@ -190,10 +247,10 @@ mod tests {
     #[test]
     fn build_triangle_incrementally() {
         let mut inc = IncrementalCnc::new(3);
-        assert!(inc.insert_edge(0, 1));
-        assert!(inc.insert_edge(1, 2));
+        assert!(inc.insert_edge(0, 1).unwrap());
+        assert!(inc.insert_edge(1, 2).unwrap());
         assert_eq!(inc.count(0, 1), Some(0));
-        assert!(inc.insert_edge(0, 2)); // closes the triangle
+        assert!(inc.insert_edge(0, 2).unwrap()); // closes the triangle
         assert_eq!(inc.count(0, 1), Some(1));
         assert_eq!(inc.count(1, 2), Some(1));
         assert_eq!(inc.count(0, 2), Some(1));
@@ -204,8 +261,11 @@ mod tests {
     #[test]
     fn duplicate_and_missing_edges() {
         let mut inc = IncrementalCnc::new(4);
-        assert!(inc.insert_edge(0, 1));
-        assert!(!inc.insert_edge(1, 0), "duplicate insert is a no-op");
+        assert!(inc.insert_edge(0, 1).unwrap());
+        assert!(
+            !inc.insert_edge(1, 0).unwrap(),
+            "duplicate insert is a no-op"
+        );
         assert_eq!(inc.num_edges(), 1);
         assert!(!inc.remove_edge(2, 3), "missing removal is a no-op");
         assert!(inc.remove_edge(0, 1));
@@ -217,7 +277,7 @@ mod tests {
     fn remove_reopens_triangles() {
         let mut inc = IncrementalCnc::new(4);
         for (u, v) in [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)] {
-            inc.insert_edge(u, v);
+            inc.insert_edge(u, v).unwrap();
         }
         assert_eq!(inc.triangle_count(), 2);
         inc.remove_edge(1, 2); // breaks both triangles
@@ -230,15 +290,15 @@ mod tests {
     fn from_graph_then_mutate() {
         let g = CsrGraph::from_edge_list(&generators::clique_chain(3, 5));
         let counts = reference_counts(&g);
-        let mut inc = IncrementalCnc::from_graph(&g, &counts);
+        let mut inc = IncrementalCnc::from_graph(&g, &counts).unwrap();
         assert_eq!(inc.triangle_count(), 3 * 10, "three K5s worth of triangles");
         // Bridge two cliques into one denser community.
-        inc.insert_edge(0, 5);
-        inc.insert_edge(1, 6);
+        inc.insert_edge(0, 5).unwrap();
+        inc.insert_edge(1, 6).unwrap();
         assert_exact(&inc);
         let grown = inc.add_vertex();
-        inc.insert_edge(grown, 0);
-        inc.insert_edge(grown, 1);
+        inc.insert_edge(grown, 0).unwrap();
+        inc.insert_edge(grown, 1).unwrap();
         assert_eq!(inc.count(grown, 0), Some(1), "0 and grown share 1");
         assert_exact(&inc);
     }
@@ -254,7 +314,7 @@ mod tests {
             if insert {
                 let u = rng.gen_range(0..n);
                 let v = rng.gen_range(0..n);
-                if u != v && inc.insert_edge(u, v) {
+                if u != v && inc.insert_edge(u, v).unwrap() {
                     edges.push(canonical(u, v));
                 }
             } else {
@@ -279,7 +339,7 @@ mod tests {
             let u = rng.gen_range(0..60);
             let v = rng.gen_range(0..60);
             if u != v {
-                inc.insert_edge(u, v);
+                inc.insert_edge(u, v).unwrap();
             }
         }
         let (g, maintained) = inc.snapshot();
@@ -289,9 +349,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "self-loops")]
-    fn self_loop_rejected() {
+    fn bad_inputs_are_typed_errors() {
         let mut inc = IncrementalCnc::new(2);
-        inc.insert_edge(1, 1);
+        assert_eq!(inc.insert_edge(1, 1), Err(IncrementalError::SelfLoop(1)));
+        assert_eq!(
+            inc.insert_edge(0, 7),
+            Err(IncrementalError::VertexOutOfRange {
+                vertex: 7,
+                num_vertices: 2
+            })
+        );
+        let g = CsrGraph::from_edge_list(&generators::gnm(10, 20, 1));
+        let err = IncrementalCnc::from_graph(&g, &[0, 0]).unwrap_err();
+        assert!(matches!(
+            err,
+            IncrementalError::CountsLengthMismatch { got: 2, .. }
+        ));
+        assert!(err.to_string().contains("does not match"));
     }
 }

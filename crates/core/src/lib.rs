@@ -29,6 +29,9 @@
 //! simulator).
 
 #![forbid(unsafe_code)]
+// Lib code must surface failures as typed errors, not panics: unwrap()
+// is allowed in tests only (CI runs clippy with -D warnings).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 pub mod analytics;
@@ -47,9 +50,9 @@ pub use backend::{
     ModeledBackend,
 };
 pub use cnc_graph::{PreparedGraph, ReorderPolicy};
-pub use incremental::IncrementalCnc;
+pub use incremental::{IncrementalCnc, IncrementalError};
 pub use plan::{KernelSubstitution, Plan, PlanError};
 pub use runner::{Algorithm, CncResult, Platform, RfChoice, RunDetail, RunStats, Runner};
-pub use scan::{scan, scan_parallel, Role, ScanResult};
-pub use truss::{truss_decomposition, TrussResult};
+pub use scan::{scan, scan_parallel, try_scan, try_scan_parallel, Role, ScanError, ScanResult};
+pub use truss::{truss_decomposition, TrussError, TrussResult};
 pub use verify::{reference_counts, verify_counts, VerifyError};

@@ -26,6 +26,7 @@ use cnc_graph::{CsrGraph, PreparedGraph, ReorderPolicy};
 use cnc_intersect::{MpsConfig, WorkCounts};
 use cnc_knl::ModeledProcessor;
 use cnc_machine::{MemMode, ModelReport};
+use cnc_obs::{ObsContext, RunReport};
 
 use crate::analytics::CncView;
 use crate::backend::{Backend, CpuParBackend, CpuSeqBackend, GpuSimBackend, ModeledBackend};
@@ -197,6 +198,11 @@ pub struct CncResult {
     pub detail: RunDetail,
     /// The unified report of what ran.
     pub stats: RunStats,
+    /// Structured observability snapshot: counters recorded during this run
+    /// and the span tree. [`RunReport::disabled`] (empty, `enabled: false`)
+    /// when no [`ObsContext`] was installed — observability is ambient and
+    /// never perturbs an unobserved run.
+    pub report: RunReport,
 }
 
 impl CncResult {
@@ -329,12 +335,23 @@ impl Runner {
     /// graph's offsets).
     pub fn try_run_prepared(&self, prepared: &PreparedGraph) -> Result<CncResult, PlanError> {
         let t0 = Instant::now();
+        // Ambient observability: when a context is installed on this thread,
+        // the run's stages record spans and every layer below mirrors its
+        // counters into the registry. `None` disables everything.
+        let obs = ObsContext::current();
+        let counters_at_start = obs.as_ref().map(|ctx| ctx.counters());
         // Plan.
-        let plan = self.plan(prepared)?;
+        let plan = {
+            let _s = obs.as_ref().map(|ctx| ctx.span("plan"));
+            self.plan(prepared)?
+        };
         let backend = self.backend();
         // Execute. The backend picks the prepared execution graph; counts
         // come back in that graph's offsets.
-        let mut exec = backend.execute(prepared, &plan);
+        let mut exec = {
+            let _s = obs.as_ref().map(|ctx| ctx.span("execute"));
+            backend.execute(prepared, &plan)
+        };
         // The reorder is effective only if the preparation computed tables.
         let effective_reorder = plan.reorder && prepared.reordered().is_some();
         if effective_reorder {
@@ -358,12 +375,25 @@ impl Runner {
             wall_seconds,
             modeled_seconds: exec.modeled_seconds,
         };
+        // Counters are diffed against the run's start so one long-lived
+        // context (a CLI session, a bench sweep) still yields per-run
+        // totals; the span tree is the context's whole recording.
+        let report = match (&obs, counters_at_start) {
+            (Some(ctx), Some(start)) => RunReport {
+                enabled: true,
+                counters: ctx.counters().since(&start),
+                spans: ctx.recorder().tree(),
+                spans_dropped: ctx.recorder().dropped(),
+            },
+            _ => RunReport::disabled(),
+        };
         Ok(CncResult {
             counts: exec.counts,
             wall_seconds,
             modeled_seconds: exec.modeled_seconds,
             detail: exec.detail,
             stats,
+            report,
         })
     }
 }
@@ -604,6 +634,112 @@ mod tests {
         }
         std::env::remove_var("CNC_CACHE_DIR");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn observed_run_reports_exact_kernel_counters_and_span_tree() {
+        use cnc_obs::Counter as C;
+        let g = Dataset::LjS.build(Scale::Tiny);
+        let runner = Runner::new(Platform::cpu_parallel(), Algorithm::mps());
+        // Ground truth: a plain metered run of the same plan.
+        let pg = PreparedGraph::from_csr(g.clone(), runner.reorder_policy());
+        let plan = runner.plan(&pg).unwrap();
+        let (want_counts, want_work) = plan
+            .cpu_kernel
+            .run_par_metered(pg.graph(), &cnc_cpu::ParConfig::default());
+        // Observed run: counters must equal the meter totals, counts must be
+        // untouched by the instrumentation.
+        let ctx = std::sync::Arc::new(ObsContext::new());
+        let r = {
+            let _g = ctx.install();
+            runner.run_prepared(&pg)
+        };
+        assert_eq!(r.counts, want_counts, "observability must not perturb");
+        assert!(r.report.enabled);
+        assert_eq!(r.report.counter(C::KernelScalarOps), want_work.scalar_ops);
+        assert_eq!(r.report.counter(C::KernelSeqBytes), want_work.seq_bytes);
+        assert_eq!(
+            r.report.counter(C::KernelIntersections),
+            want_work.intersections
+        );
+        assert_eq!(r.stats.work, Some(want_work));
+        assert!(r.report.counter(C::DriverTasks) > 0);
+        // Span tree: plan and execute at the roots, the parallel kernel and
+        // its per-task spans nested beneath execute.
+        let names: Vec<_> = r.report.spans.iter().map(|s| s.name).collect();
+        assert!(names.contains(&"plan"), "roots: {names:?}");
+        let exec = r
+            .report
+            .spans
+            .iter()
+            .find(|s| s.name == "execute")
+            .expect("execute span");
+        let kernel = exec
+            .children
+            .iter()
+            .find(|s| s.name == "kernel")
+            .expect("kernel span under execute");
+        assert!(
+            kernel.children.iter().all(|t| t.name == "task"),
+            "kernel children must be task spans"
+        );
+        assert_eq!(
+            kernel.children.len() as u64,
+            r.report.counter(C::DriverTasks)
+        );
+        assert!(kernel.children.iter().all(|t| t.items > 0));
+        // Second run on the same context: per-run counter diffing.
+        let r2 = {
+            let _g = ctx.install();
+            runner.run_prepared(&pg)
+        };
+        assert_eq!(
+            r2.report.counter(C::KernelIntersections),
+            want_work.intersections,
+            "counters must be per-run, not cumulative"
+        );
+        // Unobserved runs carry a disabled, empty report.
+        let plain = runner.run_prepared(&pg);
+        assert!(!plain.report.enabled);
+        assert_eq!(plain.report.counter(C::KernelScalarOps), 0);
+        assert!(plain.report.spans.is_empty());
+        assert_eq!(plain.counts, want_counts);
+    }
+
+    #[test]
+    fn observed_modeled_and_gpu_runs_record_platform_counters() {
+        use cnc_obs::Counter as C;
+        let g = Dataset::FrS.build(Scale::Tiny);
+        let scale = Dataset::FrS.capacity_scale(&g);
+        let pg = PreparedGraph::from_csr(g, cnc_graph::ReorderPolicy::DegreeDescending);
+        let knl_ctx = std::sync::Arc::new(ObsContext::new());
+        let knl = {
+            let _g = knl_ctx.install();
+            Runner::new(Platform::knl_flat(scale), Algorithm::mps()).run_prepared(&pg)
+        };
+        assert_eq!(
+            knl.report.counter(C::KernelIntersections),
+            knl.stats.work.unwrap().intersections
+        );
+        assert!(knl.report.counter(C::ModelEstimates) >= 1);
+        assert!(knl.report.counter(C::ModelElapsedNanos) > 0);
+        let gpu_ctx = std::sync::Arc::new(ObsContext::new());
+        let gpu = {
+            let _g = gpu_ctx.install();
+            Runner::new(Platform::gpu(scale), Algorithm::bmp_rf()).run_prepared(&pg)
+        };
+        assert!(gpu.report.counter(C::GpuWarpInstrs) > 0);
+        assert!(gpu.report.counter(C::GpuBlocks) > 0);
+        assert!(gpu.report.counter(C::GpuPasses) >= 1);
+        if let RunDetail::Gpu(rep) = &gpu.detail {
+            assert_eq!(gpu.report.counter(C::GpuFaults), rep.faults);
+            assert_eq!(
+                gpu.report.counter(C::GpuScatteredTrans),
+                rep.stats.scattered_trans
+            );
+        } else {
+            panic!("gpu detail expected");
+        }
     }
 
     #[test]

@@ -66,13 +66,57 @@ impl ScanResult {
     }
 }
 
+/// Why a SCAN parameterization was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScanError {
+    /// `eps` outside `(0, 1]`.
+    EpsOutOfRange(f64),
+    /// `mu < 2` (the core size counts the vertex itself).
+    MuTooSmall(usize),
+}
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScanError::EpsOutOfRange(eps) => {
+                write!(f, "eps must be in (0, 1], got {eps}")
+            }
+            ScanError::MuTooSmall(mu) => write!(f, "mu must be at least 2, got {mu}"),
+        }
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+fn check_scan_params(eps: f64, mu: usize) -> Result<(), ScanError> {
+    if !(0.0..=1.0).contains(&eps) {
+        return Err(ScanError::EpsOutOfRange(eps));
+    }
+    if mu < 2 {
+        return Err(ScanError::MuTooSmall(mu));
+    }
+    Ok(())
+}
+
 /// Run SCAN over a graph with precomputed counts.
 ///
 /// `eps ∈ (0, 1]` is the similarity threshold, `mu ≥ 2` the core size
 /// (counting the vertex itself, per the original definition).
+///
+/// # Panics
+/// On out-of-range `eps`/`mu` — see [`try_scan`] for the non-panicking
+/// form.
 pub fn scan(view: &CncView<'_>, eps: f64, mu: usize) -> ScanResult {
-    assert!((0.0..=1.0).contains(&eps), "eps must be in (0, 1]");
-    assert!(mu >= 2, "mu must be at least 2");
+    try_scan(view, eps, mu).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`scan`] with parameter validation as a typed error instead of a panic.
+pub fn try_scan(view: &CncView<'_>, eps: f64, mu: usize) -> Result<ScanResult, ScanError> {
+    check_scan_params(eps, mu)?;
+    Ok(scan_impl(view, eps, mu))
+}
+
+fn scan_impl(view: &CncView<'_>, eps: f64, mu: usize) -> ScanResult {
     let g: &CsrGraph = view.graph();
     let n = g.num_vertices();
 
@@ -203,10 +247,23 @@ impl UnionFind {
 /// structure of the pruning-based parallel SCAN family the paper's
 /// citation \[9\] describes (minus the pruning, which the precomputed
 /// counts make unnecessary).
+///
+/// # Panics
+/// On out-of-range `eps`/`mu` — see [`try_scan_parallel`] for the
+/// non-panicking form.
 pub fn scan_parallel(view: &CncView<'_>, eps: f64, mu: usize) -> ScanResult {
+    try_scan_parallel(view, eps, mu).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`scan_parallel`] with parameter validation as a typed error instead of
+/// a panic.
+pub fn try_scan_parallel(view: &CncView<'_>, eps: f64, mu: usize) -> Result<ScanResult, ScanError> {
+    check_scan_params(eps, mu)?;
+    Ok(scan_parallel_impl(view, eps, mu))
+}
+
+fn scan_parallel_impl(view: &CncView<'_>, eps: f64, mu: usize) -> ScanResult {
     use rayon::prelude::*;
-    assert!((0.0..=1.0).contains(&eps), "eps must be in (0, 1]");
-    assert!(mu >= 2, "mu must be at least 2");
     let g: &CsrGraph = view.graph();
     let n = g.num_vertices();
 
@@ -413,6 +470,26 @@ mod tests {
     fn mu_validation() {
         let g = CsrGraph::from_edge_list(&generators::complete(3));
         let _ = run_scan(&g, 0.5, 1);
+    }
+
+    #[test]
+    fn bad_params_are_typed_errors() {
+        let g = CsrGraph::from_edge_list(&generators::complete(3));
+        let counts = reference_counts(&g);
+        let view = CncView::new(&g, &counts);
+        assert_eq!(
+            try_scan(&view, 1.5, 3).unwrap_err(),
+            ScanError::EpsOutOfRange(1.5)
+        );
+        assert_eq!(
+            try_scan(&view, 0.5, 0).unwrap_err(),
+            ScanError::MuTooSmall(0)
+        );
+        assert_eq!(
+            try_scan_parallel(&view, -0.1, 2).unwrap_err(),
+            ScanError::EpsOutOfRange(-0.1)
+        );
+        assert!(try_scan(&view, 0.5, 2).is_ok());
     }
 
     #[test]

@@ -35,10 +35,43 @@ impl TrussResult {
     }
 }
 
+/// Why a truss decomposition rejected its input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrussError {
+    /// The counts slice does not align with the graph's directed edge slots.
+    CountsLengthMismatch {
+        /// `g.num_directed_edges()`.
+        expected: usize,
+        /// `counts.len()` as passed.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for TrussError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrussError::CountsLengthMismatch { expected, got } => write!(
+                f,
+                "counts length {got} does not match {expected} directed edge slots"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrussError {}
+
 /// Compute the truss decomposition, seeded with precomputed counts
 /// (must be the common neighbor counts of `g`).
-pub fn truss_decomposition(g: &CsrGraph, counts: &[u32]) -> TrussResult {
-    assert_eq!(counts.len(), g.num_directed_edges());
+///
+/// Fails with [`TrussError::CountsLengthMismatch`] when `counts` is not
+/// aligned to `g`'s directed edge slots.
+pub fn truss_decomposition(g: &CsrGraph, counts: &[u32]) -> Result<TrussResult, TrussError> {
+    if counts.len() != g.num_directed_edges() {
+        return Err(TrussError::CountsLengthMismatch {
+            expected: g.num_directed_edges(),
+            got: counts.len(),
+        });
+    }
     let m = g.num_directed_edges();
     // Work on canonical (u < v) edges; map both slots at the end.
     let mut support: Vec<i64> = counts.iter().map(|&c| c as i64).collect();
@@ -87,7 +120,7 @@ pub fn truss_decomposition(g: &CsrGraph, counts: &[u32]) -> TrussResult {
         }
     }
     let max_k = trussness.iter().copied().max().unwrap_or(2);
-    TrussResult { trussness, max_k }
+    Ok(TrussResult { trussness, max_k })
 }
 
 /// The canonical (u < v) slot of an edge given either slot.
@@ -110,7 +143,7 @@ mod tests {
 
     fn decompose(g: &CsrGraph) -> TrussResult {
         let counts = reference_counts(g);
-        truss_decomposition(g, &counts)
+        truss_decomposition(g, &counts).unwrap()
     }
 
     /// Oracle: iterative peeling at each k level, straightforward version.

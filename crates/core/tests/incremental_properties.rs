@@ -36,7 +36,7 @@ proptest! {
         // Start from an arbitrary seed graph.
         let g = CsrGraph::from_edge_list(&EdgeList::from_pairs(seed));
         let counts = reference_counts(&g);
-        let mut inc = IncrementalCnc::from_graph(&g, &counts);
+        let mut inc = IncrementalCnc::from_graph(&g, &counts).unwrap();
         // Grow the id space so Insert targets are always valid.
         while inc.num_vertices() < 30 {
             inc.add_vertex();
@@ -44,7 +44,7 @@ proptest! {
         let mut edge_count = inc.num_edges();
         for e in script {
             match e {
-                Edit::Insert(a, b) if a != b && inc.insert_edge(a, b) => {
+                Edit::Insert(a, b) if a != b && inc.insert_edge(a, b).unwrap() => {
                     edge_count += 1;
                 }
                 Edit::Remove(a, b) if a != b && inc.remove_edge(a, b) => {
@@ -67,7 +67,7 @@ proptest! {
     ) {
         let g = CsrGraph::from_edge_list(&EdgeList::from_pairs(seed));
         let counts = reference_counts(&g);
-        let mut inc = IncrementalCnc::from_graph(&g, &counts);
+        let mut inc = IncrementalCnc::from_graph(&g, &counts).unwrap();
         while inc.num_vertices() < 25 {
             inc.add_vertex();
         }
@@ -76,7 +76,7 @@ proptest! {
         // reverse: the structure must return to its exact prior state.
         let mut added = Vec::new();
         for (a, b) in extra {
-            if a != b && inc.insert_edge(a, b) {
+            if a != b && inc.insert_edge(a, b).unwrap() {
                 added.push((a, b));
             }
         }

@@ -229,9 +229,26 @@ impl<'g> EdgeRangeDriver<'g> {
         if m > 0 {
             let t = cfg.task_size.max(1);
             let tasks = m.div_ceil(t);
+            // Ambient observability: rayon workers do not see the installing
+            // thread's context, so capture it (and the id of a "kernel" span
+            // that nests under the caller's open span) here and hand both to
+            // every task explicitly. `None` means every probe below is a
+            // no-op and the loop body is identical to the uninstrumented one.
+            let obs = cnc_obs::ObsContext::current();
+            let kernel_span = obs.as_ref().map(|ctx| {
+                ctx.add(cnc_obs::Counter::DriverTasks, tasks as u64);
+                ctx.span("kernel")
+            });
+            let parent = kernel_span.as_ref().map(|s| s.id());
+            let obs = &obs;
             let run = || {
                 (0..tasks).into_par_iter().for_each(|k| {
                     let range = (k * t)..((k * t) + t).min(m);
+                    let _task_span = obs.as_ref().map(|ctx| {
+                        let mut s = ctx.span_under("task", parent);
+                        s.set_items(range.len() as u64);
+                        s
+                    });
                     let mut kernel = factory.acquire();
                     let mut emit = |eid: usize, c: u32| cnt.set(eid, c);
                     match total {

@@ -244,6 +244,8 @@ impl GpuRunner {
         };
 
         // Phase 2 (device): the kernels, one launch set per pass.
+        let obs = cnc_obs::ObsContext::current();
+        let device_span = obs.as_ref().map(|ctx| ctx.span("gpu_kernels"));
         let mut stats = KernelStats::default();
         for range in pass_ranges(n, passes) {
             match algo {
@@ -276,8 +278,23 @@ impl GpuRunner {
                 }
             }
         }
+        drop(device_span);
         let faults = um.faults();
         let migrated = um.migrated_bytes();
+        // Mirror the simulator's evidence into the ambient observability
+        // context (no-op when none is installed).
+        if let Some(ctx) = &obs {
+            use cnc_obs::Counter as C;
+            ctx.add(C::GpuWarpInstrs, stats.warp_instrs);
+            ctx.add(C::GpuCoalescedBytes, stats.coalesced_bytes);
+            ctx.add(C::GpuScatteredTrans, stats.scattered_trans);
+            ctx.add(C::GpuSharedOps, stats.shared_ops);
+            ctx.add(C::GpuAtomics, stats.atomics);
+            ctx.add(C::GpuBlocks, stats.blocks);
+            ctx.add(C::GpuFaults, faults);
+            ctx.add(C::GpuMigratedBytes, migrated);
+            ctx.add(C::GpuPasses, passes as u64);
+        }
         // The minimum any run must migrate: every page of the three arrays.
         let compulsory = ((g.offsets().len() * 8 + g.dst().len() * 4 + m * 4) as u64)
             .div_ceil(self.spec.page_bytes);

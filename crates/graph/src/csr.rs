@@ -339,7 +339,7 @@ impl CsrGraph {
     /// probes — `O(|V| + |E|)` total, allocation-free.
     pub fn validate_structure(&self) -> Result<(), String> {
         let n = self.num_vertices();
-        if self.offsets[0] != 0 || *self.offsets.last().unwrap() != self.dst.len() {
+        if self.offsets.first() != Some(&0) || self.offsets.last() != Some(&self.dst.len()) {
             return Err("offset endpoints broken".into());
         }
         if self.offsets.windows(2).any(|w| w[0] > w[1]) {

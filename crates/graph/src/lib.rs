@@ -44,6 +44,9 @@
 // `allow` — it is the single place in the workspace that holds `unsafe`
 // (raw `mmap`/`munmap`/`flock` bindings and the typed mapped-slice views).
 #![deny(unsafe_code)]
+// Lib code must surface failures as typed errors, not panics: unwrap()
+// is allowed in tests only (CI runs clippy with -D warnings).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 mod csr;

@@ -176,10 +176,29 @@ pub fn metrics() -> PrepareMetrics {
 
 fn bump(f: impl FnOnce(&mut PrepareMetrics)) {
     METRICS.with(|m| {
-        let mut v = m.get();
+        let before = m.get();
+        let mut v = before;
         f(&mut v);
         m.set(v);
+        mirror_to_obs(&v.since(&before));
     });
+}
+
+/// Mirror a counter delta into the ambient observability context, when one
+/// is installed — the structured twin of the thread-local tallies, so
+/// `--metrics` reports carry the same cache evidence the `# prepare:` line
+/// prints.
+fn mirror_to_obs(d: &PrepareMetrics) {
+    use cnc_obs::Counter as C;
+    if let Some(ctx) = cnc_obs::ObsContext::current() {
+        ctx.add(C::PrepareGraphBuilds, d.graph_builds);
+        ctx.add(C::PrepareReorders, d.reorders);
+        ctx.add(C::PrepareMemHits, d.mem_hits);
+        ctx.add(C::PrepareDiskHits, d.disk_hits);
+        ctx.add(C::PrepareDiskWrites, d.disk_writes);
+        ctx.add(C::PrepareMmapHits, d.mmap_hits);
+        ctx.add(C::PrepareBytesMapped, d.bytes_mapped);
+    }
 }
 
 /// The immutable output of the preparation pipeline.
@@ -203,15 +222,18 @@ impl PreparedGraph {
     /// Run the full pipeline on an edge list: normalize (if needed), build
     /// the CSR through the parallel builder, then apply `policy`.
     pub fn from_edge_list(el: &EdgeList, policy: ReorderPolicy) -> Arc<Self> {
-        let graph = CsrGraph::from_edge_list_parallel(el);
-        bump(|m| m.graph_builds += 1);
-        Arc::new(Self::finish(graph, policy, 1.0))
+        cnc_obs::ObsContext::scoped("prepare", || {
+            let graph =
+                cnc_obs::ObsContext::scoped("csr_build", || CsrGraph::from_edge_list_parallel(el));
+            bump(|m| m.graph_builds += 1);
+            Arc::new(Self::finish(graph, policy, 1.0))
+        })
     }
 
     /// Prepare an existing CSR (statistics + optional reorder; no CSR
     /// rebuild).
     pub fn from_csr(graph: CsrGraph, policy: ReorderPolicy) -> Arc<Self> {
-        Arc::new(Self::finish(graph, policy, 1.0))
+        cnc_obs::ObsContext::scoped("prepare", || Arc::new(Self::finish(graph, policy, 1.0)))
     }
 
     /// Pipeline tail shared by every constructor that actually *computes*
@@ -222,7 +244,7 @@ impl PreparedGraph {
             ReorderPolicy::None => None,
             ReorderPolicy::DegreeDescending => {
                 bump(|m| m.reorders += 1);
-                Some(reorder::degree_descending(&graph))
+                cnc_obs::ObsContext::scoped("reorder", || Some(reorder::degree_descending(&graph)))
             }
         };
         Self::assemble(graph, reordered, policy, capacity_scale)
@@ -761,15 +783,17 @@ static MEM_CACHE: OnceLock<Mutex<HashMap<CacheKey, Arc<PreparedGraph>>>> = OnceL
 /// where the platform allows; cold → build and persist); every later call in
 /// the process returns the same `Arc<PreparedGraph>` from memory.
 pub fn prepared(dataset: Dataset, scale: Scale, policy: ReorderPolicy) -> Arc<PreparedGraph> {
-    let cache = MEM_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
-    if let Some(hit) = map.get(&(dataset, scale, policy)) {
-        bump(|m| m.mem_hits += 1);
-        return Arc::clone(hit);
-    }
-    let pg = prepared_on_disk(&default_cache_dir(), dataset, scale, policy);
-    map.insert((dataset, scale, policy), Arc::clone(&pg));
-    pg
+    cnc_obs::ObsContext::scoped("prepare", || {
+        let cache = MEM_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(hit) = map.get(&(dataset, scale, policy)) {
+            bump(|m| m.mem_hits += 1);
+            return Arc::clone(hit);
+        }
+        let pg = prepared_on_disk(&default_cache_dir(), dataset, scale, policy);
+        map.insert((dataset, scale, policy), Arc::clone(&pg));
+        pg
+    })
 }
 
 /// Refresh `path`'s modification time — the LRU recency signal [`cache_gc`]
@@ -818,7 +842,9 @@ pub fn prepared_on_disk(
     policy: ReorderPolicy,
 ) -> Arc<PreparedGraph> {
     let path = cache_path(dir, dataset, scale, policy);
-    if let Some(pg) = load_cached(&path, dataset, policy) {
+    if let Some(pg) =
+        cnc_obs::ObsContext::scoped("cache_io", || load_cached(&path, dataset, policy))
+    {
         return Arc::new(pg);
     }
     // Cold path: become the writer, or wait for whoever is.
@@ -831,34 +857,38 @@ pub fn prepared_on_disk(
         // Re-check under the lock: a concurrent process may have built and
         // renamed the file while we waited. Loading it here is what makes
         // the populate race single-writer.
-        if let Some(pg) = load_cached(&path, dataset, policy) {
+        if let Some(pg) =
+            cnc_obs::ObsContext::scoped("cache_io", || load_cached(&path, dataset, policy))
+        {
             return Arc::new(pg);
         }
     }
     let el = dataset.edge_list(scale);
-    let graph = CsrGraph::from_edge_list_parallel(&el);
+    let graph = cnc_obs::ObsContext::scoped("csr_build", || CsrGraph::from_edge_list_parallel(&el));
     bump(|m| m.graph_builds += 1);
     let mut pg = PreparedGraph::finish(graph, policy, 1.0);
     pg.capacity_scale = dataset.capacity_scale(&pg.graph);
     if lock.is_some() {
-        let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
-        let tmp = path.with_extension(format!("tmp-{}-{seq}", std::process::id()));
-        let wrote = File::create(&tmp)
-            .and_then(|f| write_prepared(&pg, f))
-            .and_then(|()| fs::rename(&tmp, &path));
-        match wrote {
-            Ok(()) => {
-                bump(|m| m.disk_writes += 1);
-                // Automatic size cap: trim least-recently-used entries while
-                // we still hold the writer lock.
-                if let Some(cap) = env_cache_cap() {
-                    let _ = cache_gc(dir, cap);
+        cnc_obs::ObsContext::scoped("cache_io", || {
+            let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+            let tmp = path.with_extension(format!("tmp-{}-{seq}", std::process::id()));
+            let wrote = File::create(&tmp)
+                .and_then(|f| write_prepared(&pg, f))
+                .and_then(|()| fs::rename(&tmp, &path));
+            match wrote {
+                Ok(()) => {
+                    bump(|m| m.disk_writes += 1);
+                    // Automatic size cap: trim least-recently-used entries
+                    // while we still hold the writer lock.
+                    if let Some(cap) = env_cache_cap() {
+                        let _ = cache_gc(dir, cap);
+                    }
+                }
+                Err(_) => {
+                    let _ = fs::remove_file(&tmp);
                 }
             }
-            Err(_) => {
-                let _ = fs::remove_file(&tmp);
-            }
-        }
+        });
     }
     Arc::new(pg)
 }

@@ -207,6 +207,96 @@ fn gc_budget_keeps_most_recent_entries() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+#[test]
+fn truncation_under_a_live_reader_degrades_to_cold_rebuild() {
+    let dir = temp_dir("fault");
+    let policy = ReorderPolicy::DegreeDescending;
+    let cold = prepared_on_disk(&dir, Dataset::OrS, Scale::Tiny, policy);
+    let path = cache_path(&dir, Dataset::OrS, Scale::Tiny, policy);
+
+    // A live reader maps the healthy file and keeps a shared flock on its
+    // inode for as long as the mapping is alive.
+    let reader = map_prepared(&path).unwrap();
+    let edges_before = reader.graph().num_undirected_edges();
+
+    // Fault injection: another process truncates the file mid-way while the
+    // reader still holds it (flock is advisory; plain writes are not blocked).
+    let len = fs::metadata(&path).unwrap().len();
+    assert!(len > 2, "fixture file too small to truncate meaningfully");
+    File::options()
+        .write(true)
+        .open(&path)
+        .unwrap()
+        .set_len(len / 2)
+        .unwrap();
+    // From here on the reader's mapping must not be dereferenced: pages past
+    // the new EOF would fault (SIGBUS). Only `edges_before` (read earlier)
+    // is used below.
+
+    // The cache must degrade to a cold rebuild — no panic, no bad data.
+    let before = prepare::metrics();
+    let rebuilt = prepared_on_disk(&dir, Dataset::OrS, Scale::Tiny, policy);
+    let work = prepare::metrics().since(&before);
+    assert_eq!(work.graph_builds, 1, "truncated file must force a rebuild");
+    assert_eq!(work.disk_writes, 1, "rebuild repopulates the cache");
+    assert_eq!((work.disk_hits, work.mmap_hits), (0, 0));
+    assert_same_preparation(&rebuilt, &cold, "rebuild after truncation");
+    assert_eq!(rebuilt.graph().num_undirected_edges(), edges_before);
+
+    // The rebuild replaced the path via rename, so the repaired file is a
+    // fresh inode: once the reader lets go, warm loads map it as usual.
+    drop(reader);
+    let before = prepare::metrics();
+    let warm = prepared_on_disk(&dir, Dataset::OrS, Scale::Tiny, policy);
+    assert_eq!(prepare::metrics().since(&before).mmap_hits, 1);
+    assert_same_preparation(&warm, &cold, "warm after repair");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn gc_eviction_order_is_stable_under_equal_mtimes() {
+    // Coarse filesystem timestamps can hand several cache files the same
+    // mtime; the LRU must then fall back to a deterministic secondary key
+    // (the path) so repeated GCs over identical state evict identically.
+    let stamp = std::time::UNIX_EPOCH + std::time::Duration::from_secs(1_000_000_000);
+    let keys = [Dataset::LjS, Dataset::OrS, Dataset::WiS];
+    let mut survivors = Vec::new();
+    for round in 0..2 {
+        let dir = temp_dir(&format!("tie-{round}"));
+        for &d in &keys {
+            prepared_on_disk(&dir, d, Scale::Tiny, ReorderPolicy::None);
+        }
+        let mut paths: Vec<PathBuf> = keys
+            .iter()
+            .map(|&d| cache_path(&dir, d, Scale::Tiny, ReorderPolicy::None))
+            .collect();
+        for p in &paths {
+            File::options()
+                .append(true)
+                .open(p)
+                .unwrap()
+                .set_modified(stamp)
+                .unwrap();
+        }
+        // Within an mtime tie, entries sort by path ascending.
+        paths.sort();
+        let entries = prepare::cache_entries(&dir).unwrap();
+        let listed: Vec<PathBuf> = entries.iter().map(|e| e.path.clone()).collect();
+        assert_eq!(listed, paths, "tied entries must list in path order");
+
+        // A budget fitting only the head entry evicts from the tail of that
+        // order, so exactly the path-ascending minimum survives.
+        let out = prepare::cache_gc(&dir, entries[0].bytes).unwrap();
+        assert_eq!((out.kept, out.evicted), (1, 2));
+        let left = prepare::cache_entries(&dir).unwrap();
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].path, paths[0]);
+        survivors.push(left[0].path.file_name().unwrap().to_owned());
+        let _ = fs::remove_dir_all(&dir);
+    }
+    assert_eq!(survivors[0], survivors[1], "GC outcome must be repeatable");
+}
+
 // --- two-process populate race --------------------------------------------
 
 /// Probe re-run by [`concurrent_processes_elect_one_writer`] in child

@@ -87,6 +87,20 @@ impl WorkCounts {
     pub fn total_ops(&self) -> u64 {
         self.scalar_ops + self.vector_ops
     }
+
+    /// Record these tallies into a metrics sink under the `kernel.*`
+    /// counters — the bridge from per-run meters to the structured
+    /// observability registry.
+    pub fn record_to(&self, sink: &dyn cnc_obs::MetricsSink) {
+        use cnc_obs::Counter as C;
+        sink.add(C::KernelScalarOps, self.scalar_ops);
+        sink.add(C::KernelVectorOps, self.vector_ops);
+        sink.add(C::KernelSeqBytes, self.seq_bytes);
+        sink.add(C::KernelRandAccesses, self.rand_accesses);
+        sink.add(C::KernelRandAccessesSmall, self.rand_accesses_small);
+        sink.add(C::KernelWriteBytes, self.write_bytes);
+        sink.add(C::KernelIntersections, self.intersections);
+    }
 }
 
 /// A meter that records exact [`WorkCounts`].
@@ -210,6 +224,30 @@ mod tests {
         assert_eq!(b.scalar_ops, 2);
         assert_eq!(b.intersections, 14);
         assert_eq!(b.total_ops(), 6);
+    }
+
+    #[test]
+    fn record_to_maps_every_field() {
+        use cnc_obs::{Counter as C, MetricsSink, ShardedRegistry};
+        let r = ShardedRegistry::new();
+        let w = WorkCounts {
+            scalar_ops: 1,
+            vector_ops: 2,
+            seq_bytes: 3,
+            rand_accesses: 4,
+            rand_accesses_small: 5,
+            write_bytes: 6,
+            intersections: 7,
+        };
+        w.record_to(&r);
+        let s = r.snapshot();
+        assert_eq!(s.get(C::KernelScalarOps), 1);
+        assert_eq!(s.get(C::KernelVectorOps), 2);
+        assert_eq!(s.get(C::KernelSeqBytes), 3);
+        assert_eq!(s.get(C::KernelRandAccesses), 4);
+        assert_eq!(s.get(C::KernelRandAccessesSmall), 5);
+        assert_eq!(s.get(C::KernelWriteBytes), 6);
+        assert_eq!(s.get(C::KernelIntersections), 7);
     }
 
     #[test]

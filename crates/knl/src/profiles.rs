@@ -70,7 +70,14 @@ pub fn cpu_kernel_of(algo: &ModeledAlgo) -> CpuKernel {
 /// work of a single-task run.
 pub fn counts_and_work_of(g: &CsrGraph, algo: &ModeledAlgo) -> (Vec<u32>, WorkCounts) {
     let mut meter = CountingMeter::new();
-    let counts = cpu_kernel_of(algo).run_seq(g, &mut meter);
+    let counts = cnc_obs::ObsContext::scoped("modeled_count", || {
+        cpu_kernel_of(algo).run_seq(g, &mut meter)
+    });
+    // Modeled runs always meter; mirror the tallies into the ambient
+    // observability context so `--metrics` reports agree with the profile.
+    if let Some(ctx) = cnc_obs::ObsContext::current() {
+        meter.counts.record_to(&*ctx);
+    }
     (counts, meter.counts)
 }
 

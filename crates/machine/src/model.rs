@@ -100,6 +100,17 @@ pub fn estimate(
     // partially and is added.
     let seconds = compute_s.max(seq_s) + rand_s + small_s;
 
+    // Mirror the model's inputs and verdict into the ambient observability
+    // context (no-op when none is installed): byte totals are what the
+    // roofline terms priced, elapsed is the modeled wall clock.
+    if let Some(ctx) = cnc_obs::ObsContext::current() {
+        use cnc_obs::Counter as C;
+        ctx.add(C::ModelEstimates, 1);
+        ctx.add(C::ModelSeqBytes, profile.seq_bytes as u64);
+        ctx.add(C::ModelWriteBytes, profile.write_bytes as u64);
+        ctx.add(C::ModelElapsedNanos, (seconds * 1e9) as u64);
+    }
+
     ModelReport {
         seconds,
         compute_s,

@@ -29,7 +29,8 @@ fn main() {
     );
 
     // Hand the result to the incremental maintainer.
-    let mut live = IncrementalCnc::from_graph(&graph, &batch.counts);
+    let mut live = IncrementalCnc::from_graph(&graph, &batch.counts)
+        .expect("batch counts come straight from the runner");
 
     // A day of traffic: 20k interleaved purchases (edge inserts) and
     // returns (edge removals).
@@ -41,7 +42,7 @@ fn main() {
     for _ in 0..20_000 {
         if recent.is_empty() || rng.gen::<f64>() < 0.7 {
             let (u, v) = (rng.gen_range(0..n), rng.gen_range(0..n));
-            if u != v && live.insert_edge(u, v) {
+            if u != v && live.insert_edge(u, v).expect("ids are in range") {
                 inserted += 1;
                 recent.push((u.min(v), u.max(v)));
             }
