@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! cnc count  GRAPH [--algo mps|bmp|bmp-rf|m] [--platform cpu|cpu-seq|knl|gpu]
-//!            [--out FILE] [--stats] [--metrics FILE] [--trace]
+//!            [--schedule uniform|balanced] [--out FILE] [--stats]
+//!            [--metrics FILE] [--trace]
 //! cnc run    [--scale tiny|small|medium] [--dataset NAME] [--algo A]
-//!            [--platform P] [--metrics FILE] [--trace]
+//!            [--platform P] [--schedule uniform|balanced] [--metrics FILE]
+//!            [--trace]
 //! cnc stats  GRAPH
 //! cnc scan   GRAPH [--eps 0.6] [--mu 3]
 //! cnc truss  GRAPH
@@ -38,6 +40,7 @@ use std::sync::Arc;
 use cnc_core::{
     truss_decomposition, try_scan, Algorithm, CncView, Platform, PreparedGraph, Runner,
 };
+use cnc_cpu::{ParConfig, SchedulePolicy};
 use cnc_graph::datasets::{Dataset, Scale};
 use cnc_graph::prepare;
 use cnc_graph::stats::{skew_percentage, GraphStats};
@@ -148,9 +151,38 @@ fn parse_algo(args: &mut Vec<String>) -> Result<Algorithm, String> {
     }
 }
 
-fn platform_for(name: &str, capacity_scale: f64) -> Result<Platform, String> {
+/// Parse `--schedule uniform|balanced` into a task decomposition policy for
+/// the parallel CPU platform (`None` keeps the platform default; modeled
+/// platforms ignore it).
+fn parse_schedule(args: &mut Vec<String>) -> Result<Option<SchedulePolicy>, String> {
+    match parse_flag(args, "--schedule").as_deref() {
+        None => Ok(None),
+        Some("uniform") => Ok(Some(SchedulePolicy::default())),
+        Some("balanced") => {
+            // Enough tasks for work stealing to smooth residual estimation
+            // error, few enough to keep per-task overhead negligible.
+            let workers = std::thread::available_parallelism().map_or(8, |n| n.get());
+            Ok(Some(SchedulePolicy::balanced(4 * workers)))
+        }
+        Some(other) => Err(format!(
+            "unknown --schedule {other:?} (try uniform|balanced)"
+        )),
+    }
+}
+
+fn platform_for(
+    name: &str,
+    capacity_scale: f64,
+    schedule: Option<SchedulePolicy>,
+) -> Result<Platform, String> {
     match name {
-        "cpu" => Ok(Platform::cpu_parallel()),
+        "cpu" => Ok(match schedule {
+            None => Platform::cpu_parallel(),
+            Some(schedule) => Platform::CpuParallel(ParConfig {
+                schedule,
+                threads: None,
+            }),
+        }),
         "cpu-seq" => Ok(Platform::CpuSequential),
         "knl" => Ok(Platform::knl_flat(capacity_scale)),
         "gpu" => Ok(Platform::gpu(capacity_scale)),
@@ -217,6 +249,7 @@ fn run_suite(mut args: Vec<String>) -> Result<(), String> {
     };
     let algo = parse_algo(&mut args)?;
     let platform_name = parse_flag(&mut args, "--platform").unwrap_or_else(|| "cpu".into());
+    let schedule = parse_schedule(&mut args)?;
     let metrics_path = parse_flag(&mut args, "--metrics");
     let trace = parse_switch(&mut args, "--trace");
     let datasets: Vec<Dataset> = match parse_flag(&mut args, "--dataset") {
@@ -240,10 +273,11 @@ fn run_suite(mut args: Vec<String>) -> Result<(), String> {
             // The reorder policy doesn't depend on the capacity scale, so a
             // provisional runner decides how to prepare; the real runner is
             // built once the graph (and its edge count) exists.
-            let policy = Runner::new(platform_for(&platform_name, 1.0)?, algo).reorder_policy();
+            let policy =
+                Runner::new(platform_for(&platform_name, 1.0, schedule)?, algo).reorder_policy();
             let prepared = d.prepare(scale, policy);
             let capacity = d.capacity_scale(prepared.graph());
-            let runner = Runner::new(platform_for(&platform_name, capacity)?, algo);
+            let runner = Runner::new(platform_for(&platform_name, capacity, schedule)?, algo);
             runner
                 .try_run_prepared(&prepared)
                 .map_err(|e| format!("{}: {e}", d.name()))?
@@ -267,7 +301,7 @@ fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         eprintln!(
-            "usage: cnc <count|stats|scan|truss> GRAPH [--algo A] [--platform P] [--out F] [--eps E] [--mu M] [--stats] [--metrics F] [--trace]\n       cnc run [--scale S] [--dataset D] [--algo A] [--platform P] [--metrics F] [--trace]\n       cnc cache [ls|gc|clear] [--dir D] [--max-bytes N]"
+            "usage: cnc <count|stats|scan|truss> GRAPH [--algo A] [--platform P] [--schedule uniform|balanced] [--out F] [--eps E] [--mu M] [--stats] [--metrics F] [--trace]\n       cnc run [--scale S] [--dataset D] [--algo A] [--platform P] [--schedule uniform|balanced] [--metrics F] [--trace]\n       cnc cache [ls|gc|clear] [--dir D] [--max-bytes N]"
         );
         return Ok(());
     }
@@ -292,6 +326,7 @@ fn run() -> Result<(), String> {
     let metrics_path = parse_flag(&mut args, "--metrics");
     let trace = parse_switch(&mut args, "--trace");
     let platform_name = parse_flag(&mut args, "--platform").unwrap_or_else(|| "cpu".into());
+    let schedule = parse_schedule(&mut args)?;
     let graph_path = args
         .first()
         .ok_or_else(|| "missing GRAPH argument".to_string())?
@@ -305,7 +340,7 @@ fn run() -> Result<(), String> {
     // Modeled platforms need a capacity scale; for ad-hoc files use the
     // graph's ratio to the paper's twitter dataset as a sensible default.
     let scale = (g.num_undirected_edges() as f64 / 684_500_375.0).min(1.0);
-    let platform = platform_for(&platform_name, scale)?;
+    let platform = platform_for(&platform_name, scale, schedule)?;
 
     // Prepare once (CSR + reorder tables + statistics); every subcommand
     // below shares the result instead of re-deriving it per run.

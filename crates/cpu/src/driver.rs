@@ -1,13 +1,14 @@
 //! The one edge-range task loop behind every CPU driver.
 //!
 //! The paper's Algorithm 3 runs the same skeleton for every algorithm: the
-//! edge-offset range `[0, |E|)` is cut into tasks of `|T|` consecutive
-//! offsets, each task finds the source of each offset with the amortized
-//! `FindSrc` stash, computes counts for `u < v` pairs, and scatters both
-//! `cnt[e(u,v)]` and the mirrored `cnt[e(v,u)]`. The only per-algorithm
-//! difference is the per-pair counting strategy — captured by
-//! [`PairKernel`] in `cnc-intersect` — including its per-source state
-//! (BMP's bitmap index, rebuilt only when the source changes).
+//! edge-offset range `[0, |E|)` is cut into tasks (see
+//! [`SchedulePolicy`](crate::SchedulePolicy) — fixed `|T|`-sized chunks or
+//! cost-balanced source-aligned cuts), each task finds the source of each
+//! offset with the amortized `FindSrc` stash, computes counts for `u < v`
+//! pairs, and scatters both `cnt[e(u,v)]` and the mirrored `cnt[e(v,u)]`.
+//! The only per-algorithm difference is the per-pair counting strategy —
+//! captured by [`PairKernel`] in `cnc-intersect` — including its per-source
+//! state (BMP's bitmap index, rebuilt only when the source changes).
 //!
 //! [`run_range`] is that skeleton, written exactly once. [`EdgeRangeDriver`]
 //! instantiates it three ways:
@@ -17,7 +18,8 @@
 //!   machine-model profiler executes);
 //! * [`run_par`](EdgeRangeDriver::run_par) — rayon task split, unmetered;
 //! * [`run_par_metered`](EdgeRangeDriver::run_par_metered) — rayon task
-//!   split with a per-task [`CountingMeter`], tallies merged at the end.
+//!   split with a per-task [`CountingMeter`], tallies reduced lock-free at
+//!   the end.
 //!
 //! Kernels with per-source state are shared across tasks through a
 //! [`KernelFactory`]; [`BitmapPool`] implements it so BMP tasks borrow (and
@@ -25,17 +27,17 @@
 //! merge family.
 
 use std::ops::Range;
-use std::sync::Mutex;
 
 use cnc_graph::CsrGraph;
 use cnc_intersect::{
-    validate_rf_ratio, BmpKernel, CountingMeter, MergeKernel, Meter, MpsConfig, MpsKernel,
-    NullMeter, PairKernel, RfKernel, RfRatioError, WorkCounts,
+    validate_rf_ratio, BmpKernel, CostModel, CountingMeter, MergeKernel, Meter, MpsConfig,
+    MpsKernel, NullMeter, PairKernel, RfKernel, RfRatioError, WorkCounts,
 };
 use rayon::prelude::*;
 
 use crate::pool::BitmapPool;
 use crate::scatter::ScatterVec;
+use crate::schedule::Schedule;
 use crate::ParConfig;
 
 /// BMP index flavor: plain `|V|`-bit bitmap or the range-filtered variant.
@@ -84,13 +86,21 @@ impl BmpMode {
     }
 }
 
-/// Cost of the reverse-offset binary search (the `e(v,u)` lookup of the
-/// symmetric-assignment technique), reported to the meter.
+/// Cost of the `e(v,u)` mirror lookup (the symmetric-assignment technique),
+/// reported to the meter.
+///
+/// Prepared graphs carry a reverse-edge index, making the lookup a single
+/// streamed load; graphs without one fall back to a binary search over
+/// `N(v)` whose probes hit random cache lines.
 #[inline]
-fn meter_reverse<M: Meter>(dv: usize, meter: &mut M) {
-    let probes = (dv.max(1)).ilog2() as u64 + 1;
-    meter.scalar_ops(probes);
-    meter.rand_accesses(probes);
+fn meter_reverse<M: Meter>(has_rev: bool, dv: usize, meter: &mut M) {
+    if has_rev {
+        meter.seq_bytes(8); // one rev[eid] load, streamed with the edge walk
+    } else {
+        let probes = (dv.max(1)).ilog2() as u64 + 1;
+        meter.scalar_ops(probes);
+        meter.rand_accesses(probes);
+    }
     meter.write_bytes(8); // the two count stores
 }
 
@@ -101,15 +111,21 @@ fn meter_reverse<M: Meter>(dv: usize, meter: &mut M) {
 /// emits `(offset, count)` for both `e(u,v)` and the mirrored `e(v,u)`.
 /// Every sequential, parallel and metered CPU driver — and the KNL / CPU
 /// machine-model profiler — executes this function and nothing else.
+///
+/// Returns the number of `begin_source` transitions the range incurred:
+/// one per distinct source under source-aligned scheduling, more when cuts
+/// land mid-source and the same source is re-indexed by several tasks.
 pub fn run_range<K: PairKernel, M: Meter>(
     g: &CsrGraph,
     range: Range<usize>,
     kernel: &mut K,
     meter: &mut M,
     emit: &mut impl FnMut(usize, u32),
-) {
+) -> u64 {
+    let has_rev = g.has_reverse_index();
     let mut u_tls = 0u32; // FindSrc stash (Algorithm 3 line 8)
     let mut pu: Option<u32> = None; // pu_tls (Algorithm 3 line 19)
+    let mut rebuilds = 0u64;
     for eid in range {
         let u = g.find_src(eid, &mut u_tls);
         let v = g.dst()[eid];
@@ -121,16 +137,18 @@ pub fn run_range<K: PairKernel, M: Meter>(
                 kernel.end_source(g.neighbors(p), meter);
             }
             kernel.begin_source(g.neighbors(u), meter);
+            rebuilds += 1;
             pu = Some(u);
         }
         let c = kernel.count(g.neighbors(u), g.neighbors(v), meter);
         emit(eid, c);
         emit(g.reverse_offset(u, eid), c);
-        meter_reverse(g.degree(v), meter);
+        meter_reverse(has_rev, g.degree(v), meter);
     }
     if let Some(p) = pu {
         kernel.end_source(g.neighbors(p), meter);
     }
+    rebuilds
 }
 
 /// Hands kernels to parallel tasks and takes them back.
@@ -176,9 +194,9 @@ impl<K: PairKernel + Clone + Sync> KernelFactory for CloneFactory<K> {
     fn release(&self, _kernel: K) {}
 }
 
-/// The generic driver: owns the task split, scatter mirroring and kernel
-/// borrowing for one graph, and instantiates [`run_range`] per execution
-/// mode.
+/// The generic driver: owns the task decomposition, scatter mirroring and
+/// kernel borrowing for one graph, and instantiates [`run_range`] per
+/// execution mode.
 pub struct EdgeRangeDriver<'g> {
     g: &'g CsrGraph,
 }
@@ -194,80 +212,109 @@ impl<'g> EdgeRangeDriver<'g> {
     pub fn run_seq<K: PairKernel, M: Meter>(&self, kernel: &mut K, meter: &mut M) -> Vec<u32> {
         let m = self.g.num_directed_edges();
         let mut cnt = vec![0u32; m];
-        run_range(self.g, 0..m, kernel, meter, &mut |eid, c| cnt[eid] = c);
+        let rebuilds = run_range(self.g, 0..m, kernel, meter, &mut |eid, c| cnt[eid] = c);
+        cnc_obs::ObsContext::add_current(cnc_obs::Counter::KernelSourceRebuilds, rebuilds);
         cnt
     }
 
     /// Parallel execution (Algorithm 3): unmetered.
-    pub fn run_par<F: KernelFactory>(&self, factory: &F, cfg: &ParConfig) -> Vec<u32> {
-        self.par_drive(factory, cfg, None)
+    pub fn run_par<F: KernelFactory>(
+        &self,
+        factory: &F,
+        cfg: &ParConfig,
+        model: &CostModel,
+    ) -> Vec<u32> {
+        self.par_drive(factory, cfg, model, false).0
     }
 
-    /// Parallel execution with per-task [`CountingMeter`]s, merged tallies
-    /// returned alongside the counts.
+    /// Parallel execution with per-task [`CountingMeter`]s, tallies reduced
+    /// lock-free and returned alongside the counts.
     pub fn run_par_metered<F: KernelFactory>(
         &self,
         factory: &F,
         cfg: &ParConfig,
+        model: &CostModel,
     ) -> (Vec<u32>, WorkCounts) {
-        let total = Mutex::new(WorkCounts::default());
-        let counts = self.par_drive(factory, cfg, Some(&total));
-        (counts, total.into_inner().expect("meter lock poisoned"))
+        self.par_drive(factory, cfg, model, true)
     }
 
-    /// Shared parallel skeleton: split into `|T|`-sized tasks, borrow a
-    /// kernel per task, scatter through a [`ScatterVec`], optionally meter.
+    /// Shared parallel skeleton: decompose the edge range under the
+    /// config's schedule policy, borrow a kernel per task, scatter through
+    /// a [`ScatterVec`], optionally meter. Per-task tallies (and
+    /// `begin_source` rebuild counts) are combined with a rayon
+    /// `map`/`reduce` of thread-local values — no lock on the hot path.
     fn par_drive<F: KernelFactory>(
         &self,
         factory: &F,
         cfg: &ParConfig,
-        total: Option<&Mutex<WorkCounts>>,
-    ) -> Vec<u32> {
+        model: &CostModel,
+        metered: bool,
+    ) -> (Vec<u32>, WorkCounts) {
         let g = self.g;
         let m = g.num_directed_edges();
         let cnt = ScatterVec::new(m);
+        let mut total = WorkCounts::default();
         if m > 0 {
-            let t = cfg.task_size.max(1);
-            let tasks = m.div_ceil(t);
             // Ambient observability: rayon workers do not see the installing
             // thread's context, so capture it (and the id of a "kernel" span
             // that nests under the caller's open span) here and hand both to
             // every task explicitly. `None` means every probe below is a
             // no-op and the loop body is identical to the uninstrumented one.
             let obs = cnc_obs::ObsContext::current();
+            // Cost estimates are only worth the O(E) pricing pass when
+            // someone is watching (the balanced policy prices sources
+            // either way, so its estimates are free).
+            let schedule = Schedule::compute(g, cfg.schedule, model, obs.is_some());
+            let tasks = schedule.tasks();
             let kernel_span = obs.as_ref().map(|ctx| {
-                ctx.add(cnc_obs::Counter::DriverTasks, tasks as u64);
+                use cnc_obs::Counter as C;
+                ctx.add(C::DriverTasks, tasks.len() as u64);
+                ctx.add(C::ScheduleTasks, tasks.len() as u64);
+                ctx.add(C::ScheduleEstCostMax, schedule.est_cost_max());
+                ctx.add(C::ScheduleEstCostMin, schedule.est_cost_min());
                 ctx.span("kernel")
             });
             let parent = kernel_span.as_ref().map(|s| s.id());
             let obs = &obs;
             let run = || {
-                (0..tasks).into_par_iter().for_each(|k| {
-                    let range = (k * t)..((k * t) + t).min(m);
-                    let _task_span = obs.as_ref().map(|ctx| {
-                        let mut s = ctx.span_under("task", parent);
-                        s.set_items(range.len() as u64);
-                        s
-                    });
-                    let mut kernel = factory.acquire();
-                    let mut emit = |eid: usize, c: u32| cnt.set(eid, c);
-                    match total {
-                        None => run_range(g, range, &mut kernel, &mut NullMeter, &mut emit),
-                        Some(total) => {
+                (0..tasks.len())
+                    .into_par_iter()
+                    .map(|k| {
+                        let range = tasks[k].clone();
+                        let _task_span = obs.as_ref().map(|ctx| {
+                            let mut s = ctx.span_under("task", parent);
+                            s.set_items(range.len() as u64);
+                            s
+                        });
+                        let mut kernel = factory.acquire();
+                        let mut emit = |eid: usize, c: u32| cnt.set(eid, c);
+                        let tally = if metered {
                             let mut meter = CountingMeter::new();
-                            run_range(g, range, &mut kernel, &mut meter, &mut emit);
-                            total
-                                .lock()
-                                .expect("meter lock poisoned")
-                                .merge(&meter.counts);
-                        }
-                    }
-                    factory.release(kernel);
-                });
+                            let rebuilds = run_range(g, range, &mut kernel, &mut meter, &mut emit);
+                            (meter.counts, rebuilds)
+                        } else {
+                            let rebuilds =
+                                run_range(g, range, &mut kernel, &mut NullMeter, &mut emit);
+                            (WorkCounts::default(), rebuilds)
+                        };
+                        factory.release(kernel);
+                        tally
+                    })
+                    .reduce(
+                        || (WorkCounts::default(), 0u64),
+                        |mut a, b| {
+                            a.0.merge(&b.0);
+                            (a.0, a.1 + b.1)
+                        },
+                    )
             };
-            crate::with_threads(cfg.threads, run);
+            let (counts, rebuilds) = crate::with_threads(cfg.threads, run);
+            if let Some(ctx) = obs.as_ref() {
+                ctx.add(cnc_obs::Counter::KernelSourceRebuilds, rebuilds);
+            }
+            total = counts;
         }
-        cnt.into_vec()
+        (cnt.into_vec(), total)
     }
 }
 
@@ -293,10 +340,18 @@ impl CpuKernel {
         }
     }
 
+    /// The cost model the balanced scheduler prices this kernel with.
+    pub fn cost_model(&self) -> CostModel {
+        match self {
+            CpuKernel::Merge => CostModel::Merge,
+            CpuKernel::Mps(cfg) => CostModel::Mps {
+                skew_threshold: cfg.skew_threshold,
+            },
+            CpuKernel::Bmp(_) => CostModel::Bmp,
+        }
+    }
+
     /// Sequential execution on `g`, work reported to `meter`.
-    ///
-    /// # Panics
-    /// On an invalid RF ratio (see [`CpuKernel::validate`]).
     pub fn run_seq<M: Meter>(&self, g: &CsrGraph, meter: &mut M) -> Vec<u32> {
         let drv = EdgeRangeDriver::new(g);
         match self {
@@ -306,57 +361,48 @@ impl CpuKernel {
                 drv.run_seq(&mut BmpKernel::new(g.num_vertices()), meter)
             }
             CpuKernel::Bmp(BmpMode::RangeFiltered { ratio }) => {
-                let mut k = RfKernel::new(g.num_vertices().max(1), *ratio)
-                    .unwrap_or_else(|e| panic!("{e}"));
+                let mut k = RfKernel::prevalidated(g.num_vertices().max(1), *ratio);
                 drv.run_seq(&mut k, meter)
             }
         }
     }
 
     /// Parallel execution on `g` (Algorithm 3), unmetered.
-    ///
-    /// # Panics
-    /// On an invalid RF ratio (see [`CpuKernel::validate`]).
     pub fn run_par(&self, g: &CsrGraph, cfg: &ParConfig) -> Vec<u32> {
         let drv = EdgeRangeDriver::new(g);
         let n = g.num_vertices();
+        let model = self.cost_model();
         match self {
-            CpuKernel::Merge => drv.run_par(&CloneFactory(MergeKernel), cfg),
-            CpuKernel::Mps(mps) => drv.run_par(&CloneFactory(MpsKernel::new(*mps)), cfg),
+            CpuKernel::Merge => drv.run_par(&CloneFactory(MergeKernel), cfg, &model),
+            CpuKernel::Mps(mps) => drv.run_par(&CloneFactory(MpsKernel::new(*mps)), cfg, &model),
             CpuKernel::Bmp(BmpMode::Plain) => {
-                drv.run_par(&BitmapPool::new(move || BmpKernel::new(n)), cfg)
+                drv.run_par(&BitmapPool::new(move || BmpKernel::new(n)), cfg, &model)
             }
             CpuKernel::Bmp(BmpMode::RangeFiltered { ratio }) => {
                 let ratio = *ratio;
-                validate_rf_ratio(ratio).unwrap_or_else(|e| panic!("{e}"));
-                let pool = BitmapPool::new(move || {
-                    RfKernel::new(n.max(1), ratio).expect("ratio validated above")
-                });
-                drv.run_par(&pool, cfg)
+                let pool = BitmapPool::new(move || RfKernel::prevalidated(n.max(1), ratio));
+                drv.run_par(&pool, cfg, &model)
             }
         }
     }
 
     /// Parallel execution with merged per-task work tallies.
-    ///
-    /// # Panics
-    /// On an invalid RF ratio (see [`CpuKernel::validate`]).
     pub fn run_par_metered(&self, g: &CsrGraph, cfg: &ParConfig) -> (Vec<u32>, WorkCounts) {
         let drv = EdgeRangeDriver::new(g);
         let n = g.num_vertices();
+        let model = self.cost_model();
         match self {
-            CpuKernel::Merge => drv.run_par_metered(&CloneFactory(MergeKernel), cfg),
-            CpuKernel::Mps(mps) => drv.run_par_metered(&CloneFactory(MpsKernel::new(*mps)), cfg),
+            CpuKernel::Merge => drv.run_par_metered(&CloneFactory(MergeKernel), cfg, &model),
+            CpuKernel::Mps(mps) => {
+                drv.run_par_metered(&CloneFactory(MpsKernel::new(*mps)), cfg, &model)
+            }
             CpuKernel::Bmp(BmpMode::Plain) => {
-                drv.run_par_metered(&BitmapPool::new(move || BmpKernel::new(n)), cfg)
+                drv.run_par_metered(&BitmapPool::new(move || BmpKernel::new(n)), cfg, &model)
             }
             CpuKernel::Bmp(BmpMode::RangeFiltered { ratio }) => {
                 let ratio = *ratio;
-                validate_rf_ratio(ratio).unwrap_or_else(|e| panic!("{e}"));
-                let pool = BitmapPool::new(move || {
-                    RfKernel::new(n.max(1), ratio).expect("ratio validated above")
-                });
-                drv.run_par_metered(&pool, cfg)
+                let pool = BitmapPool::new(move || RfKernel::prevalidated(n.max(1), ratio));
+                drv.run_par_metered(&pool, cfg, &model)
             }
         }
     }
@@ -379,18 +425,19 @@ mod tests {
     fn every_kernel_every_mode_is_exact() {
         let g = CsrGraph::from_edge_list(&generators::hub_web(250, 5.0, 2, 0.5, 2));
         let want = oracle(&g);
-        let cfg = ParConfig::with_task_size(53);
-        for kernel in [
-            CpuKernel::Merge,
-            CpuKernel::Mps(MpsConfig::default()),
-            CpuKernel::Bmp(BmpMode::Plain),
-            CpuKernel::Bmp(BmpMode::rf_scaled(g.num_vertices())),
-        ] {
-            assert_eq!(kernel.run_seq(&g, &mut NullMeter), want, "{kernel:?} seq");
-            assert_eq!(kernel.run_par(&g, &cfg), want, "{kernel:?} par");
-            let (counts, work) = kernel.run_par_metered(&g, &cfg);
-            assert_eq!(counts, want, "{kernel:?} par_metered");
-            assert!(work.total_ops() > 0, "{kernel:?} reported no work");
+        for cfg in [ParConfig::with_task_size(53), ParConfig::balanced(7)] {
+            for kernel in [
+                CpuKernel::Merge,
+                CpuKernel::Mps(MpsConfig::default()),
+                CpuKernel::Bmp(BmpMode::Plain),
+                CpuKernel::Bmp(BmpMode::rf_scaled(g.num_vertices())),
+            ] {
+                assert_eq!(kernel.run_seq(&g, &mut NullMeter), want, "{kernel:?} seq");
+                assert_eq!(kernel.run_par(&g, &cfg), want, "{kernel:?} par {cfg:?}");
+                let (counts, work) = kernel.run_par_metered(&g, &cfg);
+                assert_eq!(counts, want, "{kernel:?} par_metered {cfg:?}");
+                assert!(work.total_ops() > 0, "{kernel:?} reported no work");
+            }
         }
     }
 
@@ -403,8 +450,33 @@ mod tests {
         let kernel = CpuKernel::Mps(MpsConfig::default());
         let mut seq_meter = CountingMeter::new();
         kernel.run_seq(&g, &mut seq_meter);
-        let (_, par_work) = kernel.run_par_metered(&g, &ParConfig::with_task_size(61));
-        assert_eq!(par_work, seq_meter.counts);
+        for cfg in [ParConfig::with_task_size(61), ParConfig::balanced(9)] {
+            let (_, par_work) = kernel.run_par_metered(&g, &cfg);
+            assert_eq!(par_work, seq_meter.counts, "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn reverse_index_removes_random_probe_metering() {
+        // Acceptance: on a graph carrying the prepared reverse-edge index
+        // the mirror store is a streamed O(1) load — the merge kernel does
+        // no other random accesses, so the whole tally must show zero.
+        let mut g = CsrGraph::from_edge_list(&generators::hub_web(200, 5.0, 2, 0.5, 4));
+        let mut searched = CountingMeter::new();
+        CpuKernel::Merge.run_seq(&g, &mut searched);
+        g.build_reverse_index();
+        let mut indexed = CountingMeter::new();
+        let counts = CpuKernel::Merge.run_seq(&g, &mut indexed);
+        assert_eq!(counts, oracle(&g));
+        assert!(
+            searched.counts.rand_accesses > 0,
+            "binary-search fallback must meter random probes"
+        );
+        assert_eq!(
+            indexed.counts.rand_accesses, 0,
+            "reverse index must eliminate every random probe"
+        );
+        assert!(indexed.counts.seq_bytes > searched.counts.seq_bytes);
     }
 
     #[test]
@@ -436,6 +508,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn run_with_bad_ratio_panics_with_clear_message() {
+        // Invalid ratios are a plan-construction bug (Plan::validate rejects
+        // them); the kernel constructor still refuses to build a broken
+        // filter if one slips through.
         let g = CsrGraph::from_edge_list(&generators::gnm(20, 40, 1));
         let _ =
             CpuKernel::Bmp(BmpMode::RangeFiltered { ratio: 3 }).run_par(&g, &ParConfig::default());

@@ -1,10 +1,11 @@
 //! Multicore CPU drivers for all-edge common neighbor counting.
 //!
 //! This crate ports the paper's OpenMP skeleton (Algorithm 3) to rayon:
-//! the edge-offset range `[0, |E|)` is split into fixed-size tasks of `|T|`
-//! edges, tasks are scheduled dynamically (work stealing plays the role of
-//! `schedule(dynamic, |T|)`), and each task amortizes two pieces of state
-//! exactly like the paper's thread-locals:
+//! the edge-offset range `[0, |E|)` is decomposed into tasks by a
+//! [`SchedulePolicy`] — fixed `|T|`-sized chunks (work stealing plays the
+//! role of `schedule(dynamic, |T|)`) or cost-balanced source-aligned cuts —
+//! and each task amortizes two pieces of state exactly like the paper's
+//! thread-locals:
 //!
 //! * the previously found source vertex (`FindSrc` stash), and
 //! * for BMP, the bitmap index of the current source's neighbor list,
@@ -35,6 +36,7 @@ mod par;
 mod par_metered;
 mod pool;
 mod scatter;
+mod schedule;
 mod seq;
 
 pub use driver::{run_range, BmpMode, CloneFactory, CpuKernel, EdgeRangeDriver, KernelFactory};
@@ -42,6 +44,7 @@ pub use par::{par_bmp, par_merge_baseline, par_mps, ParConfig};
 pub use par_metered::{par_bmp_metered, par_mps_metered};
 pub use pool::{BitmapPool, PoolStats};
 pub use scatter::ScatterVec;
+pub use schedule::{Schedule, SchedulePolicy, DEFAULT_TASK_SIZE};
 pub use seq::{seq_bmp, seq_merge_baseline, seq_mps};
 
 /// Run a closure on a dedicated rayon pool with `threads` workers.

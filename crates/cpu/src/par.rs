@@ -14,32 +14,34 @@ use cnc_graph::CsrGraph;
 use cnc_intersect::MpsConfig;
 
 use crate::driver::{BmpMode, CpuKernel};
+use crate::schedule::SchedulePolicy;
 
 /// Parallel execution parameters for the Algorithm 3 skeleton.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ParConfig {
-    /// Task size `|T|`: edge offsets per dynamically scheduled task.
-    /// The trade-off of Section 4: large tasks amortize scheduling, small
-    /// tasks balance load. Default 8192.
-    pub task_size: usize,
+    /// How the edge range is decomposed into tasks. The uniform policy is
+    /// the Section 4 trade-off (large tasks amortize scheduling, small
+    /// tasks balance load); the balanced policy prices sources with the
+    /// kernel's cost model and cuts on source boundaries.
+    pub schedule: SchedulePolicy,
     /// Worker threads; `None` uses the ambient rayon pool.
     pub threads: Option<usize>,
 }
 
-impl Default for ParConfig {
-    fn default() -> Self {
+impl ParConfig {
+    /// Uniform chunks with an explicit task size (clamped to ≥ 1).
+    pub fn with_task_size(task_size: usize) -> Self {
         Self {
-            task_size: 8192,
+            schedule: SchedulePolicy::uniform(task_size),
             threads: None,
         }
     }
-}
 
-impl ParConfig {
-    /// Config with an explicit task size.
-    pub fn with_task_size(task_size: usize) -> Self {
+    /// Cost-balanced, source-aligned decomposition into at most `tasks`
+    /// tasks (clamped to ≥ 1).
+    pub fn balanced(tasks: usize) -> Self {
         Self {
-            task_size: task_size.max(1),
+            schedule: SchedulePolicy::balanced(tasks),
             threads: None,
         }
     }
@@ -134,7 +136,7 @@ mod tests {
         let want = oracle(&g);
         for threads in [1, 2, 4] {
             let cfg = ParConfig {
-                task_size: 37,
+                schedule: SchedulePolicy::uniform(37),
                 threads: Some(threads),
             };
             assert_eq!(par_bmp(&g, BmpMode::Plain, &cfg), want, "threads={threads}");
@@ -145,7 +147,28 @@ mod tests {
     fn task_size_zero_is_clamped() {
         let g = CsrGraph::from_edge_list(&generators::gnm(20, 40, 6));
         let cfg = ParConfig::with_task_size(0);
-        assert_eq!(cfg.task_size, 1);
+        assert_eq!(cfg.schedule, SchedulePolicy::Uniform { task_size: 1 });
         assert_eq!(par_mps(&g, &MpsConfig::default(), &cfg), oracle(&g));
+    }
+
+    #[test]
+    fn balanced_schedule_matches_sequential() {
+        let g = CsrGraph::from_edge_list(&generators::hub_web(300, 6.0, 2, 0.5, 1));
+        let want = oracle(&g);
+        for tasks in [1, 2, 8, 1_000_000] {
+            let cfg = ParConfig::balanced(tasks);
+            assert_eq!(par_merge_baseline(&g, &cfg), want, "balanced M, {tasks}");
+            assert_eq!(
+                par_mps(&g, &MpsConfig::default(), &cfg),
+                want,
+                "balanced MPS, {tasks}"
+            );
+            assert_eq!(par_bmp(&g, BmpMode::Plain, &cfg), want, "balanced BMP");
+            assert_eq!(
+                par_bmp(&g, BmpMode::rf_default(), &cfg),
+                want,
+                "balanced BMP-RF"
+            );
+        }
     }
 }

@@ -73,14 +73,12 @@ mod tests {
         // Tiny tasks re-index the same u many times: strictly more writes.
         assert!(tiny_tasks.write_bytes > big_tasks.write_bytes);
         // A single whole-range task does exactly the sequential work.
-        let (_, one_task) = par_bmp_metered(
-            &g,
-            BmpMode::Plain,
-            &ParConfig {
-                task_size: usize::MAX,
-                threads: None,
-            },
-        );
+        let (_, one_task) =
+            par_bmp_metered(&g, BmpMode::Plain, &ParConfig::with_task_size(usize::MAX));
         assert_eq!(one_task, seq_meter.counts);
+        // Balanced cuts land on source boundaries, so no source is ever
+        // re-indexed: the bitmap writes equal the sequential run's exactly.
+        let (_, balanced) = par_bmp_metered(&g, BmpMode::Plain, &ParConfig::balanced(8));
+        assert_eq!(balanced.write_bytes, seq_meter.counts.write_bytes);
     }
 }

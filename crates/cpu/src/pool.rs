@@ -18,10 +18,16 @@ pub struct PoolStats {
     pub reused: usize,
 }
 
+/// Free list and usage statistics, guarded together: acquire and release
+/// each take exactly one lock.
+struct PoolInner<T> {
+    free: Vec<T>,
+    stats: PoolStats,
+}
+
 /// A pool of `T` values (bitmaps) created on demand by a factory.
 pub struct BitmapPool<T> {
-    free: Mutex<Vec<T>>,
-    stats: Mutex<PoolStats>,
+    inner: Mutex<PoolInner<T>>,
     factory: Box<dyn Fn() -> T + Send + Sync>,
 }
 
@@ -29,8 +35,10 @@ impl<T> BitmapPool<T> {
     /// An empty pool whose bitmaps are built by `factory`.
     pub fn new(factory: impl Fn() -> T + Send + Sync + 'static) -> Self {
         Self {
-            free: Mutex::new(Vec::new()),
-            stats: Mutex::new(PoolStats::default()),
+            inner: Mutex::new(PoolInner {
+                free: Vec::new(),
+                stats: PoolStats::default(),
+            }),
             factory: Box::new(factory),
         }
     }
@@ -40,27 +48,32 @@ impl<T> BitmapPool<T> {
     /// The caller must return the value *clean* (all-zero bitmap) via
     /// [`BitmapPool::release`].
     pub fn acquire(&self) -> T {
-        if let Some(v) = self.free.lock().expect("pool lock poisoned").pop() {
-            self.stats.lock().expect("pool lock poisoned").reused += 1;
-            return v;
+        {
+            let mut inner = self.inner.lock().expect("pool lock poisoned");
+            if let Some(v) = inner.free.pop() {
+                inner.stats.reused += 1;
+                return v;
+            }
+            inner.stats.created += 1;
+            // Drop the lock before running the factory: building a |V|-bit
+            // bitmap is the expensive path and must not serialize peers.
         }
-        self.stats.lock().expect("pool lock poisoned").created += 1;
         (self.factory)()
     }
 
     /// Return a (clean) value to the pool.
     pub fn release(&self, v: T) {
-        self.free.lock().expect("pool lock poisoned").push(v);
+        self.inner.lock().expect("pool lock poisoned").free.push(v);
     }
 
     /// Usage statistics so far.
     pub fn stats(&self) -> PoolStats {
-        *self.stats.lock().expect("pool lock poisoned")
+        self.inner.lock().expect("pool lock poisoned").stats
     }
 
     /// Number of values currently on the free list.
     pub fn idle(&self) -> usize {
-        self.free.lock().expect("pool lock poisoned").len()
+        self.inner.lock().expect("pool lock poisoned").free.len()
     }
 }
 

@@ -1,0 +1,363 @@
+//! Workload-aware task decomposition for the edge-range driver.
+//!
+//! The parallel driver splits the directed edge range `0..m` into tasks.
+//! How it splits matters twice over:
+//!
+//! * **Balance** — uniform edge counts are not uniform work. A hub source
+//!   with degree 10⁴ makes its task an order of magnitude more expensive
+//!   than a task of leaf edges, and the whole run waits on the straggler.
+//! * **Source alignment** — per-source kernels (BMP, BMP-RF) rebuild their
+//!   bitmap whenever a task starts mid-source: the same source is re-indexed
+//!   once per task that touches it. Cutting only on source boundaries makes
+//!   `begin_source` run once per (source, run) instead of once per
+//!   (source, task).
+//!
+//! [`SchedulePolicy::Uniform`] reproduces the historical fixed-size chunks
+//! byte-for-byte and stays the default. [`SchedulePolicy::Balanced`] prices
+//! every source with the kernel's [`CostModel`], prefix-sums the costs, and
+//! binary-searches near-equal cut points that always land on source
+//! boundaries.
+
+use std::ops::Range;
+
+use cnc_graph::CsrGraph;
+use cnc_intersect::CostModel;
+
+/// How the parallel driver decomposes the edge range into tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulePolicy {
+    /// Fixed-size contiguous chunks of `task_size` edges (the historical
+    /// behavior, kept as the baseline). Cuts ignore source boundaries.
+    Uniform {
+        /// Edges per task; clamped to at least 1.
+        task_size: usize,
+    },
+    /// Cost-balanced, source-aligned decomposition into at most `tasks`
+    /// tasks. Cut points are chosen so every task carries a near-equal
+    /// share of the kernel's estimated work, and always fall on source
+    /// boundaries.
+    Balanced {
+        /// Upper bound on the number of tasks; clamped to at least 1.
+        /// Degenerate cuts (empty tasks) are merged away, so the actual
+        /// count may be lower.
+        tasks: usize,
+    },
+}
+
+/// The historical default chunk size of the uniform policy.
+pub const DEFAULT_TASK_SIZE: usize = 8192;
+
+impl Default for SchedulePolicy {
+    fn default() -> Self {
+        SchedulePolicy::Uniform {
+            task_size: DEFAULT_TASK_SIZE,
+        }
+    }
+}
+
+impl SchedulePolicy {
+    /// Uniform chunks of `task_size` edges (clamped to ≥ 1).
+    pub fn uniform(task_size: usize) -> Self {
+        SchedulePolicy::Uniform {
+            task_size: task_size.max(1),
+        }
+    }
+
+    /// Cost-balanced decomposition into at most `tasks` tasks (clamped
+    /// to ≥ 1).
+    pub fn balanced(tasks: usize) -> Self {
+        SchedulePolicy::Balanced {
+            tasks: tasks.max(1),
+        }
+    }
+}
+
+/// A concrete decomposition of `0..m` into contiguous tasks, plus the cost
+/// model's estimate of the heaviest and lightest task (for observability;
+/// zero when estimates were not requested).
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    tasks: Vec<Range<usize>>,
+    est_cost_max: u64,
+    est_cost_min: u64,
+}
+
+impl Schedule {
+    /// Decompose `g`'s directed edge range under `policy`.
+    ///
+    /// `with_estimates` controls whether per-task cost estimates are
+    /// computed for the uniform policy (the balanced policy prices every
+    /// source anyway, so its estimates are free). Skipping them keeps the
+    /// unobserved uniform path free of the O(E) costing pass.
+    pub fn compute(
+        g: &CsrGraph,
+        policy: SchedulePolicy,
+        model: &CostModel,
+        with_estimates: bool,
+    ) -> Self {
+        let m = g.num_directed_edges();
+        if m == 0 {
+            return Schedule {
+                tasks: Vec::new(),
+                est_cost_max: 0,
+                est_cost_min: 0,
+            };
+        }
+        match policy {
+            SchedulePolicy::Uniform { task_size } => {
+                let t = task_size.max(1);
+                // Reproduce the legacy chunks exactly: task k covers
+                // [k*t, min((k+1)*t, m)). Saturating arithmetic keeps
+                // t = usize::MAX well-defined.
+                let tasks: Vec<Range<usize>> = (0..m.div_ceil(t))
+                    .map(|k| {
+                        let start = k.saturating_mul(t);
+                        start..start.saturating_add(t).min(m)
+                    })
+                    .collect();
+                let (est_cost_max, est_cost_min) = if with_estimates {
+                    let prefix = source_cost_prefix(g, model);
+                    estimate_spread(g, &prefix, &tasks)
+                } else {
+                    (0, 0)
+                };
+                Schedule {
+                    tasks,
+                    est_cost_max,
+                    est_cost_min,
+                }
+            }
+            SchedulePolicy::Balanced { tasks: want } => {
+                let want = want.max(1);
+                let prefix = source_cost_prefix(g, model);
+                let n = g.num_vertices();
+                let total = prefix[n];
+                let offsets = g.offsets();
+                let mut bounds: Vec<usize> = vec![0];
+                for k in 1..want {
+                    // Ideal cut at cost k/want of the total; snap to the
+                    // first source boundary at or past it.
+                    let target = ((total as u128 * k as u128) / want as u128) as u64;
+                    let s = prefix.partition_point(|&c| c < target).min(n);
+                    let cut = offsets[s];
+                    if cut > *bounds.last().expect("bounds starts non-empty") && cut < m {
+                        bounds.push(cut);
+                    }
+                }
+                bounds.push(m);
+                let tasks: Vec<Range<usize>> = bounds.windows(2).map(|w| w[0]..w[1]).collect();
+                let (est_cost_max, est_cost_min) = estimate_spread(g, &prefix, &tasks);
+                Schedule {
+                    tasks,
+                    est_cost_max,
+                    est_cost_min,
+                }
+            }
+        }
+    }
+
+    /// The task ranges, in edge order. Disjoint and covering `0..m`.
+    pub fn tasks(&self) -> &[Range<usize>] {
+        &self.tasks
+    }
+
+    /// Estimated cost of the most expensive task (0 when not computed).
+    pub fn est_cost_max(&self) -> u64 {
+        self.est_cost_max
+    }
+
+    /// Estimated cost of the cheapest task (0 when not computed).
+    pub fn est_cost_min(&self) -> u64 {
+        self.est_cost_min
+    }
+}
+
+/// Per-source cost prefix sums: `prefix[u]` is the estimated cost of the
+/// edge ranges of sources `0..u`, so a range cut on source boundaries
+/// `offsets[a]..offsets[b]` costs exactly `prefix[b] - prefix[a]`.
+///
+/// A source's cost is one unit per directed edge (the range walk itself),
+/// plus the model's pair cost for every counted pair (`v > u`), plus the
+/// model's per-source cost when the source has at least one counted pair
+/// (mirroring the driver, which only runs `begin_source` for such pairs).
+fn source_cost_prefix(g: &CsrGraph, model: &CostModel) -> Vec<u64> {
+    let n = g.num_vertices();
+    let mut prefix = vec![0u64; n + 1];
+    for u in 0..n {
+        let du = g.degree(u as u32);
+        let mut cost = du as u64;
+        let mut counted = false;
+        for &v in g.neighbors(u as u32) {
+            if v > u as u32 {
+                counted = true;
+                cost = cost.saturating_add(model.pair_cost(du, g.degree(v)));
+            }
+        }
+        if counted {
+            cost = cost.saturating_add(model.source_cost(du));
+        }
+        prefix[u + 1] = prefix[u].saturating_add(cost);
+    }
+    prefix
+}
+
+/// Estimated cost prefix at an arbitrary edge offset: exact on source
+/// boundaries, linearly interpolated inside a source's range (uniform cuts
+/// can land mid-source).
+fn prefix_at_edge(g: &CsrGraph, prefix: &[u64], e: usize) -> u64 {
+    let m = g.num_directed_edges();
+    if e >= m {
+        return prefix[g.num_vertices()];
+    }
+    let offsets = g.offsets();
+    let u = offsets.partition_point(|&o| o <= e) - 1;
+    let (o0, o1) = (offsets[u], offsets[u + 1]);
+    let within = prefix[u + 1] - prefix[u];
+    prefix[u] + within.saturating_mul((e - o0) as u64) / (o1 - o0) as u64
+}
+
+/// (max, min) estimated task cost over `tasks` under the given prefix.
+fn estimate_spread(g: &CsrGraph, prefix: &[u64], tasks: &[Range<usize>]) -> (u64, u64) {
+    let mut max = 0u64;
+    let mut min = u64::MAX;
+    for r in tasks {
+        let cost = prefix_at_edge(g, prefix, r.end) - prefix_at_edge(g, prefix, r.start);
+        max = max.max(cost);
+        min = min.min(cost);
+    }
+    if tasks.is_empty() {
+        (0, 0)
+    } else {
+        (max, min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnc_graph::generators::hub_web;
+    use cnc_graph::EdgeList;
+
+    fn hub_graph() -> CsrGraph {
+        CsrGraph::from_edge_list(&hub_web(300, 6.0, 3, 0.5, 7))
+    }
+
+    fn path_graph(n: usize) -> CsrGraph {
+        CsrGraph::from_edge_list(&EdgeList::from_pairs(
+            (0..n.saturating_sub(1)).map(|i| (i as u32, (i + 1) as u32)),
+        ))
+    }
+
+    /// Every schedule must tile `0..m` exactly: disjoint, covering, in order.
+    fn assert_tiles(s: &Schedule, m: usize) {
+        let mut next = 0usize;
+        for r in s.tasks() {
+            assert_eq!(r.start, next, "tasks must be contiguous and ordered");
+            assert!(r.end > r.start, "no empty tasks");
+            next = r.end;
+        }
+        assert_eq!(next, m, "tasks must cover the whole edge range");
+    }
+
+    #[test]
+    fn uniform_reproduces_legacy_chunks() {
+        let g = hub_graph();
+        let m = g.num_directed_edges();
+        for t in [1usize, 3, 17, 8192, usize::MAX] {
+            let s = Schedule::compute(&g, SchedulePolicy::uniform(t), &CostModel::Merge, false);
+            assert_tiles(&s, m);
+            let expect: Vec<Range<usize>> = (0..m.div_ceil(t))
+                .map(|k| (k.saturating_mul(t))..(k.saturating_mul(t).saturating_add(t)).min(m))
+                .collect();
+            assert_eq!(s.tasks(), &expect[..]);
+        }
+    }
+
+    #[test]
+    fn balanced_cuts_are_source_aligned_and_bounded() {
+        let g = hub_graph();
+        let m = g.num_directed_edges();
+        for (want, model) in [
+            (1usize, CostModel::Merge),
+            (2, CostModel::Bmp),
+            (7, CostModel::Mps { skew_threshold: 50 }),
+            (16, CostModel::Bmp),
+            (10_000, CostModel::Merge),
+        ] {
+            let s = Schedule::compute(&g, SchedulePolicy::balanced(want), &model, false);
+            assert_tiles(&s, m);
+            assert!(
+                s.tasks().len() <= want,
+                "requested {want}, got {}",
+                s.tasks().len()
+            );
+            for r in s.tasks() {
+                // Interior boundaries must be source boundaries.
+                assert!(
+                    g.offsets().binary_search(&r.start).is_ok(),
+                    "cut at edge {} is not a source boundary",
+                    r.start
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_flattens_cost_spread_on_skewed_graphs() {
+        let g = hub_graph();
+        let model = CostModel::Bmp;
+        let uniform = Schedule::compute(
+            &g,
+            SchedulePolicy::uniform(g.num_directed_edges().div_ceil(8)),
+            &model,
+            true,
+        );
+        let balanced = Schedule::compute(&g, SchedulePolicy::balanced(8), &model, true);
+        assert!(uniform.est_cost_max() > 0 && balanced.est_cost_max() > 0);
+        // The balanced straggler must not be heavier than the uniform one
+        // (on a hub-skewed graph it is strictly lighter).
+        assert!(
+            balanced.est_cost_max() <= uniform.est_cost_max(),
+            "balanced straggler {} vs uniform {}",
+            balanced.est_cost_max(),
+            uniform.est_cost_max()
+        );
+    }
+
+    #[test]
+    fn balanced_on_uniform_degrees_is_near_even() {
+        let g = path_graph(2_000);
+        let s = Schedule::compute(&g, SchedulePolicy::balanced(8), &CostModel::Merge, true);
+        assert_tiles(&s, g.num_directed_edges());
+        assert_eq!(s.tasks().len(), 8);
+        // On a degree-uniform graph the spread collapses.
+        assert!(s.est_cost_max() <= 2 * s.est_cost_min().max(1));
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs_schedule_cleanly() {
+        let empty = CsrGraph::from_edge_list(&EdgeList::from_pairs(std::iter::empty()));
+        for policy in [SchedulePolicy::uniform(8), SchedulePolicy::balanced(8)] {
+            let s = Schedule::compute(&empty, policy, &CostModel::Merge, true);
+            assert!(s.tasks().is_empty());
+            assert_eq!((s.est_cost_max(), s.est_cost_min()), (0, 0));
+        }
+        let two = path_graph(2);
+        for policy in [SchedulePolicy::uniform(1), SchedulePolicy::balanced(64)] {
+            let s = Schedule::compute(&two, policy, &CostModel::Merge, true);
+            assert_tiles(&s, two.num_directed_edges());
+        }
+    }
+
+    #[test]
+    fn policy_constructors_clamp_to_one() {
+        assert_eq!(
+            SchedulePolicy::uniform(0),
+            SchedulePolicy::Uniform { task_size: 1 }
+        );
+        assert_eq!(
+            SchedulePolicy::balanced(0),
+            SchedulePolicy::Balanced { tasks: 1 }
+        );
+    }
+}

@@ -7,7 +7,7 @@
 //! with a [`CountingMeter`] must both produce counts byte-identical to the
 //! sequential whole-range run.
 
-use cnc_cpu::{BmpMode, CpuKernel, ParConfig};
+use cnc_cpu::{BmpMode, CpuKernel, ParConfig, Schedule, SchedulePolicy};
 use cnc_graph::{generators, CsrGraph};
 use cnc_intersect::{MpsConfig, NullMeter};
 use proptest::prelude::*;
@@ -21,11 +21,21 @@ fn kernels(num_vertices: usize) -> Vec<CpuKernel> {
     ]
 }
 
-/// Strategy: a task size spanning the degenerate and the ordinary —
-/// one edge per task, a handful of interior splits, and one task far
-/// larger than any test graph's `|E|`.
-fn task_size() -> impl Strategy<Value = usize> {
-    prop::sample::select(vec![1usize, 2, 7, 61, 256, 1023, 4096, usize::MAX])
+/// Strategy: any schedule policy — uniform chunks spanning the degenerate
+/// and the ordinary (one edge per task up to one task far larger than any
+/// test graph's `|E|`), and balanced decompositions from one task to far
+/// more tasks than any test graph has sources.
+fn policy() -> impl Strategy<Value = SchedulePolicy> {
+    let mut policies: Vec<SchedulePolicy> = vec![1usize, 2, 7, 61, 256, 1023, 4096, usize::MAX]
+        .into_iter()
+        .map(SchedulePolicy::uniform)
+        .collect();
+    policies.extend(
+        vec![1usize, 2, 3, 8, 17, 64, 100_000]
+            .into_iter()
+            .map(SchedulePolicy::balanced),
+    );
+    prop::sample::select(policies)
 }
 
 proptest! {
@@ -36,36 +46,68 @@ proptest! {
         n in 2usize..120,
         edge_factor in 1usize..6,
         seed in 0u64..1_000,
-        t in task_size(),
+        p in policy(),
     ) {
         let g = CsrGraph::from_edge_list(&generators::gnm(n, n * edge_factor, seed));
-        let cfg = ParConfig::with_task_size(t);
+        let cfg = ParConfig { schedule: p, threads: None };
         for kernel in kernels(g.num_vertices()) {
             let seq = kernel.run_seq(&g, &mut NullMeter);
             let par = kernel.run_par(&g, &cfg);
             let (metered, work) = kernel.run_par_metered(&g, &cfg);
-            prop_assert_eq!(&par, &seq, "NullMeter par diverged: {:?} t={}", kernel, t);
-            prop_assert_eq!(&metered, &seq, "CountingMeter par diverged: {:?} t={}", kernel, t);
+            prop_assert_eq!(&par, &seq, "NullMeter par diverged: {:?} {:?}", kernel, p);
+            prop_assert_eq!(&metered, &seq, "CountingMeter par diverged: {:?} {:?}", kernel, p);
             // Any split of the range does the same intersections.
             prop_assert!(work.total_ops() > 0 || g.num_directed_edges() == 0);
         }
     }
 
     #[test]
-    fn skewed_graphs_agree_across_task_sizes(
+    fn skewed_graphs_agree_across_schedules(
         hubs in 1usize..4,
         seed in 0u64..100,
-        t in task_size(),
+        p in policy(),
     ) {
         // Hub-heavy graphs exercise the pivot-skip path and uneven
         // source-run lengths across task boundaries.
         let g = CsrGraph::from_edge_list(&generators::hub_web(80, 4.0, hubs, 0.5, seed));
-        let cfg = ParConfig::with_task_size(t);
+        let cfg = ParConfig { schedule: p, threads: None };
         for kernel in kernels(g.num_vertices()) {
             let seq = kernel.run_seq(&g, &mut NullMeter);
             let (metered, _) = kernel.run_par_metered(&g, &cfg);
             prop_assert_eq!(&kernel.run_par(&g, &cfg), &seq);
             prop_assert_eq!(&metered, &seq);
+        }
+    }
+
+    #[test]
+    fn schedules_tile_the_edge_range(
+        n in 2usize..150,
+        edge_factor in 1usize..6,
+        seed in 0u64..1_000,
+        p in policy(),
+    ) {
+        // Schedule invariants, independent of any kernel run: tasks are
+        // disjoint, in order, cover 0..m exactly, and the balanced policy
+        // never exceeds the requested count and cuts only on source
+        // boundaries.
+        let g = CsrGraph::from_edge_list(&generators::gnm(n, n * edge_factor, seed));
+        let m = g.num_directed_edges();
+        for kernel in kernels(g.num_vertices()) {
+            let s = Schedule::compute(&g, p, &kernel.cost_model(), true);
+            let mut next = 0usize;
+            for r in s.tasks() {
+                prop_assert_eq!(r.start, next);
+                prop_assert!(r.end > r.start);
+                next = r.end;
+            }
+            prop_assert_eq!(next, m);
+            if let SchedulePolicy::Balanced { tasks } = p {
+                prop_assert!(s.tasks().len() <= tasks);
+                for r in s.tasks() {
+                    prop_assert!(g.offsets().binary_search(&r.start).is_ok(),
+                        "balanced cut at {} not on a source boundary", r.start);
+                }
+            }
         }
     }
 }

@@ -12,17 +12,33 @@ use crate::store::GraphStore;
 
 /// An undirected graph in CSR form with sorted neighbor lists.
 ///
-/// Both arrays live behind [`GraphStore`]: owned heap vectors for freshly
+/// All arrays live behind [`GraphStore`]: owned heap vectors for freshly
 /// built graphs, or zero-copy views into an `mmap`ed cache file for warm
 /// loads. Every accessor exposes plain slices, so consumers never see the
 /// difference.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct CsrGraph {
     /// `offsets[u]..offsets[u+1]` is the slice of `dst` holding `N(u)`.
     offsets: GraphStore<usize>,
     /// Concatenated neighbor lists, each strictly ascending.
     dst: GraphStore<u32>,
+    /// Optional reverse-edge index: `rev[e(u,v)] == e(v,u)`. Built once by
+    /// the preparation layer ([`CsrGraph::build_reverse_index`]) so the
+    /// symmetric-assignment store in the edge-range drivers is an O(1) load
+    /// instead of a per-edge binary search.
+    rev: Option<GraphStore<usize>>,
 }
+
+/// Graph identity is the CSR itself. The reverse index is derived data —
+/// `rev` is definitionally a function of `offsets`/`dst` — so two graphs
+/// that differ only in whether the index has been built compare equal.
+impl PartialEq for CsrGraph {
+    fn eq(&self, other: &Self) -> bool {
+        *self.offsets == *other.offsets && *self.dst == *other.dst
+    }
+}
+
+impl Eq for CsrGraph {}
 
 impl CsrGraph {
     /// Build from a normalized-or-not edge list: symmetrizes, sorts and
@@ -98,11 +114,13 @@ impl CsrGraph {
             return Self {
                 offsets: new_offsets.into(),
                 dst: new_dst.into(),
+                rev: None,
             };
         }
         Self {
             offsets: offsets.into(),
             dst: dst.into(),
+            rev: None,
         }
     }
 
@@ -168,6 +186,7 @@ impl CsrGraph {
         Self {
             offsets: offsets.into(),
             dst: dst.into(),
+            rev: None,
         }
     }
 
@@ -192,7 +211,11 @@ impl CsrGraph {
         if offsets.is_empty() {
             return Err("offsets must have length |V| + 1, got 0".into());
         }
-        let g = Self { offsets, dst };
+        let g = Self {
+            offsets,
+            dst,
+            rev: None,
+        };
         g.validate()?;
         Ok(g)
     }
@@ -212,7 +235,11 @@ impl CsrGraph {
         if offsets.is_empty() {
             return Err("offsets must have length |V| + 1, got 0".into());
         }
-        let g = Self { offsets, dst };
+        let g = Self {
+            offsets,
+            dst,
+            rev: None,
+        };
         g.validate_structure()?;
         Ok(g)
     }
@@ -285,12 +312,85 @@ impl CsrGraph {
     /// Reverse edge offset `e(v, u)` for a known edge offset `eid = e(u, v)`.
     ///
     /// Used by the symmetric assignment technique
-    /// (`cnt[e(v,u)] ← cnt[e(u,v)]`, Section 3). Panics if the reverse edge
-    /// is absent, which would mean the CSR is not symmetric.
+    /// (`cnt[e(v,u)] ← cnt[e(u,v)]`, Section 3). With a precomputed reverse
+    /// index (built by the preparation layer) this is a single O(1) array
+    /// load; without one it falls back to a binary search of `u` in `N(v)`.
+    /// Panics if the reverse edge is absent, which would mean the CSR is not
+    /// symmetric.
+    #[inline]
     pub fn reverse_offset(&self, u: u32, eid: usize) -> usize {
+        if let Some(rev) = &self.rev {
+            return rev[eid];
+        }
         let v = self.dst[eid];
         self.edge_offset(v, u)
             .expect("CSR must be symmetric: reverse edge missing")
+    }
+
+    /// Whether the O(1) reverse-edge index is present.
+    #[inline]
+    pub fn has_reverse_index(&self) -> bool {
+        self.rev.is_some()
+    }
+
+    /// The raw reverse-edge index, if built: `rev[e(u,v)] == e(v,u)`.
+    #[inline]
+    pub fn reverse_index(&self) -> Option<&[usize]> {
+        self.rev.as_deref()
+    }
+
+    /// Build the reverse-edge index in `O(|V| + |E|)`, no searches.
+    ///
+    /// Walking sources in ascending order visits, for every vertex `v`, the
+    /// edges `(u, v)` in ascending `u` — exactly the order of `u` within the
+    /// sorted run `N(v)`. A per-vertex cursor starting at `offsets[v]`
+    /// therefore hands out each reverse slot exactly once:
+    /// `rev[e(u,v)] = cursor[v]++`. Idempotent; a no-op if already built.
+    pub fn build_reverse_index(&mut self) {
+        if self.rev.is_some() {
+            return;
+        }
+        let n = self.num_vertices();
+        let mut rev = vec![0usize; self.dst.len()];
+        let mut cursor = self.offsets[..n].to_vec();
+        for (eid, &v) in self.dst.iter().enumerate() {
+            let v = v as usize;
+            rev[eid] = cursor[v];
+            cursor[v] += 1;
+        }
+        debug_assert!((0..n).all(|v| cursor[v] == self.offsets[v + 1]));
+        self.rev = Some(rev.into());
+    }
+
+    /// Attach an externally stored (deserialized / mapped) reverse index
+    /// after verifying, in `O(|E|)`, that every entry points at the true
+    /// mirror slot: `rev[eid] ∈ [offsets[v], offsets[v+1])` and
+    /// `dst[rev[eid]] == u` for each directed edge `eid = e(u, v)`.
+    ///
+    /// This is the trust boundary for cache files: section checksums catch
+    /// media corruption, this check catches a well-formed file that simply
+    /// encodes a wrong permutation.
+    pub fn try_attach_reverse_index(&mut self, rev: GraphStore<usize>) -> Result<(), String> {
+        if rev.len() != self.dst.len() {
+            return Err(format!(
+                "reverse index length {} != directed edge count {}",
+                rev.len(),
+                self.dst.len()
+            ));
+        }
+        for u in 0..self.num_vertices() as u32 {
+            for eid in self.offset_range(u) {
+                let v = self.dst[eid] as usize;
+                let r = rev[eid];
+                if r < self.offsets[v] || r >= self.offsets[v + 1] || self.dst[r] != u {
+                    return Err(format!(
+                        "reverse index corrupt at eid {eid}: rev={r} is not e({v},{u})"
+                    ));
+                }
+            }
+        }
+        self.rev = Some(rev);
+        Ok(())
     }
 
     /// Source-vertex search `FindSrc` (Algorithm 3 lines 7–15): the vertex
@@ -416,6 +516,69 @@ mod tests {
         assert_eq!(g.dst()[e20], 0);
         assert!(g.offset_range(2).contains(&e20));
         assert_eq!(g.edge_offset(0, 3), None);
+    }
+
+    #[test]
+    fn reverse_index_matches_binary_search_everywhere() {
+        use crate::generators;
+        for el in [
+            generators::gnm(120, 500, 11),
+            generators::hub_web(150, 5.0, 2, 0.4, 6),
+            EdgeList::from_pairs([(0, 1), (0, 2), (1, 2), (2, 3)]),
+            EdgeList::new(0),
+            EdgeList::new(7),
+        ] {
+            let searched = CsrGraph::from_edge_list(&el);
+            let mut indexed = searched.clone();
+            indexed.build_reverse_index();
+            assert!(indexed.has_reverse_index());
+            assert!(!searched.has_reverse_index());
+            for (eid, u, v) in searched.iter_edges().collect::<Vec<_>>() {
+                let want = searched.reverse_offset(u, eid);
+                assert_eq!(indexed.reverse_offset(u, eid), want, "eid={eid}");
+                assert_eq!(indexed.dst()[want], u);
+                assert!(indexed.offset_range(v).contains(&want));
+            }
+            // Derived data is excluded from graph identity.
+            assert_eq!(indexed, searched);
+            // Idempotent.
+            let before = indexed.reverse_index().unwrap().to_vec();
+            indexed.build_reverse_index();
+            assert_eq!(indexed.reverse_index().unwrap(), &before[..]);
+        }
+    }
+
+    #[test]
+    fn attach_reverse_index_validates_entries() {
+        let g0 = triangle_plus_tail();
+        let mut built = g0.clone();
+        built.build_reverse_index();
+        let good = built.reverse_index().unwrap().to_vec();
+
+        // The genuine index attaches.
+        let mut g = g0.clone();
+        g.try_attach_reverse_index(good.clone().into()).unwrap();
+        assert!(g.has_reverse_index());
+
+        // Wrong length is rejected.
+        let mut g = g0.clone();
+        assert!(g
+            .try_attach_reverse_index(good[1..].to_vec().into())
+            .is_err());
+
+        // A swapped pair of entries no longer mirrors: rejected.
+        let mut bad = good.clone();
+        bad.swap(0, 1);
+        let mut g = g0.clone();
+        let err = g.try_attach_reverse_index(bad.into()).unwrap_err();
+        assert!(err.contains("reverse index corrupt"), "{err}");
+        assert!(!g.has_reverse_index());
+
+        // An out-of-run entry is rejected even if dst there matches nothing.
+        let mut bad = good;
+        bad[0] = g0.num_directed_edges() - 1;
+        let mut g = g0;
+        assert!(g.try_attach_reverse_index(bad.into()).is_err());
     }
 
     #[test]

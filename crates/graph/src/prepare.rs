@@ -22,14 +22,16 @@
 //! * a process-wide in-memory cache keyed by `(dataset, scale, reorder
 //!   policy)` — see [`prepared`];
 //! * a versioned on-disk binary cache (default `results/cache/`, override
-//!   with `CNC_CACHE_DIR`) in the **`CNCPREP2`** format: a fixed 64-byte
+//!   with `CNC_CACHE_DIR`) in the **`CNCPREP3`** format: a fixed 64-byte
 //!   header followed by 64-byte-aligned, length-prefixed, checksummed
 //!   sections holding the CSR arrays (u64 little-endian offsets, u32
-//!   neighbors) and the remap table. A warm load `mmap`s the file and serves
-//!   the offset/adjacency arrays **zero-copy** straight out of the page
-//!   cache ([`map_prepared`]); platforms or files that cannot be mapped fall
-//!   back to an owned heap read, and stale, corrupt or misaligned files are
-//!   silently discarded and rebuilt.
+//!   neighbors), the precomputed reverse-edge index `rev[e(u,v)] = e(v,u)`
+//!   (u64 LE) that makes the drivers' symmetric-assignment store O(1), and
+//!   the remap table. A warm load `mmap`s the file and serves
+//!   the offset/adjacency/reverse arrays **zero-copy** straight out of the
+//!   page cache ([`map_prepared`]); platforms or files that cannot be mapped
+//!   fall back to an owned heap read, and stale (including old `CNCPREP2`),
+//!   corrupt or misaligned files are silently discarded and rebuilt.
 //!
 //! The cache is safe to share across processes: writers serialize through an
 //! advisory `flock` on [`CACHE_LOCK_FILE`] (the losers of a populate race
@@ -239,14 +241,23 @@ impl PreparedGraph {
     /// Pipeline tail shared by every constructor that actually *computes*
     /// (counted in [`metrics`]); deserialization uses
     /// [`PreparedGraph::assemble`] instead.
-    fn finish(graph: CsrGraph, policy: ReorderPolicy, capacity_scale: f64) -> Self {
-        let reordered = match policy {
+    ///
+    /// Builds the O(1) reverse-edge index on every execution-candidate CSR
+    /// (original and, when reordered, relabeled) so the drivers' symmetric
+    /// assignment never binary-searches — the index is persisted by
+    /// [`write_prepared`], so warm loads get it for free.
+    fn finish(mut graph: CsrGraph, policy: ReorderPolicy, capacity_scale: f64) -> Self {
+        let mut reordered = match policy {
             ReorderPolicy::None => None,
             ReorderPolicy::DegreeDescending => {
                 bump(|m| m.reorders += 1);
                 cnc_obs::ObsContext::scoped("reorder", || Some(reorder::degree_descending(&graph)))
             }
         };
+        graph.build_reverse_index();
+        if let Some(r) = &mut reordered {
+            r.graph.build_reverse_index();
+        }
         Self::assemble(graph, reordered, policy, capacity_scale)
     }
 
@@ -355,12 +366,12 @@ impl PreparedGraph {
 }
 
 // ---------------------------------------------------------------------------
-// CNCPREP2: the zero-copy on-disk format.
+// CNCPREP3: the zero-copy on-disk format.
 //
-//   byte 0..8    magic "CNCPREP2"
+//   byte 0..8    magic "CNCPREP3"
 //   byte 8       reorder policy byte
 //   byte 9       reordered-sections flag (0|1, must match the policy)
-//   byte 16..24  section count (u64 LE): 2 without reorder, 5 with
+//   byte 16..24  section count (u64 LE): 3 without reorder, 7 with
 //   byte 24..32  skew percentage (f64 LE bits)
 //   byte 32..40  maximum degree (u64 LE)
 //   byte 40..56  reserved (zero)
@@ -370,12 +381,13 @@ impl PreparedGraph {
 //
 //   byte 0..8    payload length in bytes (u64 LE)
 //   byte 8..16   checksum of the payload
-//   byte 16..24  element width (u64 LE: 8 for offsets, 4 for u32 arrays)
+//   byte 16..24  element width (u64 LE: 8 for offsets/rev, 4 for u32 arrays)
 //   byte 24..64  reserved (zero)
 //   byte 64..    payload, zero-padded to the next 64-byte boundary
 //
-// Section order: offsets (u64 LE) and neighbors (u32 LE) of the original
-// graph, then — with reordering — offsets + neighbors of the relabeled graph
+// Section order: offsets (u64 LE), neighbors (u32 LE) and reverse-edge index
+// (u64 LE, `rev[e(u,v)] = e(v,u)`) of the original graph, then — with
+// reordering — offsets + neighbors + reverse index of the relabeled graph
 // and the new→old remap table (u32 LE). The 64-byte alignment means a
 // page-aligned mmap of the file can serve every array in place on 64-bit
 // little-endian targets; the checksums let a mapped file be validated
@@ -384,10 +396,11 @@ impl PreparedGraph {
 // multiply-xor fold over four interleaved u64 lanes (not byte-serial FNV:
 // the four independent multiply chains keep verification at memory speed,
 // which the warm path is benchmarked on). Bump the trailing magic digit on
-// any layout change: a stale file fails the magic check and is rebuilt.
+// any layout change: a stale file fails the magic check and is rebuilt —
+// the `CNCPREP2` → `CNCPREP3` bump added the reverse-index sections.
 // ---------------------------------------------------------------------------
 
-const PREPARED_MAGIC: &[u8; 8] = b"CNCPREP2";
+const PREPARED_MAGIC: &[u8; 8] = b"CNCPREP3";
 const ALIGN: usize = mmap::SECTION_ALIGN;
 const HEADER_LEN: usize = 64;
 const SECTION_HEADER_LEN: usize = 64;
@@ -489,11 +502,24 @@ fn u32_payload(vals: &[u32]) -> Vec<u8> {
     out
 }
 
-/// Serialize a prepared graph (CSR, policy, statistics, optional relabeled
-/// CSR + remap table) in the `CNCPREP2` cache format.
+/// The reverse-index payload of a graph, deriving the index on the fly for
+/// graphs (hand-assembled in tests, say) that never built one.
+fn rev_payload(g: &CsrGraph) -> Vec<u8> {
+    match g.reverse_index() {
+        Some(rev) => u64_payload(rev),
+        None => {
+            let mut tmp = g.clone();
+            tmp.build_reverse_index();
+            u64_payload(tmp.reverse_index().expect("index was just built"))
+        }
+    }
+}
+
+/// Serialize a prepared graph (CSR + reverse-edge index, policy, statistics,
+/// optional relabeled CSR + remap table) in the `CNCPREP3` cache format.
 pub fn write_prepared<W: Write>(pg: &PreparedGraph, writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
-    let sections: u64 = if pg.reordered.is_some() { 5 } else { 2 };
+    let sections: u64 = if pg.reordered.is_some() { 7 } else { 3 };
     let mut header = [0u8; HEADER_LEN];
     header[..8].copy_from_slice(PREPARED_MAGIC);
     header[8] = pg.policy.byte();
@@ -506,15 +532,17 @@ pub fn write_prepared<W: Write>(pg: &PreparedGraph, writer: W) -> io::Result<()>
     w.write_all(&header)?;
     write_section(&mut w, &u64_payload(pg.graph.offsets()), 8)?;
     write_section(&mut w, &u32_payload(pg.graph.dst()), 4)?;
+    write_section(&mut w, &rev_payload(&pg.graph), 8)?;
     if let Some(r) = &pg.reordered {
         write_section(&mut w, &u64_payload(r.graph.offsets()), 8)?;
         write_section(&mut w, &u32_payload(r.graph.dst()), 4)?;
+        write_section(&mut w, &rev_payload(&r.graph), 8)?;
         write_section(&mut w, &u32_payload(&r.new_to_old), 4)?;
     }
     w.flush()
 }
 
-/// A parsed (and checksum-verified) section of a `CNCPREP2` byte image.
+/// A parsed (and checksum-verified) section of a `CNCPREP3` byte image.
 struct Section {
     /// Payload byte range within the file.
     start: usize,
@@ -536,16 +564,16 @@ fn read_u64_at(bytes: &[u8], at: usize) -> u64 {
     u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8-byte range"))
 }
 
-/// Validate a `CNCPREP2` byte image *in place* — header, section layout,
+/// Validate a `CNCPREP3` byte image *in place* — header, section layout,
 /// alignment, per-section checksums — without copying any payload. Returns
-/// the policy, the persisted statistics, and the section table (2 sections,
-/// or 5 with reorder data).
+/// the policy, the persisted statistics, and the section table (3 sections,
+/// or 7 with reorder data).
 fn parse_prepared(bytes: &[u8]) -> io::Result<ParsedPrepared> {
     if bytes.len() < HEADER_LEN {
-        return Err(invalid("truncated CNCPREP2 header"));
+        return Err(invalid("truncated CNCPREP3 header"));
     }
     if &bytes[..8] != PREPARED_MAGIC {
-        return Err(invalid("bad magic: not a CNCPREP2 file"));
+        return Err(invalid("bad magic: not a CNCPREP3 file"));
     }
     if checksum(&bytes[..56]) != read_u64_at(bytes, 56) {
         return Err(invalid("header checksum mismatch"));
@@ -561,9 +589,9 @@ fn parse_prepared(bytes: &[u8]) -> io::Result<ParsedPrepared> {
         return Err(invalid("reorder sections inconsistent with policy byte"));
     }
     let expected_widths: &[usize] = if has_reordered {
-        &[8, 4, 8, 4, 4]
+        &[8, 4, 8, 8, 4, 8, 4]
     } else {
-        &[8, 4]
+        &[8, 4, 8]
     };
     if read_u64_at(bytes, 16) != expected_widths.len() as u64 {
         return Err(invalid("section count inconsistent with header flags"));
@@ -614,7 +642,7 @@ fn parse_prepared(bytes: &[u8]) -> io::Result<ParsedPrepared> {
     })
 }
 
-/// The validated header fields + section table of a `CNCPREP2` image.
+/// The validated header fields + section table of a `CNCPREP3` image.
 struct ParsedPrepared {
     policy: ReorderPolicy,
     skew_pct: f64,
@@ -677,16 +705,28 @@ fn build_reordered(
 
 fn prepared_from_image(bytes: &[u8]) -> io::Result<PreparedGraph> {
     let parsed = parse_prepared(bytes)?;
-    let decode_csr = |so: &Section, sd: &Section| -> io::Result<CsrGraph> {
+    let decode_csr = |so: &Section, sd: &Section, sr: &Section| -> io::Result<CsrGraph> {
         let offsets = decode_usize_payload(so.bytes(bytes))?;
         let dst = decode_u32_payload(sd.bytes(bytes));
-        CsrGraph::try_from_parts(offsets, dst)
-            .map_err(|e| invalid(format!("inconsistent CSR: {e}")))
+        let rev = decode_usize_payload(sr.bytes(bytes))?;
+        let mut g = CsrGraph::try_from_parts(offsets, dst)
+            .map_err(|e| invalid(format!("inconsistent CSR: {e}")))?;
+        g.try_attach_reverse_index(rev.into())
+            .map_err(|e| invalid(format!("inconsistent reverse index: {e}")))?;
+        Ok(g)
     };
-    let graph = decode_csr(&parsed.sections[0], &parsed.sections[1])?;
-    let reordered = if parsed.sections.len() == 5 {
-        let relabeled = decode_csr(&parsed.sections[2], &parsed.sections[3])?;
-        let new_to_old = decode_u32_payload(parsed.sections[4].bytes(bytes));
+    let graph = decode_csr(
+        &parsed.sections[0],
+        &parsed.sections[1],
+        &parsed.sections[2],
+    )?;
+    let reordered = if parsed.sections.len() == 7 {
+        let relabeled = decode_csr(
+            &parsed.sections[3],
+            &parsed.sections[4],
+            &parsed.sections[5],
+        )?;
+        let new_to_old = decode_u32_payload(parsed.sections[6].bytes(bytes));
         Some(build_reordered(&graph, relabeled, new_to_old)?)
     } else {
         None
@@ -708,7 +748,7 @@ pub fn read_prepared<R: Read>(mut reader: R) -> io::Result<PreparedGraph> {
     prepared_from_image(&bytes)
 }
 
-/// Load a `CNCPREP2` cache file **zero-copy**: the file is `mmap`ed,
+/// Load a `CNCPREP3` cache file **zero-copy**: the file is `mmap`ed,
 /// validated in place (header, alignment, per-section checksums, structural
 /// CSR invariants), and the resulting graphs serve their offset/adjacency
 /// arrays directly out of the mapping — no heap copy, and the page cache is
@@ -729,19 +769,34 @@ pub fn map_prepared(path: &Path) -> io::Result<PreparedGraph> {
     }
     let map = MappedFile::open(path)?;
     let parsed = parse_prepared(map.bytes())?;
-    let map_csr = |so: &Section, sd: &Section| -> io::Result<CsrGraph> {
+    let map_csr = |so: &Section, sd: &Section, sr: &Section| -> io::Result<CsrGraph> {
         let offsets: GraphStore<usize> = map.typed_slice::<usize>(so.start, so.count())?.into();
         let dst: GraphStore<u32> = map.typed_slice::<u32>(sd.start, sd.count())?.into();
+        let rev: GraphStore<usize> = map.typed_slice::<usize>(sr.start, sr.count())?.into();
         // Structural validation only: the section checksums already verified
         // these are the exact bytes a valid graph serialized to, so the
-        // O(|E| log d) symmetry probes of the full check are skipped.
-        CsrGraph::try_from_stores_structural(offsets, dst)
-            .map_err(|e| invalid(format!("inconsistent CSR: {e}")))
+        // O(|E| log d) symmetry probes of the full check are skipped. The
+        // reverse index *is* fully verified (O(|E|), no searches): a wrong
+        // index silently mirrors counts to wrong slots, so it gets the same
+        // trust bar as the CSR symmetry it stands in for.
+        let mut g = CsrGraph::try_from_stores_structural(offsets, dst)
+            .map_err(|e| invalid(format!("inconsistent CSR: {e}")))?;
+        g.try_attach_reverse_index(rev)
+            .map_err(|e| invalid(format!("inconsistent reverse index: {e}")))?;
+        Ok(g)
     };
-    let graph = map_csr(&parsed.sections[0], &parsed.sections[1])?;
-    let reordered = if parsed.sections.len() == 5 {
-        let relabeled = map_csr(&parsed.sections[2], &parsed.sections[3])?;
-        let new_to_old = decode_u32_payload(parsed.sections[4].bytes(map.bytes()));
+    let graph = map_csr(
+        &parsed.sections[0],
+        &parsed.sections[1],
+        &parsed.sections[2],
+    )?;
+    let reordered = if parsed.sections.len() == 7 {
+        let relabeled = map_csr(
+            &parsed.sections[3],
+            &parsed.sections[4],
+            &parsed.sections[5],
+        )?;
+        let new_to_old = decode_u32_payload(parsed.sections[6].bytes(map.bytes()));
         Some(build_reordered(&graph, relabeled, new_to_old)?)
     } else {
         None
@@ -1047,6 +1102,14 @@ mod tests {
             let back = read_prepared(buf.as_slice()).unwrap();
             assert_eq!(back.graph(), pg.graph());
             assert_eq!(back.policy(), policy);
+            // The reverse-edge index survives the trip on every graph.
+            assert_eq!(
+                back.graph().reverse_index().expect("rev persisted"),
+                pg.graph().reverse_index().expect("rev built")
+            );
+            if let Some(r) = back.reordered() {
+                assert!(r.graph.has_reverse_index());
+            }
             match (back.reordered(), pg.reordered()) {
                 (None, None) => {}
                 (Some(a), Some(b)) => {
@@ -1067,7 +1130,7 @@ mod tests {
         write_prepared(&pg, &mut buf).unwrap();
         let parsed = parse_prepared(&buf).unwrap();
         let sections = &parsed.sections;
-        assert_eq!(sections.len(), 5);
+        assert_eq!(sections.len(), 7);
         for (i, s) in sections.iter().enumerate() {
             assert_eq!(s.start % ALIGN, 0, "payload of section {i} misaligned");
         }
@@ -1104,6 +1167,59 @@ mod tests {
         let mut padded = buf.clone();
         padded.extend_from_slice(&[0u8; ALIGN]);
         assert!(read_prepared(padded.as_slice()).is_err());
+    }
+
+    #[test]
+    fn tampered_reverse_index_is_rejected() {
+        // Craft an image whose rev section passes its checksum but encodes a
+        // wrong permutation: swap two rev entries and re-checksum. The O(|E|)
+        // attach validation must catch it.
+        let el = generators::gnm(40, 90, 9);
+        let pg = PreparedGraph::from_edge_list(&el, ReorderPolicy::None);
+        let mut buf = Vec::new();
+        write_prepared(&pg, &mut buf).unwrap();
+        let parsed = parse_prepared(&buf).unwrap();
+        let rev = &parsed.sections[2];
+        assert_eq!(rev.elem_width, 8);
+        let (a, b) = (rev.start, rev.start + 8);
+        for i in 0..8 {
+            buf.swap(a + i, b + i);
+        }
+        let fixed = checksum(&buf[rev.start..rev.start + rev.payload_len]);
+        let cksum_at = rev.start - SECTION_HEADER_LEN + 8;
+        buf[cksum_at..cksum_at + 8].copy_from_slice(&fixed.to_le_bytes());
+        let err = read_prepared(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("reverse index"), "{err}");
+    }
+
+    #[test]
+    fn stale_format_version_rebuilds_silently() {
+        // A CNCPREP2-era file (old magic digit) must be treated as a cache
+        // miss: prepared_on_disk rebuilds and overwrites it, surfacing no
+        // error. Exercised end to end through the disk-cache entry point.
+        let dir = std::env::temp_dir().join(format!(
+            "cnc-prep-stale-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let (dataset, scale, policy) = (Dataset::OrS, Scale::Tiny, ReorderPolicy::DegreeDescending);
+        let fresh = prepared_on_disk(&dir, dataset, scale, policy);
+        let path = cache_path(&dir, dataset, scale, policy);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[7] = b'2'; // CNCPREP3 → CNCPREP2
+        fs::write(&path, &bytes).unwrap();
+        let before = metrics();
+        let back = prepared_on_disk(&dir, dataset, scale, policy);
+        let d = metrics().since(&before);
+        assert_eq!(d.disk_hits, 0, "stale file must not count as a hit");
+        assert_eq!(d.graph_builds, 1, "stale file must trigger a rebuild");
+        assert_eq!(d.disk_writes, 1, "rebuild must refresh the cache file");
+        assert_eq!(back.graph(), fresh.graph());
+        assert!(back.graph().has_reverse_index());
+        assert_eq!(&fs::read(&path).unwrap()[..8], PREPARED_MAGIC);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

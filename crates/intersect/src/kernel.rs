@@ -153,6 +153,21 @@ impl RfKernel {
             rf: RfBitmap::try_with_ratio(cardinality, ratio)?,
         })
     }
+
+    /// An RF kernel for a ratio the caller has already validated (plan
+    /// construction runs [`validate_rf_ratio`](crate::validate_rf_ratio)
+    /// before any kernel is built). Debug builds assert the contract; the
+    /// underlying bitmap still refuses a broken ratio rather than silently
+    /// mis-filtering.
+    pub fn prevalidated(cardinality: usize, ratio: usize) -> Self {
+        debug_assert!(
+            crate::validate_rf_ratio(ratio).is_ok(),
+            "RF ratio {ratio} must be a power of two >= 2 — validate at plan time"
+        );
+        Self {
+            rf: RfBitmap::with_ratio(cardinality, ratio),
+        }
+    }
 }
 
 impl PairKernel for RfKernel {

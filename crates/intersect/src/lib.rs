@@ -53,6 +53,7 @@
 mod bitmap;
 mod bsr;
 mod collect;
+mod cost;
 mod hash_index;
 mod kernel;
 mod merge;
@@ -67,6 +68,7 @@ mod vb;
 pub use bitmap::{bmp_count, Bitmap};
 pub use bsr::{bsr_count, bsr_intersect, BsrSet};
 pub use collect::{merge_collect, mps_collect, ps_collect};
+pub use cost::CostModel;
 pub use hash_index::{hash_count, HashIndex};
 pub use kernel::{BmpKernel, MergeKernel, MpsKernel, PairKernel, RfKernel};
 pub use merge::merge_count;

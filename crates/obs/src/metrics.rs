@@ -63,6 +63,9 @@ counters! {
     KernelWriteBytes => "kernel.write_bytes",
     /// Completed neighbor-set intersections.
     KernelIntersections => "kernel.intersections",
+    /// `begin_source` invocations across all tasks: per-source state
+    /// (BMP's bitmap) rebuilds. Source-aligned scheduling minimizes these.
+    KernelSourceRebuilds => "kernel.source_rebuilds",
     // --- preparation layer (cnc-graph PrepareMetrics) --------------------
     /// Edge-list → CSR constructions.
     PrepareGraphBuilds => "prepare.graph_builds",
@@ -81,6 +84,12 @@ counters! {
     // --- parallel driver (cnc-cpu) ---------------------------------------
     /// Edge-range tasks executed by the parallel skeleton.
     DriverTasks => "driver.tasks",
+    /// Tasks produced by the schedule (equals `driver.tasks` per run).
+    ScheduleTasks => "schedule.tasks",
+    /// Largest estimated task cost in the computed schedule.
+    ScheduleEstCostMax => "schedule.est_cost_max",
+    /// Smallest estimated task cost in the computed schedule.
+    ScheduleEstCostMin => "schedule.est_cost_min",
     // --- GPU simulator (cnc-gpu KernelStats + unified memory) ------------
     /// Warp instructions issued.
     GpuWarpInstrs => "gpu.warp_instrs",

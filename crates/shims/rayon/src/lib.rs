@@ -297,6 +297,27 @@ impl<I: ParIndex, F> ParRangeMap<I, F> {
             }
         });
     }
+
+    /// Fold the mapped values into one, rayon-style: each worker folds its
+    /// own contiguous chunk into a thread-local accumulator seeded from
+    /// `identity` (no shared state, no lock), and the per-worker partials
+    /// are combined on the caller in chunk order. `op` must be associative
+    /// and `identity()` its neutral element for the result to be
+    /// split-invariant.
+    pub fn reduce<R, ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        R: Send,
+        F: Fn(I) -> R + Sync,
+        ID: Fn() -> R + Sync,
+        OP: Fn(R, R) -> R + Sync,
+    {
+        let start = self.range.start;
+        let f = &self.f;
+        let parts = run_split(self.range.len, |r| {
+            r.fold(identity(), |acc, off| op(acc, f(I::offset(start, off))))
+        });
+        parts.into_iter().fold(identity(), &op)
+    }
 }
 
 /// Collections that can be assembled from ordered per-chunk parts.
@@ -499,6 +520,21 @@ mod tests {
         for (i, &x) in a.iter().enumerate() {
             assert_eq!(x, i / 10);
         }
+    }
+
+    #[test]
+    fn map_reduce_matches_serial_fold() {
+        let sum: u64 = (0..10_001u64)
+            .into_par_iter()
+            .map(|i| i * 3)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(sum, (0..10_001u64).map(|i| i * 3).sum::<u64>());
+        // Empty range yields the identity.
+        let empty: u64 = (5..5u64)
+            .into_par_iter()
+            .map(|i| i + 1)
+            .reduce(|| 7, |a, b| a + b);
+        assert_eq!(empty, 7);
     }
 
     #[test]
