@@ -130,7 +130,7 @@ fn main() -> ExitCode {
     // greps it.
     let report = RunReport::from_context(&obs);
     println!(
-        "\n# prepare: graph_builds={} reorders={} mem_hits={} disk_hits={} disk_writes={} mmap_hits={} bytes_mapped={}",
+        "\n# prepare: graph_builds={} reorders={} mem_hits={} disk_hits={} disk_writes={} mmap_hits={} bytes_mapped={} spill_runs={} spill_bytes={} stream_chunks={} peak_resident_bytes={}",
         report.counter(Counter::PrepareGraphBuilds),
         report.counter(Counter::PrepareReorders),
         report.counter(Counter::PrepareMemHits),
@@ -138,6 +138,10 @@ fn main() -> ExitCode {
         report.counter(Counter::PrepareDiskWrites),
         report.counter(Counter::PrepareMmapHits),
         report.counter(Counter::PrepareBytesMapped),
+        report.counter(Counter::PrepareSpillRuns),
+        report.counter(Counter::PrepareSpillBytes),
+        report.counter(Counter::PrepareStreamChunks),
+        report.counter(Counter::PreparePeakResidentBytes),
     );
     if let Some(path) = &args.metrics {
         let mut file = MetricsFile::new();

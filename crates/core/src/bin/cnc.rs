@@ -10,13 +10,31 @@
 //! cnc stats  GRAPH
 //! cnc scan   GRAPH [--eps 0.6] [--mu 3]
 //! cnc truss  GRAPH
+//! cnc prepare GRAPH [--out FILE.prep] [--mem-budget BYTES] [--spill-dir D]
+//!            [--reorder degdesc|none] [--metrics FILE]
 //! cnc cache  [ls|gc|clear] [--dir D] [--max-bytes N]
 //! ```
 //!
 //! `GRAPH` is a SNAP-style edge-list text file (`u v` per line, `#`
-//! comments) or a binary CSR written by `cnc-graph::io::write_csr`
-//! (detected by magic). `--out` writes the per-edge counts as
-//! `u v count` lines (canonical `u < v` edges once each).
+//! comments), a binary CSR written by `cnc-graph::io::write_csr`, or a
+//! prepared `CNCPREP4` image written by `cnc prepare` (all detected by
+//! magic). `--out` writes the per-edge counts as `u v count` lines
+//! (canonical `u < v` edges once each).
+//!
+//! `cnc prepare` runs the bounded-memory streaming pipeline: the input is
+//! read in fixed-size chunks, external-sorted under `--mem-budget` (or
+//! `$CNC_PREP_MEM_BYTES`; spill runs go to `--spill-dir`), and the
+//! `CNCPREP4` image is assembled directly in the output file — peak
+//! resident memory stays O(|V| + chunk) however large the edge list is.
+//! The result is byte-identical to what the in-memory pipeline caches, and
+//! every other subcommand accepts it as `GRAPH`, skipping preparation
+//! entirely.
+//!
+//! When `--platform` is omitted, counting commands pick the parallel CPU
+//! platform unless the prepared CSR is at least `$CNC_GPU_UM_THRESHOLD_BYTES`
+//! (default 256 MiB), in which case the unified-memory GPU platform is
+//! selected — at that size its multipass partitioning is the execution
+//! model of interest.
 //!
 //! `cnc run` counts the built-in paper analogues (all five, or one via
 //! `--dataset lj-s|or-s|wi-s|tw-s|fr-s`), one observed run each.
@@ -44,8 +62,14 @@ use cnc_cpu::{ParConfig, SchedulePolicy};
 use cnc_graph::datasets::{Dataset, Scale};
 use cnc_graph::prepare;
 use cnc_graph::stats::{skew_percentage, GraphStats};
+use cnc_graph::stream::{self, StreamConfig};
 use cnc_graph::{io, CsrGraph};
 use cnc_obs::{MetricsFile, ObsContext, RunReport};
+
+/// Environment variable overriding the prepared-CSR size (bytes) above
+/// which counting commands default to the unified-memory GPU platform.
+const GPU_UM_THRESHOLD_ENV: &str = "CNC_GPU_UM_THRESHOLD_BYTES";
+const GPU_UM_THRESHOLD_DEFAULT: u64 = 256 << 20;
 
 fn load_graph(path: &str) -> Result<CsrGraph, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -55,6 +79,41 @@ fn load_graph(path: &str) -> Result<CsrGraph, String> {
         let el = io::read_edge_list(bytes.as_slice())
             .map_err(|e| format!("bad edge list {path}: {e}"))?;
         Ok(CsrGraph::from_edge_list(&el))
+    }
+}
+
+/// Whether `path` holds a prepared `CNCPREP*` image (sniffed by magic, so
+/// stale versions also land here and get a clear error instead of being
+/// parsed as an edge list).
+fn is_prepared_file(path: &str) -> bool {
+    let mut magic = [0u8; 7];
+    std::fs::File::open(path)
+        .and_then(|mut f| std::io::Read::read_exact(&mut f, &mut magic))
+        .map(|()| &magic == b"CNCPREP")
+        .unwrap_or(false)
+}
+
+/// Load a `.prep` image: zero-copy mapped where the platform allows, owned
+/// heap read otherwise.
+fn load_prepared(path: &str) -> Result<Arc<PreparedGraph>, String> {
+    prepare::map_prepared(std::path::Path::new(path))
+        .or_else(|_| std::fs::File::open(path).and_then(prepare::read_prepared))
+        .map(Arc::new)
+        .map_err(|e| format!("bad prepared graph {path}: {e}"))
+}
+
+/// The platform used when `--platform` is absent: parallel CPU, or the
+/// unified-memory GPU platform once the prepared CSR crosses the
+/// size threshold where multipass partitioning is the interesting model.
+fn default_platform_name(csr_bytes: u64) -> &'static str {
+    let threshold = std::env::var(GPU_UM_THRESHOLD_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .unwrap_or(GPU_UM_THRESHOLD_DEFAULT);
+    if csr_bytes >= threshold {
+        "gpu"
+    } else {
+        "cpu"
     }
 }
 
@@ -139,6 +198,84 @@ fn run_cache(mut args: Vec<String>) -> Result<(), String> {
         }
         other => Err(format!("unknown cache action {other:?}")),
     }
+}
+
+/// `cnc prepare` — stream an edge-list (or binary CSR) file into a
+/// `CNCPREP4` image under a memory budget.
+fn run_prepare(mut args: Vec<String>) -> Result<(), String> {
+    let out = parse_flag(&mut args, "--out");
+    let mem_budget = parse_flag(&mut args, "--mem-budget")
+        .map(|s| {
+            s.parse::<u64>()
+                .map_err(|e| format!("bad --mem-budget: {e}"))
+        })
+        .transpose()?;
+    let spill_dir = parse_flag(&mut args, "--spill-dir").map(PathBuf::from);
+    let policy = match parse_flag(&mut args, "--reorder").as_deref() {
+        // Degree-descending by default: the default bmp-rf algorithm runs
+        // on the relabeled sections, and images carrying them serve every
+        // policy (the runner falls back to original ids when unused).
+        None | Some("degdesc") => prepare::ReorderPolicy::DegreeDescending,
+        Some("none") => prepare::ReorderPolicy::None,
+        Some(other) => return Err(format!("unknown --reorder {other:?} (try degdesc|none)")),
+    };
+    let metrics_path = parse_flag(&mut args, "--metrics");
+    let input = args
+        .first()
+        .cloned()
+        .ok_or_else(|| "missing GRAPH argument".to_string())?;
+    if let Some(stray) = args.get(1) {
+        return Err(format!("unexpected argument {stray:?}"));
+    }
+    let out = out.unwrap_or_else(|| format!("{input}.prep"));
+    // Flags override the environment; the environment fills gaps.
+    let mut cfg = StreamConfig::budgeted_from_env().unwrap_or_default();
+    if mem_budget.is_some() {
+        cfg.mem_budget = mem_budget;
+    }
+    if spill_dir.is_some() {
+        cfg.spill_dir = spill_dir;
+    }
+    let ctx = Arc::new(ObsContext::new());
+    let summary = {
+        let _obs = ctx.install();
+        ObsContext::scoped("stream_prepare", || {
+            stream::prepare_file(
+                std::path::Path::new(&input),
+                std::path::Path::new(&out),
+                policy,
+                &cfg,
+            )
+        })
+        .map_err(|e| format!("prepare failed: {e}"))?
+    };
+    eprintln!(
+        "prepared {out}: {} vertices, {} directed edge slots, {} file bytes",
+        summary.num_vertices, summary.num_directed_edges, summary.file_bytes
+    );
+    eprintln!(
+        "  mem budget {}: {} spill runs ({} bytes), {} input chunks, peak resident {} bytes",
+        cfg.mem_budget
+            .map(|b| b.to_string())
+            .unwrap_or_else(|| "unbounded".into()),
+        summary.spill_runs,
+        summary.spill_bytes,
+        summary.stream_chunks,
+        summary.peak_resident_bytes
+    );
+    if let Some(path) = metrics_path {
+        let report = RunReport::from_context(&ctx);
+        let mut metrics = MetricsFile::new();
+        metrics.begin_run();
+        metrics.field_str("dataset", &input);
+        metrics.field_str("scale", "file");
+        metrics.field_str("platform", "stream-prepare");
+        metrics.field_str("algorithm", "external-sort");
+        metrics.end_run(&report);
+        std::fs::write(&path, metrics.finish()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
 }
 
 fn parse_algo(args: &mut Vec<String>) -> Result<Algorithm, String> {
@@ -301,7 +438,7 @@ fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         eprintln!(
-            "usage: cnc <count|stats|scan|truss> GRAPH [--algo A] [--platform P] [--schedule uniform|balanced] [--out F] [--eps E] [--mu M] [--stats] [--metrics F] [--trace]\n       cnc run [--scale S] [--dataset D] [--algo A] [--platform P] [--schedule uniform|balanced] [--metrics F] [--trace]\n       cnc cache [ls|gc|clear] [--dir D] [--max-bytes N]"
+            "usage: cnc <count|stats|scan|truss> GRAPH [--algo A] [--platform P] [--schedule uniform|balanced] [--out F] [--eps E] [--mu M] [--stats] [--metrics F] [--trace]\n       cnc run [--scale S] [--dataset D] [--algo A] [--platform P] [--schedule uniform|balanced] [--metrics F] [--trace]\n       cnc prepare GRAPH [--out F.prep] [--mem-budget BYTES] [--spill-dir D] [--reorder degdesc|none] [--metrics F]\n       cnc cache [ls|gc|clear] [--dir D] [--max-bytes N]"
         );
         return Ok(());
     }
@@ -311,6 +448,9 @@ fn run() -> Result<(), String> {
     }
     if command == "run" {
         return run_suite(args);
+    }
+    if command == "prepare" {
+        return run_prepare(args);
     }
     let algo = parse_algo(&mut args)?;
     let out_path = parse_flag(&mut args, "--out");
@@ -325,7 +465,7 @@ fn run() -> Result<(), String> {
     let want_stats = parse_switch(&mut args, "--stats");
     let metrics_path = parse_flag(&mut args, "--metrics");
     let trace = parse_switch(&mut args, "--trace");
-    let platform_name = parse_flag(&mut args, "--platform").unwrap_or_else(|| "cpu".into());
+    let platform_arg = parse_flag(&mut args, "--platform");
     let schedule = parse_schedule(&mut args)?;
     let graph_path = args
         .first()
@@ -336,16 +476,50 @@ fn run() -> Result<(), String> {
     // recorded and execution takes the unobserved code paths.
     let ctx = (metrics_path.is_some() || trace).then(|| Arc::new(ObsContext::new()));
     let _obs = ctx.as_ref().map(|c| c.install());
-    let g = load_graph(&graph_path)?;
+    // A CNCPREP4 image (from `cnc prepare` or the run cache) skips
+    // preparation entirely — zero-copy mapped where the platform allows.
+    // Text and binary-CSR inputs are prepared in-process as before.
+    let preloaded = if is_prepared_file(&graph_path) {
+        Some(load_prepared(&graph_path)?)
+    } else {
+        None
+    };
+    let raw = match &preloaded {
+        Some(_) => None,
+        None => Some(load_graph(&graph_path)?),
+    };
+    let (csr_bytes, und_edges) = {
+        let g = preloaded
+            .as_ref()
+            .map(|p| p.graph())
+            .or(raw.as_ref())
+            .expect("either prepared or raw graph is loaded");
+        (g.csr_bytes(), g.num_undirected_edges())
+    };
+    let platform_name = platform_arg.unwrap_or_else(|| {
+        let name = default_platform_name(csr_bytes as u64);
+        if name == "gpu" {
+            eprintln!(
+                "cnc: {csr_bytes}-byte prepared CSR crosses ${GPU_UM_THRESHOLD_ENV}; \
+                 defaulting to the unified-memory GPU platform (multipass as needed; \
+                 override with --platform cpu)"
+            );
+        }
+        name.to_string()
+    });
     // Modeled platforms need a capacity scale; for ad-hoc files use the
     // graph's ratio to the paper's twitter dataset as a sensible default.
-    let scale = (g.num_undirected_edges() as f64 / 684_500_375.0).min(1.0);
+    let scale = (und_edges as f64 / 684_500_375.0).min(1.0);
     let platform = platform_for(&platform_name, scale, schedule)?;
 
     // Prepare once (CSR + reorder tables + statistics); every subcommand
     // below shares the result instead of re-deriving it per run.
     let runner = Runner::new(platform, algo);
-    let prepared = PreparedGraph::from_csr(g, runner.reorder_policy());
+    let prepared = match (preloaded, raw) {
+        (Some(p), _) => p,
+        (None, Some(g)) => PreparedGraph::from_csr(g, runner.reorder_policy()),
+        (None, None) => unreachable!("one of the loaders ran"),
+    };
     let g = prepared.graph();
 
     match command.as_str() {

@@ -7,11 +7,18 @@
 //! cnc-gen rmat      SCALE EDGE_FACTOR SEED                      OUT
 //! cnc-gen hub-web   N AVG_DEG HUBS COVERAGE SEED                OUT
 //! cnc-gen ba        N M_ATTACH SEED                             OUT
+//! cnc-gen stream    N AVG_DEG GAMMA SEED                        OUT
 //! ```
 //!
 //! `OUT` ending in `.bin` writes the compact binary CSR; anything else
 //! writes SNAP-style text. Both load back with the `cnc` tool and
 //! `cnc_graph::io`.
+//!
+//! `stream` is the exception to the in-memory pipeline: it writes Chung–Lu
+//! power-law text straight to `OUT` while holding only O(|V|) state, so it
+//! can produce edge files far larger than RAM — the input side of the
+//! bounded-memory `cnc prepare` pipeline. It always writes text (duplicates
+//! included; downstream normalization merges them) and ignores `.bin`.
 
 use std::process::ExitCode;
 
@@ -31,7 +38,7 @@ where
 fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" {
-        eprintln!("usage: cnc-gen <dataset|gnm|chung-lu|rmat|hub-web|ba> ARGS... OUT");
+        eprintln!("usage: cnc-gen <dataset|gnm|chung-lu|rmat|hub-web|ba|stream> ARGS... OUT");
         return Ok(());
     }
     let scale = if let Some(p) = args.iter().position(|a| a == "--scale") {
@@ -50,6 +57,17 @@ fn run() -> Result<(), String> {
         .last()
         .cloned()
         .ok_or_else(|| "missing OUT path".to_string())?;
+    if kind == "stream" {
+        let n: usize = parse(&args, 0, "N")?;
+        let avg_deg: f64 = parse(&args, 1, "AVG_DEG")?;
+        let gamma: f64 = parse(&args, 2, "GAMMA")?;
+        let seed: u64 = parse(&args, 3, "SEED")?;
+        let f = std::fs::File::create(&out).map_err(|e| format!("cannot create {out}: {e}"))?;
+        let written = generators::stream_power_law(n, avg_deg, gamma, seed, f)
+            .map_err(|e| format!("streaming write failed: {e}"))?;
+        eprintln!("streamed edge list: {n} vertices, {written} sampled edges → {out}");
+        return Ok(());
+    }
     let el: EdgeList = match kind.as_str() {
         "dataset" => {
             let d = match args[0].as_str() {

@@ -50,11 +50,15 @@ impl CsrGraph {
     /// Build from raw undirected pairs over `n` vertices. Self-loops are
     /// dropped; parallel edges are merged.
     ///
-    /// The iterator is collected exactly once; both construction passes
-    /// (degree counting, scattering) then run over that one slice.
+    /// Feeds the iterator straight into a [`CsrBuilder`]: degrees are
+    /// counted in the same single pass that canonicalizes each pair, with no
+    /// raw staging copy for a second walk.
     pub fn from_undirected_pairs(n: usize, pairs: impl Iterator<Item = (u32, u32)>) -> Self {
-        let pairs: Vec<(u32, u32)> = pairs.collect();
-        Self::from_pair_slice(n, &pairs)
+        let mut b = CsrBuilder::new(n);
+        for (u, v) in pairs {
+            b.push(u, v);
+        }
+        b.finish()
     }
 
     /// Counting-sort construction over an edge slice: pass 1 counts degrees,
@@ -474,6 +478,100 @@ impl CsrGraph {
     }
 }
 
+/// Incremental CSR construction from a stream of undirected pairs.
+///
+/// [`push`](Self::push) canonicalizes each pair (drops self-loops, orients
+/// as `(min, max)`) and counts both endpoint degrees on the spot, so the
+/// input is walked exactly once and never staged in raw form.
+/// [`finish`](Self::finish) sorts the canonical pairs, merges parallel edges
+/// (correcting the affected degrees), and scatters both directions through
+/// per-vertex cursors. Because the canonical pairs are globally sorted at
+/// that point, every neighbor run comes out already ascending — no per-run
+/// sort and no duplicate-removal rebuild copy. The streaming preparation
+/// pipeline ([`crate::stream`]) uses the same two-pass scatter over
+/// externally sorted runs to write CSR sections directly into a mapped
+/// cache file.
+#[derive(Debug)]
+pub struct CsrBuilder {
+    n: usize,
+    deg: Vec<usize>,
+    /// Canonical `(min, max)` pairs; duplicates are resolved in `finish`.
+    edges: Vec<(u32, u32)>,
+}
+
+impl CsrBuilder {
+    /// A builder over `n` vertices with no edges yet.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            deg: vec![0usize; n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Add one undirected edge. Self-loops are dropped. Panics if either
+    /// endpoint is out of range for the declared vertex count.
+    pub fn push(&mut self, u: u32, v: u32) {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u},{v}) out of range for {} vertices",
+            self.n
+        );
+        if u == v {
+            return;
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.deg[a as usize] += 1;
+        self.deg[b as usize] += 1;
+        self.edges.push((a, b));
+    }
+
+    /// Sort, deduplicate, and scatter into the finished CSR.
+    pub fn finish(self) -> CsrGraph {
+        let Self {
+            n,
+            mut deg,
+            mut edges,
+        } = self;
+        edges.sort_unstable();
+        edges.dedup_by(|dup, kept| {
+            if dup == kept {
+                deg[dup.0 as usize] -= 1;
+                deg[dup.1 as usize] -= 1;
+                true
+            } else {
+                false
+            }
+        });
+        let mut offsets = vec![0usize; n + 1];
+        for u in 0..n {
+            offsets[u + 1] = offsets[u] + deg[u];
+        }
+        let mut dst = vec![0u32; offsets[n]];
+        let mut cursor = offsets[..n].to_vec();
+        for &(u, v) in &edges {
+            dst[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            dst[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Scattering globally sorted canonical edges leaves each run already
+        // ascending: for vertex w, the backward neighbors u < w arrive first
+        // (edges (u, w) sorted by u), then the forward neighbors (w, v) in v
+        // order, and every backward value is < w < every forward value.
+        debug_assert!((0..n).all(|u| {
+            dst[offsets[u]..offsets[u + 1]]
+                .windows(2)
+                .all(|w| w[0] < w[1])
+        }));
+        CsrGraph {
+            offsets: offsets.into(),
+            dst: dst.into(),
+            rev: None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -695,5 +793,26 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_edge_rejected() {
         let _ = CsrGraph::from_undirected_pairs(2, [(0, 5)].into_iter());
+    }
+
+    #[test]
+    fn builder_matches_slice_path_on_messy_input() {
+        use crate::generators;
+        // Raw inputs with loops, duplicates and reversed orientations: the
+        // single-pass builder must agree exactly with the slice-based path.
+        let messy: Vec<(u32, u32)> = vec![(3, 1), (1, 3), (2, 2), (4, 0), (0, 1), (0, 1), (1, 0)];
+        let a = CsrGraph::from_undirected_pairs(5, messy.iter().copied());
+        let b = CsrGraph::from_pair_slice(5, &messy);
+        assert_eq!(a, b);
+        a.validate().unwrap();
+
+        for el in [
+            generators::gnm(200, 900, 3),
+            generators::chung_lu(150, 9.0, 2.2, 8),
+        ] {
+            let a = CsrGraph::from_undirected_pairs(el.num_vertices, el.iter());
+            let b = CsrGraph::from_edge_list(&el);
+            assert_eq!(a, b);
+        }
     }
 }

@@ -23,18 +23,19 @@ impl EdgeList {
     }
 
     /// Build from raw pairs; infers `num_vertices` from the largest id and
-    /// normalizes.
+    /// normalizes. The iterator is consumed in a single pass that tracks the
+    /// maximum id while collecting — no second walk over the staged edges.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (u32, u32)>) -> Self {
-        let edges: Vec<(u32, u32)> = pairs.into_iter().collect();
-        let num_vertices = edges
-            .iter()
-            .map(|&(u, v)| u.max(v) as usize + 1)
-            .max()
-            .unwrap_or(0);
+        let iter = pairs.into_iter();
+        let (lo, _) = iter.size_hint();
         let mut el = Self {
-            edges,
-            num_vertices,
+            edges: Vec::with_capacity(lo),
+            num_vertices: 0,
         };
+        for (u, v) in iter {
+            el.num_vertices = el.num_vertices.max(u.max(v) as usize + 1);
+            el.edges.push((u, v));
+        }
         el.normalize();
         el
     }

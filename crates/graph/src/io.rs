@@ -55,6 +55,36 @@ pub(crate) fn read_exact_vec<R: Read>(r: &mut R, len: u64, what: &str) -> io::Re
     Ok(buf)
 }
 
+/// Parse one line of SNAP text: `Ok(None)` for comment/blank lines,
+/// `Ok(Some((u, v)))` for a data line.
+///
+/// A malformed line is an [`io::ErrorKind::InvalidData`] error carrying the
+/// 1-based line number, the token that failed, and the full offending line.
+/// Shared by the buffered reader below and the chunked streaming source in
+/// [`crate::stream`], so diagnostics stay identical whichever path parses a
+/// file (the streamer threads its running line count through `lineno`).
+pub(crate) fn parse_edge_line(lineno: u64, line: &str) -> io::Result<Option<(u32, u32)>> {
+    let t = line.trim();
+    if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+        return Ok(None);
+    }
+    let bad =
+        |what: String| io::Error::new(io::ErrorKind::InvalidData, format!("line {lineno}: {what}"));
+    let mut it = t.split_whitespace();
+    match (it.next(), it.next()) {
+        (Some(a), Some(b)) => {
+            let u: u32 = a
+                .parse()
+                .map_err(|e| bad(format!("bad vertex id {a:?} ({e}) in line {t:?}")))?;
+            let v: u32 = b
+                .parse()
+                .map_err(|e| bad(format!("bad vertex id {b:?} ({e}) in line {t:?}")))?;
+            Ok(Some((u, v)))
+        }
+        _ => Err(bad(format!("expected two vertex ids, got {t:?}"))),
+    }
+}
+
 /// Parse a SNAP-style edge list from a reader.
 ///
 /// Lines starting with `#` (or `%`, as used by some mirrors) are comments.
@@ -62,44 +92,17 @@ pub(crate) fn read_exact_vec<R: Read>(r: &mut R, len: u64, what: &str) -> io::Re
 /// normalized (undirected, deduplicated, no self-loops).
 pub fn read_edge_list<R: Read>(reader: R) -> io::Result<EdgeList> {
     let mut el = EdgeList::new(0);
-    let buf = BufReader::new(reader);
+    let mut buf = BufReader::new(reader);
     let mut line = String::new();
-    let mut buf = buf;
-    let mut lineno = 0usize;
+    let mut lineno = 0u64;
     loop {
         line.clear();
         if buf.read_line(&mut line)? == 0 {
             break;
         }
         lineno += 1;
-        let t = line.trim();
-        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
-            continue;
-        }
-        let mut it = t.split_whitespace();
-        let (a, b) = (it.next(), it.next());
-        match (a, b) {
-            (Some(a), Some(b)) => {
-                let u: u32 = a.parse().map_err(|e| {
-                    io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("line {lineno}: bad vertex id {a:?}: {e}"),
-                    )
-                })?;
-                let v: u32 = b.parse().map_err(|e| {
-                    io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("line {lineno}: bad vertex id {b:?}: {e}"),
-                    )
-                })?;
-                el.push(u, v);
-            }
-            _ => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("line {lineno}: expected two vertex ids, got {t:?}"),
-                ))
-            }
+        if let Some((u, v)) = parse_edge_line(lineno, &line)? {
+            el.push(u, v);
         }
     }
     el.normalize();
@@ -263,6 +266,54 @@ mod tests {
     fn rejects_garbage() {
         assert!(read_edge_list("0 x\n".as_bytes()).is_err());
         assert!(read_edge_list("42\n".as_bytes()).is_err());
+    }
+
+    /// Every malformed line shape must surface an `InvalidData` error whose
+    /// message carries the 1-based line number and the offending text.
+    fn assert_malformed(text: &str, lineno: u64, fragment: &str) {
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "input {text:?}");
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&format!("line {lineno}")),
+            "missing line number in {msg:?} for {text:?}"
+        );
+        assert!(
+            msg.contains(fragment),
+            "missing offending text {fragment:?} in {msg:?}"
+        );
+    }
+
+    #[test]
+    fn malformed_nonnumeric_first_id() {
+        assert_malformed("# header\n0 1\nabc 2\n", 3, "\"abc\"");
+    }
+
+    #[test]
+    fn malformed_nonnumeric_second_id() {
+        assert_malformed("0 1\n2 x7\n", 2, "\"x7\"");
+    }
+
+    #[test]
+    fn malformed_single_token() {
+        assert_malformed("0 1\n\n42\n", 3, "\"42\"");
+    }
+
+    #[test]
+    fn malformed_overflowing_id() {
+        // 2^32 does not fit a u32 vertex id.
+        assert_malformed("4294967296 0\n", 1, "\"4294967296\"");
+    }
+
+    #[test]
+    fn malformed_negative_id() {
+        assert_malformed("0 1\n-3 4\n", 2, "\"-3\"");
+    }
+
+    #[test]
+    fn malformed_line_reports_full_line_text() {
+        // The whole line, not just the bad token, appears in the message.
+        assert_malformed("0 1\n7 bad_token trailing\n", 2, "\"7 bad_token trailing\"");
     }
 
     #[test]

@@ -60,8 +60,9 @@ pub mod prepare;
 pub mod reorder;
 pub mod stats;
 pub mod store;
+pub mod stream;
 
-pub use csr::CsrGraph;
+pub use csr::{CsrBuilder, CsrGraph};
 pub use edgelist::EdgeList;
 pub use prepare::{PreparedGraph, ReorderPolicy};
 pub use store::GraphStore;

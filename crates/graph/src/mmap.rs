@@ -65,6 +65,8 @@ mod sys {
     use std::ffi::{c_int, c_void};
 
     pub const PROT_READ: c_int = 0x1;
+    pub const PROT_WRITE: c_int = 0x2;
+    pub const MAP_SHARED: c_int = 0x1;
     pub const MAP_PRIVATE: c_int = 0x2;
     pub const LOCK_SH: c_int = 1;
     pub const LOCK_EX: c_int = 2;
@@ -277,6 +279,175 @@ impl<T: Pod> Deref for MappedSlice<T> {
     }
 }
 
+/// A read-write, *growable* memory mapping of a file, used by the streaming
+/// preparation pipeline to assemble a `CNCPREP` cache file section by
+/// section without an O(|E|) heap staging copy.
+///
+/// The mapping is `MAP_SHARED` + `PROT_READ|PROT_WRITE`: stores through
+/// [`bytes_mut`](Self::bytes_mut) land in the page cache and reach the file.
+/// [`grow`](Self::grow) extends the file (`File::set_len`) and remaps — the
+/// two-pass CSR builder creates the file small, then grows it once the
+/// degree pass has fixed every section size. [`into_file`](Self::into_file)
+/// unmaps and hands the descriptor back so the caller can `sync_all` (which
+/// flushes mmap-dirtied pages on Linux) and atomically rename into place.
+///
+/// Not `Sync`: the builder writes single-threaded. On non-Unix platforms
+/// [`create`](Self::create) returns [`io::ErrorKind::Unsupported`] and
+/// callers fall back to the in-memory build path.
+#[derive(Debug)]
+pub struct MappedFileMut {
+    ptr: *mut u8,
+    len: usize,
+    file: Option<File>,
+}
+
+// SAFETY: the raw pointer is only dereferenced through `&self`/`&mut self`
+// borrows; moving the handle across threads is fine. Deliberately not Sync —
+// `bytes_mut` would otherwise allow aliased mutation.
+unsafe impl Send for MappedFileMut {}
+
+impl MappedFileMut {
+    /// Create (truncating) `path` at `len` bytes and map it read-write.
+    ///
+    /// Errors with [`io::ErrorKind::Unsupported`] on non-Unix platforms so
+    /// callers can fall back to an owned in-memory build.
+    #[cfg(unix)]
+    pub fn create(path: &Path, len: usize) -> io::Result<Self> {
+        let file = File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut this = Self {
+            ptr: std::ptr::null_mut(),
+            len: 0,
+            file: Some(file),
+        };
+        this.grow(len)?;
+        Ok(this)
+    }
+
+    /// Non-Unix fallback: write-mode mapping is unavailable.
+    #[cfg(not(unix))]
+    pub fn create(_path: &Path, _len: usize) -> io::Result<Self> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "write-mode memory mapping is only wired up on Unix platforms",
+        ))
+    }
+
+    fn file(&self) -> &File {
+        // The Option is only vacated by `into_file`, which consumes `self`.
+        self.file.as_ref().expect("file present until into_file")
+    }
+
+    fn unmap(&mut self) {
+        #[cfg(unix)]
+        if self.len != 0 {
+            // SAFETY: `ptr`/`len` describe the live mapping created by
+            // `grow`; unmapped exactly once before being overwritten/dropped.
+            unsafe {
+                sys::munmap(self.ptr.cast(), self.len);
+            }
+        }
+        self.ptr = std::ptr::null_mut();
+        self.len = 0;
+    }
+
+    /// Extend the file to `new_len` bytes (zero-filled) and remap.
+    ///
+    /// Shrinking is rejected: live references into the tail would become
+    /// dangling file offsets.
+    #[cfg(unix)]
+    pub fn grow(&mut self, new_len: usize) -> io::Result<()> {
+        use std::os::unix::io::AsRawFd;
+
+        if new_len < self.len {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("cannot shrink mapping from {} to {new_len} bytes", self.len),
+            ));
+        }
+        if new_len == self.len {
+            return Ok(());
+        }
+        self.unmap();
+        self.file().set_len(new_len as u64)?;
+        // SAFETY: fd is a valid open file of exactly `new_len` bytes; we
+        // request a fresh shared read-write mapping at a kernel-chosen
+        // address.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                new_len,
+                sys::PROT_READ | sys::PROT_WRITE,
+                sys::MAP_SHARED,
+                self.file().as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::map_failed() {
+            return Err(io::Error::last_os_error());
+        }
+        self.ptr = ptr.cast();
+        self.len = new_len;
+        Ok(())
+    }
+
+    /// Non-Unix fallback (unreachable: `create` already failed).
+    #[cfg(not(unix))]
+    pub fn grow(&mut self, _new_len: usize) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "write-mode memory mapping is only wired up on Unix platforms",
+        ))
+    }
+
+    /// The mapped bytes, writable.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        if self.len == 0 {
+            return &mut [];
+        }
+        // SAFETY: `ptr` is a live PROT_READ|PROT_WRITE mapping of exactly
+        // `len` bytes owned by `self`; the exclusive borrow ties the slice to
+        // the mapping and prevents aliasing.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+
+    /// The mapped bytes, read-only.
+    pub fn bytes(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: as in `bytes_mut`, with a shared borrow.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Unmap and return the file handle so the caller can `sync_all` and
+    /// rename the finished file into place.
+    pub fn into_file(mut self) -> File {
+        self.unmap();
+        self.file.take().expect("file present until into_file")
+    }
+}
+
+impl Drop for MappedFileMut {
+    fn drop(&mut self) {
+        self.unmap();
+    }
+}
+
 /// An exclusive advisory lock on a file, released on drop (or process exit).
 ///
 /// `flock` semantics: cooperating processes (and separate opens within one
@@ -394,6 +565,41 @@ mod tests {
             "length overflow"
         );
         assert!(map.typed_slice::<u32>(60, 1).is_ok(), "tail u32 fits");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mut_mapping_grows_and_persists_writes() {
+        let path = std::env::temp_dir().join(format!("cnc-mmap-mut-{}", std::process::id()));
+        let mut map = MappedFileMut::create(&path, 64).unwrap();
+        assert_eq!(map.len(), 64);
+        map.bytes_mut()[..4].copy_from_slice(&[1, 2, 3, 4]);
+        // Growing remaps: the early write must survive, the tail reads zero.
+        map.grow(4096).unwrap();
+        assert_eq!(&map.bytes()[..4], &[1, 2, 3, 4]);
+        assert_eq!(map.bytes()[4095], 0);
+        map.bytes_mut()[4095] = 9;
+        assert!(map.grow(10).is_err(), "shrinking must be rejected");
+        let file = map.into_file();
+        file.sync_all().unwrap();
+        drop(file);
+        let back = std::fs::read(&path).unwrap();
+        assert_eq!(back.len(), 4096);
+        assert_eq!(&back[..4], &[1, 2, 3, 4]);
+        assert_eq!(back[4095], 9);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mut_mapping_zero_length_is_usable() {
+        let path = std::env::temp_dir().join(format!("cnc-mmap-mut0-{}", std::process::id()));
+        let mut map = MappedFileMut::create(&path, 0).unwrap();
+        assert!(map.is_empty());
+        assert!(map.bytes_mut().is_empty());
+        map.grow(8).unwrap();
+        map.bytes_mut().copy_from_slice(&7u64.to_le_bytes());
+        drop(map); // Drop (not into_file) must still unmap cleanly.
+        assert_eq!(std::fs::read(&path).unwrap(), 7u64.to_le_bytes());
         let _ = std::fs::remove_file(&path);
     }
 

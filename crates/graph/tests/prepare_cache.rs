@@ -78,8 +78,8 @@ fn stale_version_byte_falls_back_to_rebuild() {
     // version digit in the magic.
     let path = cache_path(&dir, d, s, p);
     let mut bytes = fs::read(&path).unwrap();
-    assert_eq!(&bytes[..8], b"CNCPREP3");
-    bytes[7] = b'2';
+    assert_eq!(&bytes[..8], b"CNCPREP4");
+    bytes[7] = b'3';
     fs::write(&path, &bytes).unwrap();
 
     let before = prepare::metrics();

@@ -81,6 +81,16 @@ counters! {
     PrepareMmapHits => "prepare.mmap_hits",
     /// CSR bytes served zero-copy across all mmap hits.
     PrepareBytesMapped => "prepare.bytes_mapped",
+    /// External-sort spill runs written by the streaming preparation
+    /// pipeline (0 when the whole input fit the memory budget).
+    PrepareSpillRuns => "prepare.spill_runs",
+    /// Bytes written to spill run files by the streaming preparation.
+    PrepareSpillBytes => "prepare.spill_bytes",
+    /// Fixed-size input chunks consumed by the streaming edge readers.
+    PrepareStreamChunks => "prepare.stream_chunks",
+    /// Peak accounted heap bytes of the streaming builder (each streamed
+    /// build records its own peak once; single-build runs read it directly).
+    PreparePeakResidentBytes => "prepare.peak_resident_bytes",
     // --- parallel driver (cnc-cpu) ---------------------------------------
     /// Edge-range tasks executed by the parallel skeleton.
     DriverTasks => "driver.tasks",
