@@ -27,15 +27,18 @@ use cnc_intersect::{CountingMeter, NullMeter, WorkCounts};
 use cnc_knl::{counts_and_work_of, profile_from_work, ModeledAlgo, ModeledProcessor};
 use cnc_machine::MemMode;
 use cnc_obs::ObsContext;
+use cnc_workload::{WorkloadKind, WorkloadOutput};
 
 use crate::plan::Plan;
 use crate::runner::{Algorithm, RfChoice, RunDetail};
 
-/// What a backend produced: counts plus platform-specific evidence.
+/// What a backend produced: the workload's output plus platform-specific
+/// evidence.
 #[derive(Debug, Clone)]
 pub struct Execution {
-    /// One count per directed edge slot of the executed graph.
-    pub counts: Vec<u32>,
+    /// The type-erased workload result (per-edge counts for CNC, in the
+    /// offsets of the executed graph).
+    pub output: WorkloadOutput,
     /// Modeled elapsed seconds (modeled platforms only).
     pub modeled_seconds: Option<f64>,
     /// Exact work tallies, when the platform collects them.
@@ -69,20 +72,27 @@ impl Backend for CpuSeqBackend {
         // Observed runs meter (the metered specialization provably returns
         // identical counts) so the registry carries exact kernel tallies;
         // plain runs keep the zero-overhead NullMeter path.
-        let (counts, work) = match ObsContext::current() {
+        let (output, work) = match ObsContext::current() {
             Some(ctx) => {
                 let mut meter = CountingMeter::new();
-                let counts = {
+                let output = {
+                    // Match the parallel skeleton's span tree:
+                    // execute → workload → kernel.
+                    let _w = ctx.span("workload");
                     let _s = ctx.span("kernel");
-                    plan.cpu_kernel.run_seq(g, &mut meter)
+                    plan.cpu_kernel.run_seq_kind(g, plan.workload, &mut meter)
                 };
                 meter.counts.record_to(&*ctx);
-                (counts, Some(meter.counts))
+                (output, Some(meter.counts))
             }
-            None => (plan.cpu_kernel.run_seq(g, &mut NullMeter), None),
+            None => (
+                plan.cpu_kernel
+                    .run_seq_kind(g, plan.workload, &mut NullMeter),
+                None,
+            ),
         };
         Execution {
-            counts,
+            output,
             modeled_seconds: None,
             work,
             detail: RunDetail::Measured,
@@ -107,17 +117,18 @@ impl Backend for CpuParBackend {
         let cfg = plan.partitioning.unwrap_or(self.cfg);
         // Observed runs take the metered parallel path (identical counts by
         // construction — every driver mode runs the same `run_range` loop)
-        // and record the merged per-task tallies.
-        let (counts, work) = match ObsContext::current() {
+        // and record the merged per-task tallies. The workload and kernel
+        // spans open inside the parallel skeleton itself.
+        let (output, work) = match ObsContext::current() {
             Some(ctx) => {
-                let (counts, work) = plan.cpu_kernel.run_par_metered(g, &cfg);
+                let (output, work) = plan.cpu_kernel.run_par_metered_kind(g, &cfg, plan.workload);
                 work.record_to(&*ctx);
-                (counts, Some(work))
+                (output, Some(work))
             }
-            None => (plan.cpu_kernel.run_par(g, &cfg), None),
+            None => (plan.cpu_kernel.run_par_kind(g, &cfg, plan.workload), None),
         };
         Execution {
-            counts,
+            output,
             modeled_seconds: None,
             work,
             detail: RunDetail::Measured,
@@ -159,6 +170,11 @@ impl Backend for ModeledBackend {
     }
 
     fn execute(&self, prepared: &PreparedGraph, plan: &Plan) -> Execution {
+        debug_assert_eq!(
+            plan.workload,
+            WorkloadKind::Cnc,
+            "plan() rejects non-CNC workloads on modeled platforms"
+        );
         let g = prepared.execution_graph(plan.reorder);
         let algo = modeled_algo_of(&plan.cpu_kernel);
         let (counts, work) = counts_and_work_of(g, &algo);
@@ -167,7 +183,7 @@ impl Backend for ModeledBackend {
             .processor
             .time_profile(&profile, self.threads, self.mode);
         Execution {
-            counts,
+            output: WorkloadOutput::EdgeCounts(counts),
             modeled_seconds: Some(report.seconds),
             work: Some(work),
             detail: RunDetail::Modeled(report),
@@ -190,6 +206,11 @@ impl Backend for GpuSimBackend {
     }
 
     fn execute(&self, prepared: &PreparedGraph, plan: &Plan) -> Execution {
+        debug_assert_eq!(
+            plan.workload,
+            WorkloadKind::Cnc,
+            "plan() rejects non-CNC workloads on the GPU simulator"
+        );
         let g = prepared.execution_graph(plan.reorder);
         let gpu = GpuRunner::titan_xp_for(self.capacity_scale);
         let algo = match &plan.algorithm {
@@ -206,7 +227,7 @@ impl Backend for GpuSimBackend {
         }
         let run = gpu.run(g, algo, &cfg);
         Execution {
-            counts: run.counts,
+            output: WorkloadOutput::EdgeCounts(run.counts),
             modeled_seconds: Some(run.report.total_seconds),
             work: None,
             detail: RunDetail::Gpu(Box::new(run.report)),

@@ -2,11 +2,12 @@
 //!
 //! ```text
 //! cnc count  GRAPH [--algo mps|bmp|bmp-rf|m] [--platform cpu|cpu-seq|knl|gpu]
+//!            [--workload cnc|triangle|kclique] [--k K]
 //!            [--schedule uniform|balanced] [--out FILE] [--stats]
 //!            [--metrics FILE] [--trace]
 //! cnc run    [--scale tiny|small|medium] [--dataset NAME] [--algo A]
-//!            [--platform P] [--schedule uniform|balanced] [--metrics FILE]
-//!            [--trace]
+//!            [--platform P] [--workload cnc|triangle|kclique] [--k K]
+//!            [--schedule uniform|balanced] [--metrics FILE] [--trace]
 //! cnc stats  GRAPH
 //! cnc scan   GRAPH [--eps 0.6] [--mu 3]
 //! cnc truss  GRAPH
@@ -36,6 +37,12 @@
 //! selected — at that size its multipass partitioning is the execution
 //! model of interest.
 //!
+//! `--workload` selects what the edge-range driver counts: `cnc` (the
+//! default per-edge common neighbor counts), `triangle` (one global
+//! triangle total), or `kclique` with `--k 3..=5` (one count per clique
+//! size). Non-CNC workloads run on the real CPU platforms only, and the
+//! derived-analytics commands (`scan`, `truss`, `--out`) need `cnc`.
+//!
 //! `cnc run` counts the built-in paper analogues (all five, or one via
 //! `--dataset lj-s|or-s|wi-s|tw-s|fr-s`), one observed run each.
 //! `--metrics FILE` writes a `cnc-metrics` JSON file (schema documented in
@@ -57,6 +64,7 @@ use std::sync::Arc;
 
 use cnc_core::{
     truss_decomposition, try_scan, Algorithm, CncView, Platform, PreparedGraph, Runner,
+    WorkloadKind,
 };
 use cnc_cpu::{ParConfig, SchedulePolicy};
 use cnc_graph::datasets::{Dataset, Scale};
@@ -288,6 +296,24 @@ fn parse_algo(args: &mut Vec<String>) -> Result<Algorithm, String> {
     }
 }
 
+/// Parse `--workload cnc|triangle|kclique` (plus `--k` for the clique size,
+/// default 4) into a plan-level workload descriptor. The plan validates the
+/// range and the platform support; this only shapes the request.
+fn parse_workload(args: &mut Vec<String>) -> Result<WorkloadKind, String> {
+    let k: u8 = parse_flag(args, "--k")
+        .map(|s| s.parse().map_err(|e| format!("bad --k: {e}")))
+        .transpose()?
+        .unwrap_or(4);
+    match parse_flag(args, "--workload").as_deref() {
+        None | Some("cnc") => Ok(WorkloadKind::Cnc),
+        Some("triangle") => Ok(WorkloadKind::Triangle),
+        Some("kclique") => Ok(WorkloadKind::KClique { k }),
+        Some(other) => Err(format!(
+            "unknown --workload {other:?} (try cnc|triangle|kclique)"
+        )),
+    }
+}
+
 /// Parse `--schedule uniform|balanced` into a task decomposition policy for
 /// the parallel CPU platform (`None` keeps the platform default; modeled
 /// platforms ignore it).
@@ -340,6 +366,7 @@ fn push_metrics_entry(
     file.field_str("dataset", dataset);
     file.field_str("scale", scale);
     file.field_str("platform", &result.stats.platform);
+    file.field_str("workload", &result.stats.workload);
     file.field_str("algorithm", &result.stats.requested_algorithm);
     file.field_str("effective_algorithm", &result.stats.effective_algorithm);
     file.field_raw(
@@ -363,10 +390,11 @@ fn push_metrics_entry(
 
 fn print_run_summary(label: &str, result: &cnc_core::CncResult) {
     eprintln!(
-        "{label}: {} [{}] counted {} edge slots in {:.1} ms wall{}",
+        "{label}: {} [{} {}] counted {} in {:.1} ms wall{}",
         result.stats.platform,
+        result.stats.workload,
         result.stats.effective_algorithm,
-        result.counts.len(),
+        result.output.summary(),
         result.wall_seconds * 1e3,
         result
             .modeled_seconds
@@ -385,6 +413,7 @@ fn run_suite(mut args: Vec<String>) -> Result<(), String> {
         Some(other) => return Err(format!("unknown --scale {other:?}")),
     };
     let algo = parse_algo(&mut args)?;
+    let workload = parse_workload(&mut args)?;
     let platform_name = parse_flag(&mut args, "--platform").unwrap_or_else(|| "cpu".into());
     let schedule = parse_schedule(&mut args)?;
     let metrics_path = parse_flag(&mut args, "--metrics");
@@ -410,11 +439,13 @@ fn run_suite(mut args: Vec<String>) -> Result<(), String> {
             // The reorder policy doesn't depend on the capacity scale, so a
             // provisional runner decides how to prepare; the real runner is
             // built once the graph (and its edge count) exists.
-            let policy =
-                Runner::new(platform_for(&platform_name, 1.0, schedule)?, algo).reorder_policy();
+            let policy = Runner::new(platform_for(&platform_name, 1.0, schedule)?, algo)
+                .workload(workload)
+                .reorder_policy();
             let prepared = d.prepare(scale, policy);
             let capacity = d.capacity_scale(prepared.graph());
-            let runner = Runner::new(platform_for(&platform_name, capacity, schedule)?, algo);
+            let runner = Runner::new(platform_for(&platform_name, capacity, schedule)?, algo)
+                .workload(workload);
             runner
                 .try_run_prepared(&prepared)
                 .map_err(|e| format!("{}: {e}", d.name()))?
@@ -438,7 +469,7 @@ fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         eprintln!(
-            "usage: cnc <count|stats|scan|truss> GRAPH [--algo A] [--platform P] [--schedule uniform|balanced] [--out F] [--eps E] [--mu M] [--stats] [--metrics F] [--trace]\n       cnc run [--scale S] [--dataset D] [--algo A] [--platform P] [--schedule uniform|balanced] [--metrics F] [--trace]\n       cnc prepare GRAPH [--out F.prep] [--mem-budget BYTES] [--spill-dir D] [--reorder degdesc|none] [--metrics F]\n       cnc cache [ls|gc|clear] [--dir D] [--max-bytes N]"
+            "usage: cnc <count|stats|scan|truss> GRAPH [--algo A] [--platform P] [--workload cnc|triangle|kclique] [--k K] [--schedule uniform|balanced] [--out F] [--eps E] [--mu M] [--stats] [--metrics F] [--trace]\n       cnc run [--scale S] [--dataset D] [--algo A] [--platform P] [--workload cnc|triangle|kclique] [--k K] [--schedule uniform|balanced] [--metrics F] [--trace]\n       cnc prepare GRAPH [--out F.prep] [--mem-budget BYTES] [--spill-dir D] [--reorder degdesc|none] [--metrics F]\n       cnc cache [ls|gc|clear] [--dir D] [--max-bytes N]"
         );
         return Ok(());
     }
@@ -453,6 +484,7 @@ fn run() -> Result<(), String> {
         return run_prepare(args);
     }
     let algo = parse_algo(&mut args)?;
+    let workload = parse_workload(&mut args)?;
     let out_path = parse_flag(&mut args, "--out");
     let eps: f64 = parse_flag(&mut args, "--eps")
         .map(|s| s.parse().map_err(|e| format!("bad --eps: {e}")))
@@ -512,9 +544,16 @@ fn run() -> Result<(), String> {
     let scale = (und_edges as f64 / 684_500_375.0).min(1.0);
     let platform = platform_for(&platform_name, scale, schedule)?;
 
+    // Derived analytics need per-edge counts; global workload tallies
+    // cannot feed them, so reject the combination up front.
+    if workload != WorkloadKind::Cnc && matches!(command.as_str(), "scan" | "truss") {
+        return Err(format!(
+            "cnc {command} needs per-edge counts; it runs the cnc workload only"
+        ));
+    }
     // Prepare once (CSR + reorder tables + statistics); every subcommand
     // below shares the result instead of re-deriving it per run.
-    let runner = Runner::new(platform, algo);
+    let runner = Runner::new(platform, algo).workload(workload);
     let prepared = match (preloaded, raw) {
         (Some(p), _) => p,
         (None, Some(g)) => PreparedGraph::from_csr(g, runner.reorder_policy()),
@@ -531,9 +570,12 @@ fn run() -> Result<(), String> {
             let result = runner
                 .try_run_prepared(&prepared)
                 .map_err(|e| e.to_string())?;
-            let view = result.view(g);
             print_run_summary(&graph_path, &result);
-            eprintln!("triangles: {}", view.triangle_count());
+            // Derived analytics exist for per-edge counts only; global
+            // workloads already printed their tally in the summary.
+            if result.edge_counts().is_some() {
+                eprintln!("triangles: {}", result.view(g).triangle_count());
+            }
             if let Some(ctx) = &ctx {
                 let report = RunReport::from_context(ctx);
                 if trace {
@@ -551,18 +593,20 @@ fn run() -> Result<(), String> {
                 print_stats(g);
             }
             if let Some(path) = out_path {
+                let counts = result.edge_counts().ok_or_else(|| {
+                    "--out writes per-edge counts; use --workload cnc".to_string()
+                })?;
                 let f = std::fs::File::create(&path)
                     .map_err(|e| format!("cannot create {path}: {e}"))?;
                 if path.ends_with(".bin") {
                     // Binary counts aligned to the CSR's directed edge
                     // slots (load with cnc_graph::io::read_counts).
-                    cnc_graph::io::write_counts(&result.counts, f).map_err(|e| e.to_string())?;
+                    cnc_graph::io::write_counts(counts, f).map_err(|e| e.to_string())?;
                 } else {
                     let mut w = BufWriter::new(f);
                     for (eid, u, v) in g.iter_edges() {
                         if u < v {
-                            writeln!(w, "{u}\t{v}\t{}", result.counts[eid])
-                                .map_err(|e| e.to_string())?;
+                            writeln!(w, "{u}\t{v}\t{}", counts[eid]).map_err(|e| e.to_string())?;
                         }
                     }
                     w.flush().map_err(|e| e.to_string())?;
@@ -596,7 +640,7 @@ fn run() -> Result<(), String> {
             let result = runner
                 .try_run_prepared(&prepared)
                 .map_err(|e| e.to_string())?;
-            let r = truss_decomposition(g, &result.counts).map_err(|e| e.to_string())?;
+            let r = truss_decomposition(g, result.counts()).map_err(|e| e.to_string())?;
             println!("max trussness: {}", r.max_k);
             for k in 3..=r.max_k {
                 let edges = r.truss_edge_count(g, k);
@@ -605,7 +649,7 @@ fn run() -> Result<(), String> {
                 }
             }
             // Also report the densest layer's clustering quality.
-            let view = CncView::new(g, &result.counts);
+            let view = CncView::new(g, result.counts());
             println!(
                 "global clustering coefficient: {:.4}",
                 view.global_clustering_coefficient()

@@ -345,7 +345,7 @@ mod tests {
         let (g, maintained) = inc.snapshot();
         let batch =
             crate::Runner::new(crate::Platform::cpu_parallel(), crate::Algorithm::bmp_rf()).run(&g);
-        assert_eq!(maintained, batch.counts);
+        assert_eq!(maintained, batch.counts());
     }
 
     #[test]

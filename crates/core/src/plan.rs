@@ -18,21 +18,38 @@
 use cnc_cpu::{CpuKernel, ParConfig};
 use cnc_graph::PreparedGraph;
 use cnc_intersect::RfRatioError;
+use cnc_workload::{WorkloadError, WorkloadKind};
 
 use crate::runner::{Algorithm, Platform, Runner};
 
 /// Why a run cannot be planned.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PlanError {
     /// The BMP range-filter ratio is invalid (zero / one / not a power of
     /// two).
     InvalidRfRatio(RfRatioError),
+    /// The workload configuration is invalid (clique size out of range).
+    InvalidWorkload(WorkloadError),
+    /// The platform cannot execute the requested workload (only the real
+    /// CPU backends run non-CNC workloads).
+    UnsupportedWorkload {
+        /// Label of the requested workload.
+        workload: String,
+        /// Label of the platform that cannot run it.
+        platform: String,
+    },
 }
 
 impl std::fmt::Display for PlanError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PlanError::InvalidRfRatio(e) => write!(f, "invalid BMP range-filter config: {e}"),
+            PlanError::InvalidWorkload(e) => write!(f, "invalid workload config: {e}"),
+            PlanError::UnsupportedWorkload { workload, platform } => write!(
+                f,
+                "workload {workload} is not supported on platform {platform} \
+                 (non-CNC workloads run on the real CPU backends only)"
+            ),
         }
     }
 }
@@ -41,6 +58,8 @@ impl std::error::Error for PlanError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PlanError::InvalidRfRatio(e) => Some(e),
+            PlanError::InvalidWorkload(e) => Some(e),
+            PlanError::UnsupportedWorkload { .. } => None,
         }
     }
 }
@@ -48,6 +67,12 @@ impl std::error::Error for PlanError {
 impl From<RfRatioError> for PlanError {
     fn from(e: RfRatioError) -> Self {
         PlanError::InvalidRfRatio(e)
+    }
+}
+
+impl From<WorkloadError> for PlanError {
+    fn from(e: WorkloadError) -> Self {
+        PlanError::InvalidWorkload(e)
     }
 }
 
@@ -69,6 +94,8 @@ pub struct Plan {
     /// Degree-descending reorder before executing (counts are always
     /// remapped back to the input graph's offsets).
     pub reorder: bool,
+    /// The counting workload this run executes (CNC by default).
+    pub workload: WorkloadKind,
     /// The algorithm as requested.
     pub algorithm: Algorithm,
     /// The CPU-side kernel dispatch with the range-filter choice resolved
@@ -93,6 +120,18 @@ impl Runner {
             Algorithm::Bmp(rf) => CpuKernel::Bmp(rf.mode(prepared.graph().num_vertices())),
         };
         cpu_kernel.validate()?;
+        let workload = self.workload_kind();
+        workload.validate()?;
+        let cpu_platform = matches!(
+            self.platform(),
+            Platform::CpuSequential | Platform::CpuParallel(_)
+        );
+        if workload != WorkloadKind::Cnc && !cpu_platform {
+            return Err(PlanError::UnsupportedWorkload {
+                workload: workload.label(),
+                platform: self.backend().label(),
+            });
+        }
         let substitution = match (self.platform(), &algorithm) {
             (Platform::Gpu { .. }, Algorithm::MergeBaseline) => Some(KernelSubstitution {
                 requested: algorithm.label().to_string(),
@@ -108,6 +147,7 @@ impl Runner {
         };
         Ok(Plan {
             reorder: self.reorder_enabled(),
+            workload,
             algorithm,
             cpu_kernel,
             partitioning,

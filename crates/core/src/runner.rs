@@ -27,6 +27,7 @@ use cnc_intersect::{MpsConfig, WorkCounts};
 use cnc_knl::ModeledProcessor;
 use cnc_machine::{MemMode, ModelReport};
 use cnc_obs::{ObsContext, RunReport};
+use cnc_workload::{WorkloadKind, WorkloadOutput};
 
 use crate::analytics::CncView;
 use crate::backend::{Backend, CpuParBackend, CpuSeqBackend, GpuSimBackend, ModeledBackend};
@@ -166,6 +167,8 @@ pub enum RunDetail {
 pub struct RunStats {
     /// Backend label (`cpu-seq`, `cpu-par`, `cpu-model`, `knl`, `gpu-sim`).
     pub platform: String,
+    /// Label of the executed workload (`cnc`, `triangle`, `kclique(k=4)`).
+    pub workload: String,
     /// Paper-style label of the requested algorithm.
     pub requested_algorithm: String,
     /// What actually ran: equals the requested label unless the platform
@@ -184,11 +187,13 @@ pub struct RunStats {
     pub modeled_seconds: Option<f64>,
 }
 
-/// The outcome of a counting run.
+/// The outcome of a counting run, for any workload.
 #[derive(Debug, Clone)]
-pub struct CncResult {
-    /// One count per directed edge slot of the *input* graph.
-    pub counts: Vec<u32>,
+pub struct RunOutput {
+    /// The workload's result. CNC yields per-edge counts in the *input*
+    /// graph's directed edge offsets; triangle and k-clique counting yield
+    /// global tallies.
+    pub output: WorkloadOutput,
     /// Host wall-clock seconds for the whole run (including simulation
     /// overhead — not a performance number for modeled platforms).
     pub wall_seconds: f64,
@@ -205,31 +210,65 @@ pub struct CncResult {
     pub report: RunReport,
 }
 
-impl CncResult {
-    /// Bind the counts to their graph for derived analytics.
+/// The historical name of a CNC run's outcome.
+pub type CncResult = RunOutput;
+
+impl RunOutput {
+    /// The per-edge counts of a CNC run.
+    ///
+    /// # Panics
+    /// If the run executed a non-CNC workload; use
+    /// [`edge_counts`](RunOutput::edge_counts) to branch instead.
+    pub fn counts(&self) -> &[u32] {
+        self.output
+            .edge_counts()
+            .expect("per-edge counts exist only for the CNC workload")
+    }
+
+    /// The per-edge counts, when this run executed CNC.
+    pub fn edge_counts(&self) -> Option<&[u32]> {
+        self.output.edge_counts()
+    }
+
+    /// Consume into the per-edge counts of a CNC run.
+    ///
+    /// # Panics
+    /// If the run executed a non-CNC workload.
+    pub fn into_counts(self) -> Vec<u32> {
+        self.output
+            .into_edge_counts()
+            .expect("per-edge counts exist only for the CNC workload")
+    }
+
+    /// Bind a CNC run's counts to their graph for derived analytics.
+    ///
+    /// # Panics
+    /// If the run executed a non-CNC workload.
     pub fn view<'a>(&'a self, g: &'a CsrGraph) -> CncView<'a> {
-        CncView::new(g, &self.counts)
+        CncView::new(g, self.counts())
     }
 }
 
-/// A configured platform × algorithm run.
+/// A configured platform × algorithm × workload run.
 #[derive(Debug, Clone)]
 pub struct Runner {
     platform: Platform,
     algorithm: Algorithm,
     reorder: bool,
+    workload: WorkloadKind,
 }
 
 impl Runner {
     /// A runner for the given platform and algorithm. Degree-descending
     /// reordering defaults to on for BMP (its complexity bound needs it)
-    /// and off otherwise.
+    /// and off otherwise; the workload defaults to CNC.
     pub fn new(platform: Platform, algorithm: Algorithm) -> Self {
         let reorder = matches!(algorithm, Algorithm::Bmp(_));
         Self {
             platform,
             algorithm,
             reorder,
+            workload: WorkloadKind::Cnc,
         }
     }
 
@@ -238,6 +277,19 @@ impl Runner {
     pub fn reorder(mut self, yes: bool) -> Self {
         self.reorder = yes;
         self
+    }
+
+    /// Select the counting workload (CNC by default). Non-CNC workloads
+    /// run on the real CPU backends only; other platforms are rejected at
+    /// plan time.
+    pub fn workload(mut self, kind: WorkloadKind) -> Self {
+        self.workload = kind;
+        self
+    }
+
+    /// The configured workload.
+    pub fn workload_kind(&self) -> WorkloadKind {
+        self.workload
     }
 
     /// The configured platform.
@@ -353,10 +405,17 @@ impl Runner {
             backend.execute(prepared, &plan)
         };
         // The reorder is effective only if the preparation computed tables.
+        // Only per-edge outputs live in the executed graph's offsets;
+        // global tallies are offset-free and need no remap.
         let effective_reorder = plan.reorder && prepared.reordered().is_some();
         if effective_reorder {
-            let r = prepared.reordered().expect("checked above");
-            exec.counts = counts_to_original(prepared.graph(), r, &exec.counts);
+            if let WorkloadOutput::EdgeCounts(counts) = &mut exec.output {
+                let r = prepared.reordered().expect("checked above");
+                *counts = counts_to_original(prepared.graph(), r, counts);
+            }
+        }
+        if let (Some(ctx), Some(global)) = (&obs, exec.output.global_count()) {
+            ctx.add(cnc_obs::Counter::WorkloadGlobalCount, global);
         }
         // Report.
         let wall_seconds = t0.elapsed().as_secs_f64();
@@ -367,6 +426,7 @@ impl Runner {
             .unwrap_or_else(|| plan.algorithm.label().to_string());
         let stats = RunStats {
             platform: backend.label(),
+            workload: plan.workload.label(),
             requested_algorithm: plan.algorithm.label().to_string(),
             effective_algorithm,
             reordered: effective_reorder,
@@ -387,8 +447,8 @@ impl Runner {
             },
             _ => RunReport::disabled(),
         };
-        Ok(CncResult {
-            counts: exec.counts,
+        Ok(RunOutput {
+            output: exec.output,
             wall_seconds,
             modeled_seconds: exec.modeled_seconds,
             detail: exec.detail,
@@ -437,7 +497,7 @@ mod tests {
             ] {
                 let r = Runner::new(platform.clone(), algorithm).run(&g);
                 assert_eq!(
-                    r.counts,
+                    r.counts(),
                     want,
                     "platform={platform:?} algorithm={}",
                     algorithm.label()
@@ -453,7 +513,7 @@ mod tests {
             let r = Runner::new(Platform::cpu_parallel(), Algorithm::bmp_rf())
                 .reorder(reorder)
                 .run(&g);
-            assert!(verify_counts(&g, &r.counts).is_ok(), "reorder={reorder}");
+            assert!(verify_counts(&g, r.counts()).is_ok(), "reorder={reorder}");
             assert_eq!(r.stats.reordered, reorder);
         }
     }
@@ -515,7 +575,7 @@ mod tests {
         let g = Dataset::LjS.build(Scale::Tiny);
         let scale = Dataset::LjS.capacity_scale(&g);
         let r = Runner::new(Platform::gpu(scale), Algorithm::MergeBaseline).run(&g);
-        assert_eq!(r.counts, reference_counts(&g));
+        assert_eq!(r.counts(), reference_counts(&g));
         let sub = r
             .stats
             .substitution
@@ -559,7 +619,7 @@ mod tests {
         let ok = Runner::new(Platform::CpuSequential, Algorithm::Bmp(RfChoice::Ratio(64)))
             .try_run(&g)
             .unwrap();
-        assert_eq!(ok.counts, reference_counts(&g));
+        assert_eq!(ok.counts(), reference_counts(&g));
     }
 
     #[test]
@@ -603,8 +663,8 @@ mod tests {
             "running must not re-reorder"
         );
         assert_eq!(after_runs.since(&after_prepare).graph_builds, 0);
-        assert_eq!(r1.counts, r2.counts);
-        assert_eq!(r1.counts, reference_counts(&g));
+        assert_eq!(r1.counts(), r2.counts());
+        assert_eq!(r1.counts(), reference_counts(&g));
         assert!(r1.stats.reordered && r2.stats.reordered);
     }
 
@@ -623,7 +683,7 @@ mod tests {
                 for algorithm in [Algorithm::mps(), Algorithm::bmp_rf()] {
                     let r = Runner::new(platform.clone(), algorithm).run_prepared(&pg);
                     assert_eq!(
-                        r.counts,
+                        r.counts(),
                         want,
                         "dataset={} platform={platform:?} algorithm={}",
                         d.name(),
@@ -654,7 +714,7 @@ mod tests {
             let _g = ctx.install();
             runner.run_prepared(&pg)
         };
-        assert_eq!(r.counts, want_counts, "observability must not perturb");
+        assert_eq!(r.counts(), want_counts, "observability must not perturb");
         assert!(r.report.enabled);
         assert_eq!(r.report.counter(C::KernelScalarOps), want_work.scalar_ops);
         assert_eq!(r.report.counter(C::KernelSeqBytes), want_work.seq_bytes);
@@ -664,8 +724,8 @@ mod tests {
         );
         assert_eq!(r.stats.work, Some(want_work));
         assert!(r.report.counter(C::DriverTasks) > 0);
-        // Span tree: plan and execute at the roots, the parallel kernel and
-        // its per-task spans nested beneath execute.
+        // Span tree: plan and execute at the roots, then the workload span,
+        // the parallel kernel, and its per-task spans nested beneath.
         let names: Vec<_> = r.report.spans.iter().map(|s| s.name).collect();
         assert!(names.contains(&"plan"), "roots: {names:?}");
         let exec = r
@@ -674,11 +734,16 @@ mod tests {
             .iter()
             .find(|s| s.name == "execute")
             .expect("execute span");
-        let kernel = exec
+        let workload = exec
+            .children
+            .iter()
+            .find(|s| s.name == "workload")
+            .expect("workload span under execute");
+        let kernel = workload
             .children
             .iter()
             .find(|s| s.name == "kernel")
-            .expect("kernel span under execute");
+            .expect("kernel span under workload");
         assert!(
             kernel.children.iter().all(|t| t.name == "task"),
             "kernel children must be task spans"
@@ -703,7 +768,7 @@ mod tests {
         assert!(!plain.report.enabled);
         assert_eq!(plain.report.counter(C::KernelScalarOps), 0);
         assert!(plain.report.spans.is_empty());
-        assert_eq!(plain.counts, want_counts);
+        assert_eq!(plain.counts(), want_counts);
     }
 
     #[test]
@@ -749,7 +814,7 @@ mod tests {
         let g = Dataset::LjS.build(Scale::Tiny);
         let pg = PreparedGraph::from_csr(g.clone(), cnc_graph::ReorderPolicy::None);
         let r = Runner::new(Platform::cpu_parallel(), Algorithm::bmp_rf()).run_prepared(&pg);
-        assert_eq!(r.counts, reference_counts(&g));
+        assert_eq!(r.counts(), reference_counts(&g));
         assert!(
             !r.stats.reordered,
             "no tables → reorder cannot be effective"

@@ -45,6 +45,14 @@ pub enum TrussError {
         /// `counts.len()` as passed.
         got: usize,
     },
+    /// A triangle discovered during peeling references an edge the CSR does
+    /// not store — the graph's adjacency is internally inconsistent.
+    MissingTriangleEdge {
+        /// Source endpoint of the missing edge.
+        u: u32,
+        /// Destination endpoint of the missing edge.
+        v: u32,
+    },
 }
 
 impl std::fmt::Display for TrussError {
@@ -53,6 +61,10 @@ impl std::fmt::Display for TrussError {
             TrussError::CountsLengthMismatch { expected, got } => write!(
                 f,
                 "counts length {got} does not match {expected} directed edge slots"
+            ),
+            TrussError::MissingTriangleEdge { u, v } => write!(
+                f,
+                "triangle references edge ({u}, {v}) missing from the CSR adjacency"
             ),
         }
     }
@@ -90,8 +102,11 @@ pub fn truss_decomposition(g: &CsrGraph, counts: &[u32]) -> Result<TrussResult, 
     let mut k = 2u32;
     while let Some(&(s, eid)) = queue.iter().next() {
         queue.remove(&(s, eid));
-        // Peeling: the next edge's truss level is max(k, support + 2).
-        k = k.max((s.max(0) as u32) + 2);
+        // Peeling: the next edge's truss level is max(k, support + 2),
+        // saturated so corrupt (e.g. u32::MAX) input supports cannot
+        // overflow — garbage counts give garbage levels, never a panic.
+        let level = (s.max(0) as u64 + 2).min(u32::MAX as u64) as u32;
+        k = k.max(level);
         let mut hint = 0u32;
         let u = g.find_src(eid, &mut hint);
         let v = g.dst()[eid];
@@ -105,8 +120,12 @@ pub fn truss_decomposition(g: &CsrGraph, counts: &[u32]) -> Result<TrussResult, 
         // the supports of (u, w) and (v, w).
         merge_collect(g.neighbors(u), g.neighbors(v), &mut scratch, &mut NullMeter);
         for &w in &scratch {
-            let euw = g.edge_offset(u, w).expect("triangle edge");
-            let evw = g.edge_offset(v, w).expect("triangle edge");
+            let euw = g
+                .edge_offset(u, w)
+                .ok_or(TrussError::MissingTriangleEdge { u, v: w })?;
+            let evw = g
+                .edge_offset(v, w)
+                .ok_or(TrussError::MissingTriangleEdge { u: v, v: w })?;
             if removed[euw] || removed[evw] {
                 continue;
             }
@@ -243,6 +262,31 @@ mod tests {
             let rev = g.reverse_offset(u, eid);
             assert_eq!(r.trussness[eid], r.trussness[rev]);
         }
+    }
+
+    #[test]
+    fn inconsistent_counts_surface_typed_errors_not_panics() {
+        let g = CsrGraph::from_edge_list(&generators::complete(5));
+        let m = g.num_directed_edges();
+        // Misaligned counts are rejected with the length mismatch.
+        let err = truss_decomposition(&g, &vec![0u32; m + 3]).unwrap_err();
+        assert_eq!(
+            err,
+            TrussError::CountsLengthMismatch {
+                expected: m,
+                got: m + 3
+            }
+        );
+        assert!(err.to_string().contains("directed edge slots"));
+        // Garbage counts of the right length are not detectable up front;
+        // the peel must still terminate without panicking (supports only
+        // seed the removal order, the triangles come from the adjacency).
+        let garbage = vec![u32::MAX; m];
+        let r = truss_decomposition(&g, &garbage).expect("well-formed CSR never loses a triangle");
+        assert_eq!(r.trussness.len(), m);
+        // The missing-edge variant renders both endpoints.
+        let msg = TrussError::MissingTriangleEdge { u: 7, v: 9 }.to_string();
+        assert!(msg.contains("(7, 9)"), "{msg}");
     }
 
     #[test]

@@ -37,7 +37,7 @@ proptest! {
         let runner =
             Runner::new(Platform::CpuSequential, Algorithm::mps()).reorder(reorder);
         let baseline = runner.try_run(&g).unwrap();
-        let mut inc = IncrementalCnc::from_graph(&g, &baseline.counts).unwrap();
+        let mut inc = IncrementalCnc::from_graph(&g, baseline.counts()).unwrap();
 
         for batch in script {
             for (ins, a, b) in batch {
@@ -55,7 +55,7 @@ proptest! {
             let fresh = runner.try_run(&snapshot).unwrap();
             prop_assert_eq!(
                 maintained,
-                fresh.counts,
+                fresh.counts(),
                 "{}/{}: maintained counts diverged from a fresh recount",
                 dataset.name(),
                 if reorder { "reordered" } else { "plain" }

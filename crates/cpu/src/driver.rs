@@ -1,25 +1,28 @@
 //! The one edge-range task loop behind every CPU driver.
 //!
-//! The paper's Algorithm 3 runs the same skeleton for every algorithm: the
+//! The paper's Algorithm 3 runs the same skeleton for every workload: the
 //! edge-offset range `[0, |E|)` is cut into tasks (see
 //! [`SchedulePolicy`](crate::SchedulePolicy) — fixed `|T|`-sized chunks or
 //! cost-balanced source-aligned cuts), each task finds the source of each
-//! offset with the amortized `FindSrc` stash, computes counts for `u < v`
-//! pairs, and scatters both `cnt[e(u,v)]` and the mirrored `cnt[e(v,u)]`.
-//! The only per-algorithm difference is the per-pair counting strategy —
-//! captured by [`PairKernel`] in `cnc-intersect` — including its per-source
-//! state (BMP's bitmap index, rebuilt only when the source changes).
+//! offset with the amortized `FindSrc` stash, and visits every covered
+//! `u < v` pair through the active [`Workload`] (CNC scatters counts into
+//! both directed slots; triangle / k-clique counting reduce task-local
+//! tallies). The per-algorithm counting strategy stays captured by
+//! [`PairKernel`] in `cnc-intersect` — including its per-source state
+//! (BMP's bitmap index, rebuilt only when the source changes).
 //!
-//! [`run_range`] is that skeleton, written exactly once. [`EdgeRangeDriver`]
-//! instantiates it three ways:
+//! [`run_range`] is that skeleton, written exactly once and generic over
+//! the workload. [`EdgeRangeDriver`] instantiates it three ways:
 //!
-//! * [`run_seq`](EdgeRangeDriver::run_seq) — the whole range as one task,
-//!   work reported to the caller's [`Meter`] (this is what the KNL/CPU
-//!   machine-model profiler executes);
-//! * [`run_par`](EdgeRangeDriver::run_par) — rayon task split, unmetered;
-//! * [`run_par_metered`](EdgeRangeDriver::run_par_metered) — rayon task
-//!   split with a per-task [`CountingMeter`], tallies reduced lock-free at
-//!   the end.
+//! * [`run_seq_workload`](EdgeRangeDriver::run_seq_workload) — the whole
+//!   range as one task, work reported to the caller's [`Meter`] (this is
+//!   what the KNL/CPU machine-model profiler executes, via the CNC-pinned
+//!   [`run_seq`](EdgeRangeDriver::run_seq));
+//! * [`run_par_workload`](EdgeRangeDriver::run_par_workload) — rayon task
+//!   split, unmetered;
+//! * [`run_par_metered_workload`](EdgeRangeDriver::run_par_metered_workload)
+//!   — rayon task split with a per-task [`CountingMeter`], tallies reduced
+//!   lock-free at the end.
 //!
 //! Kernels with per-source state are shared across tasks through a
 //! [`KernelFactory`]; [`BitmapPool`] implements it so BMP tasks borrow (and
@@ -33,10 +36,12 @@ use cnc_intersect::{
     validate_rf_ratio, BmpKernel, CostModel, CountingMeter, MergeKernel, Meter, MpsConfig,
     MpsKernel, NullMeter, PairKernel, RfKernel, RfRatioError, WorkCounts,
 };
+use cnc_workload::{
+    CncWorkload, KCliqueWorkload, TriangleWorkload, Workload, WorkloadKind, WorkloadOutput,
+};
 use rayon::prelude::*;
 
 use crate::pool::BitmapPool;
-use crate::scatter::ScatterVec;
 use crate::schedule::Schedule;
 use crate::ParConfig;
 
@@ -86,69 +91,76 @@ impl BmpMode {
     }
 }
 
-/// Cost of the `e(v,u)` mirror lookup (the symmetric-assignment technique),
-/// reported to the meter.
-///
-/// Prepared graphs carry a reverse-edge index, making the lookup a single
-/// streamed load; graphs without one fall back to a binary search over
-/// `N(v)` whose probes hit random cache lines.
-#[inline]
-fn meter_reverse<M: Meter>(has_rev: bool, dv: usize, meter: &mut M) {
-    if has_rev {
-        meter.seq_bytes(8); // one rev[eid] load, streamed with the edge walk
-    } else {
-        let probes = (dv.max(1)).ilog2() as u64 + 1;
-        meter.scalar_ops(probes);
-        meter.rand_accesses(probes);
+/// Per-range bookkeeping returned by [`run_range`]: the observability
+/// tallies every execution mode reduces over its tasks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RangeTally {
+    /// `begin_source` transitions the range incurred: one per distinct
+    /// source under source-aligned scheduling, more when cuts land
+    /// mid-source and the same source is re-indexed by several tasks.
+    /// Always zero for workloads that bypass the kernel's per-source state.
+    pub rebuilds: u64,
+    /// Covered canonical pairs visited.
+    pub visited: u64,
+    /// Canonical pairs skipped by the workload's cover predicate.
+    pub skipped: u64,
+}
+
+impl RangeTally {
+    /// Fold another range's tally into this one (parallel reduction).
+    pub fn accumulate(&mut self, other: &RangeTally) {
+        self.rebuilds += other.rebuilds;
+        self.visited += other.visited;
+        self.skipped += other.skipped;
     }
-    meter.write_bytes(8); // the two count stores
 }
 
 /// **The** edge-range task loop (Algorithm 3 lines 6–24).
 ///
 /// Walks `range`, resolves sources with the `FindSrc` stash, drives the
-/// kernel's per-source state with the `pu_tls` rebuild-on-change logic, and
-/// emits `(offset, count)` for both `e(u,v)` and the mirrored `e(v,u)`.
-/// Every sequential, parallel and metered CPU driver — and the KNL / CPU
+/// kernel's per-source state with the `pu_tls` rebuild-on-change logic
+/// (skipped entirely when the workload never probes the kernel), and calls
+/// [`Workload::visit`] for every covered canonical (`u < v`) pair. Every
+/// sequential, parallel and metered CPU driver — and the KNL / CPU
 /// machine-model profiler — executes this function and nothing else.
-///
-/// Returns the number of `begin_source` transitions the range incurred:
-/// one per distinct source under source-aligned scheduling, more when cuts
-/// land mid-source and the same source is re-indexed by several tasks.
-pub fn run_range<K: PairKernel, M: Meter>(
+pub fn run_range<W: Workload, K: PairKernel, M: Meter>(
     g: &CsrGraph,
     range: Range<usize>,
+    workload: &W,
+    shared: &W::Shared,
+    acc: &mut W::Accum,
     kernel: &mut K,
     meter: &mut M,
-    emit: &mut impl FnMut(usize, u32),
-) -> u64 {
-    let has_rev = g.has_reverse_index();
+) -> RangeTally {
+    let uses_kernel = workload.uses_kernel();
     let mut u_tls = 0u32; // FindSrc stash (Algorithm 3 line 8)
     let mut pu: Option<u32> = None; // pu_tls (Algorithm 3 line 19)
-    let mut rebuilds = 0u64;
+    let mut tally = RangeTally::default();
     for eid in range {
         let u = g.find_src(eid, &mut u_tls);
         let v = g.dst()[eid];
         if u >= v {
             continue;
         }
-        if pu != Some(u) {
+        if !workload.covers(g, u, v) {
+            tally.skipped += 1;
+            continue;
+        }
+        if uses_kernel && pu != Some(u) {
             if let Some(p) = pu {
                 kernel.end_source(g.neighbors(p), meter);
             }
             kernel.begin_source(g.neighbors(u), meter);
-            rebuilds += 1;
+            tally.rebuilds += 1;
             pu = Some(u);
         }
-        let c = kernel.count(g.neighbors(u), g.neighbors(v), meter);
-        emit(eid, c);
-        emit(g.reverse_offset(u, eid), c);
-        meter_reverse(has_rev, g.degree(v), meter);
+        workload.visit(g, shared, acc, eid, u, v, kernel, meter);
+        tally.visited += 1;
     }
     if let Some(p) = pu {
         kernel.end_source(g.neighbors(p), meter);
     }
-    rebuilds
+    tally
 }
 
 /// Hands kernels to parallel tasks and takes them back.
@@ -207,65 +219,118 @@ impl<'g> EdgeRangeDriver<'g> {
         Self { g }
     }
 
-    /// Sequential execution: the whole edge range as one task, all work
-    /// reported to `meter`.
-    pub fn run_seq<K: PairKernel, M: Meter>(&self, kernel: &mut K, meter: &mut M) -> Vec<u32> {
-        let m = self.g.num_directed_edges();
-        let mut cnt = vec![0u32; m];
-        let rebuilds = run_range(self.g, 0..m, kernel, meter, &mut |eid, c| cnt[eid] = c);
-        cnc_obs::ObsContext::add_current(cnc_obs::Counter::KernelSourceRebuilds, rebuilds);
-        cnt
+    /// Sequential execution of any workload: the whole edge range as one
+    /// task, all work reported to `meter`.
+    pub fn run_seq_workload<W: Workload, K: PairKernel, M: Meter>(
+        &self,
+        workload: &W,
+        kernel: &mut K,
+        meter: &mut M,
+    ) -> W::Output {
+        let g = self.g;
+        let m = g.num_directed_edges();
+        let shared = workload.new_shared(g);
+        let mut acc = workload.new_accum(g);
+        let tally = run_range(g, 0..m, workload, &shared, &mut acc, kernel, meter);
+        Self::record_tally(&cnc_obs::ObsContext::current(), &tally);
+        workload.finish(g, shared, acc)
     }
 
-    /// Parallel execution (Algorithm 3): unmetered.
+    /// Sequential CNC execution (the historical driver entry point).
+    pub fn run_seq<K: PairKernel, M: Meter>(&self, kernel: &mut K, meter: &mut M) -> Vec<u32> {
+        self.run_seq_workload(&CncWorkload, kernel, meter)
+    }
+
+    /// Parallel execution of any workload (Algorithm 3): unmetered.
+    pub fn run_par_workload<W: Workload, F: KernelFactory>(
+        &self,
+        workload: &W,
+        factory: &F,
+        cfg: &ParConfig,
+        model: &CostModel,
+    ) -> W::Output {
+        self.par_drive(workload, factory, cfg, model, false).0
+    }
+
+    /// Parallel CNC execution (the historical driver entry point).
     pub fn run_par<F: KernelFactory>(
         &self,
         factory: &F,
         cfg: &ParConfig,
         model: &CostModel,
     ) -> Vec<u32> {
-        self.par_drive(factory, cfg, model, false).0
+        self.run_par_workload(&CncWorkload, factory, cfg, model)
     }
 
-    /// Parallel execution with per-task [`CountingMeter`]s, tallies reduced
-    /// lock-free and returned alongside the counts.
+    /// Parallel execution of any workload with per-task [`CountingMeter`]s,
+    /// tallies reduced lock-free and returned alongside the output.
+    pub fn run_par_metered_workload<W: Workload, F: KernelFactory>(
+        &self,
+        workload: &W,
+        factory: &F,
+        cfg: &ParConfig,
+        model: &CostModel,
+    ) -> (W::Output, WorkCounts) {
+        self.par_drive(workload, factory, cfg, model, true)
+    }
+
+    /// Parallel metered CNC execution (the historical driver entry point).
     pub fn run_par_metered<F: KernelFactory>(
         &self,
         factory: &F,
         cfg: &ParConfig,
         model: &CostModel,
     ) -> (Vec<u32>, WorkCounts) {
-        self.par_drive(factory, cfg, model, true)
+        self.run_par_metered_workload(&CncWorkload, factory, cfg, model)
+    }
+
+    /// Record one execution's reduced [`RangeTally`] into the ambient
+    /// observability context, if any.
+    fn record_tally(obs: &Option<std::sync::Arc<cnc_obs::ObsContext>>, tally: &RangeTally) {
+        if let Some(ctx) = obs.as_ref() {
+            use cnc_obs::Counter as C;
+            ctx.add(C::KernelSourceRebuilds, tally.rebuilds);
+            ctx.add(C::WorkloadEdgesVisited, tally.visited);
+            ctx.add(C::WorkloadEdgesSkipped, tally.skipped);
+        }
     }
 
     /// Shared parallel skeleton: decompose the edge range under the
-    /// config's schedule policy, borrow a kernel per task, scatter through
-    /// a [`ScatterVec`], optionally meter. Per-task tallies (and
-    /// `begin_source` rebuild counts) are combined with a rayon
-    /// `map`/`reduce` of thread-local values — no lock on the hot path.
-    fn par_drive<F: KernelFactory>(
+    /// config's schedule policy (priced through the workload's cost hooks),
+    /// borrow a kernel per task, accumulate through the workload's shared /
+    /// per-task state, optionally meter. Per-task accumulators and tallies
+    /// are combined with a rayon `map`/`reduce` of thread-local values — no
+    /// lock on the hot path.
+    fn par_drive<W: Workload, F: KernelFactory>(
         &self,
+        workload: &W,
         factory: &F,
         cfg: &ParConfig,
         model: &CostModel,
         metered: bool,
-    ) -> (Vec<u32>, WorkCounts) {
+    ) -> (W::Output, WorkCounts) {
         let g = self.g;
         let m = g.num_directed_edges();
-        let cnt = ScatterVec::new(m);
+        let shared = workload.new_shared(g);
+        let mut merged = workload.new_accum(g);
         let mut total = WorkCounts::default();
         if m > 0 {
             // Ambient observability: rayon workers do not see the installing
             // thread's context, so capture it (and the id of a "kernel" span
-            // that nests under the caller's open span) here and hand both to
-            // every task explicitly. `None` means every probe below is a
-            // no-op and the loop body is identical to the uninstrumented one.
+            // that nests under this call's "workload" span) here and hand
+            // both to every task explicitly. `None` means every probe below
+            // is a no-op and the loop body is identical to the
+            // uninstrumented one.
             let obs = cnc_obs::ObsContext::current();
             // Cost estimates are only worth the O(E) pricing pass when
             // someone is watching (the balanced policy prices sources
             // either way, so its estimates are free).
-            let schedule = Schedule::compute(g, cfg.schedule, model, obs.is_some());
+            let schedule = Schedule::compute(g, cfg.schedule, model, workload, obs.is_some());
             let tasks = schedule.tasks();
+            // Span nesting is ambient on this thread: "workload" opens under
+            // the caller's span, "kernel" under "workload". Declaration
+            // order makes them close in reverse.
+            let _workload_span = obs.as_ref().map(|ctx| ctx.span("workload"));
             let kernel_span = obs.as_ref().map(|ctx| {
                 use cnc_obs::Counter as C;
                 ctx.add(C::DriverTasks, tasks.len() as u64);
@@ -276,6 +341,7 @@ impl<'g> EdgeRangeDriver<'g> {
             });
             let parent = kernel_span.as_ref().map(|s| s.id());
             let obs = &obs;
+            let shared_ref = &shared;
             let run = || {
                 (0..tasks.len())
                     .into_par_iter()
@@ -287,34 +353,56 @@ impl<'g> EdgeRangeDriver<'g> {
                             s
                         });
                         let mut kernel = factory.acquire();
-                        let mut emit = |eid: usize, c: u32| cnt.set(eid, c);
-                        let tally = if metered {
+                        let mut acc = workload.new_accum(g);
+                        let (work, tally) = if metered {
                             let mut meter = CountingMeter::new();
-                            let rebuilds = run_range(g, range, &mut kernel, &mut meter, &mut emit);
-                            (meter.counts, rebuilds)
+                            let tally = run_range(
+                                g,
+                                range,
+                                workload,
+                                shared_ref,
+                                &mut acc,
+                                &mut kernel,
+                                &mut meter,
+                            );
+                            (meter.counts, tally)
                         } else {
-                            let rebuilds =
-                                run_range(g, range, &mut kernel, &mut NullMeter, &mut emit);
-                            (WorkCounts::default(), rebuilds)
+                            let tally = run_range(
+                                g,
+                                range,
+                                workload,
+                                shared_ref,
+                                &mut acc,
+                                &mut kernel,
+                                &mut NullMeter,
+                            );
+                            (WorkCounts::default(), tally)
                         };
                         factory.release(kernel);
-                        tally
+                        (acc, work, tally)
                     })
                     .reduce(
-                        || (WorkCounts::default(), 0u64),
+                        || {
+                            (
+                                workload.new_accum(g),
+                                WorkCounts::default(),
+                                RangeTally::default(),
+                            )
+                        },
                         |mut a, b| {
-                            a.0.merge(&b.0);
-                            (a.0, a.1 + b.1)
+                            workload.merge(&mut a.0, b.0);
+                            a.1.merge(&b.1);
+                            a.2.accumulate(&b.2);
+                            a
                         },
                     )
             };
-            let (counts, rebuilds) = crate::with_threads(cfg.threads, run);
-            if let Some(ctx) = obs.as_ref() {
-                ctx.add(cnc_obs::Counter::KernelSourceRebuilds, rebuilds);
-            }
-            total = counts;
+            let (acc, work, tally) = crate::with_threads(cfg.threads, run);
+            Self::record_tally(obs, &tally);
+            merged = acc;
+            total = work;
         }
-        (cnt.into_vec(), total)
+        (workload.finish(g, shared, merged), total)
     }
 }
 
@@ -351,58 +439,177 @@ impl CpuKernel {
         }
     }
 
-    /// Sequential execution on `g`, work reported to `meter`.
-    pub fn run_seq<M: Meter>(&self, g: &CsrGraph, meter: &mut M) -> Vec<u32> {
+    /// Sequential execution of any workload on `g`, work reported to
+    /// `meter`.
+    pub fn run_seq_workload<W: Workload, M: Meter>(
+        &self,
+        workload: &W,
+        g: &CsrGraph,
+        meter: &mut M,
+    ) -> W::Output {
         let drv = EdgeRangeDriver::new(g);
         match self {
-            CpuKernel::Merge => drv.run_seq(&mut MergeKernel, meter),
-            CpuKernel::Mps(cfg) => drv.run_seq(&mut MpsKernel::new(*cfg), meter),
+            CpuKernel::Merge => drv.run_seq_workload(workload, &mut MergeKernel, meter),
+            CpuKernel::Mps(cfg) => drv.run_seq_workload(workload, &mut MpsKernel::new(*cfg), meter),
             CpuKernel::Bmp(BmpMode::Plain) => {
-                drv.run_seq(&mut BmpKernel::new(g.num_vertices()), meter)
+                drv.run_seq_workload(workload, &mut BmpKernel::new(g.num_vertices()), meter)
             }
             CpuKernel::Bmp(BmpMode::RangeFiltered { ratio }) => {
                 let mut k = RfKernel::prevalidated(g.num_vertices().max(1), *ratio);
-                drv.run_seq(&mut k, meter)
+                drv.run_seq_workload(workload, &mut k, meter)
             }
         }
     }
 
-    /// Parallel execution on `g` (Algorithm 3), unmetered.
-    pub fn run_par(&self, g: &CsrGraph, cfg: &ParConfig) -> Vec<u32> {
-        let drv = EdgeRangeDriver::new(g);
-        let n = g.num_vertices();
-        let model = self.cost_model();
-        match self {
-            CpuKernel::Merge => drv.run_par(&CloneFactory(MergeKernel), cfg, &model),
-            CpuKernel::Mps(mps) => drv.run_par(&CloneFactory(MpsKernel::new(*mps)), cfg, &model),
-            CpuKernel::Bmp(BmpMode::Plain) => {
-                drv.run_par(&BitmapPool::new(move || BmpKernel::new(n)), cfg, &model)
-            }
-            CpuKernel::Bmp(BmpMode::RangeFiltered { ratio }) => {
-                let ratio = *ratio;
-                let pool = BitmapPool::new(move || RfKernel::prevalidated(n.max(1), ratio));
-                drv.run_par(&pool, cfg, &model)
-            }
-        }
+    /// Sequential CNC execution on `g`, work reported to `meter`.
+    pub fn run_seq<M: Meter>(&self, g: &CsrGraph, meter: &mut M) -> Vec<u32> {
+        self.run_seq_workload(&CncWorkload, g, meter)
     }
 
-    /// Parallel execution with merged per-task work tallies.
-    pub fn run_par_metered(&self, g: &CsrGraph, cfg: &ParConfig) -> (Vec<u32>, WorkCounts) {
+    /// Parallel execution of any workload on `g` (Algorithm 3), unmetered.
+    pub fn run_par_workload<W: Workload>(
+        &self,
+        workload: &W,
+        g: &CsrGraph,
+        cfg: &ParConfig,
+    ) -> W::Output {
         let drv = EdgeRangeDriver::new(g);
         let n = g.num_vertices();
         let model = self.cost_model();
         match self {
-            CpuKernel::Merge => drv.run_par_metered(&CloneFactory(MergeKernel), cfg, &model),
+            CpuKernel::Merge => {
+                drv.run_par_workload(workload, &CloneFactory(MergeKernel), cfg, &model)
+            }
             CpuKernel::Mps(mps) => {
-                drv.run_par_metered(&CloneFactory(MpsKernel::new(*mps)), cfg, &model)
+                drv.run_par_workload(workload, &CloneFactory(MpsKernel::new(*mps)), cfg, &model)
             }
             CpuKernel::Bmp(BmpMode::Plain) => {
-                drv.run_par_metered(&BitmapPool::new(move || BmpKernel::new(n)), cfg, &model)
+                let pool = BitmapPool::new(move || BmpKernel::new(n));
+                drv.run_par_workload(workload, &pool, cfg, &model)
             }
             CpuKernel::Bmp(BmpMode::RangeFiltered { ratio }) => {
                 let ratio = *ratio;
                 let pool = BitmapPool::new(move || RfKernel::prevalidated(n.max(1), ratio));
-                drv.run_par_metered(&pool, cfg, &model)
+                drv.run_par_workload(workload, &pool, cfg, &model)
+            }
+        }
+    }
+
+    /// Parallel CNC execution on `g` (Algorithm 3), unmetered.
+    pub fn run_par(&self, g: &CsrGraph, cfg: &ParConfig) -> Vec<u32> {
+        self.run_par_workload(&CncWorkload, g, cfg)
+    }
+
+    /// Parallel execution of any workload with merged per-task work
+    /// tallies.
+    pub fn run_par_metered_workload<W: Workload>(
+        &self,
+        workload: &W,
+        g: &CsrGraph,
+        cfg: &ParConfig,
+    ) -> (W::Output, WorkCounts) {
+        let drv = EdgeRangeDriver::new(g);
+        let n = g.num_vertices();
+        let model = self.cost_model();
+        match self {
+            CpuKernel::Merge => {
+                drv.run_par_metered_workload(workload, &CloneFactory(MergeKernel), cfg, &model)
+            }
+            CpuKernel::Mps(mps) => drv.run_par_metered_workload(
+                workload,
+                &CloneFactory(MpsKernel::new(*mps)),
+                cfg,
+                &model,
+            ),
+            CpuKernel::Bmp(BmpMode::Plain) => {
+                let pool = BitmapPool::new(move || BmpKernel::new(n));
+                drv.run_par_metered_workload(workload, &pool, cfg, &model)
+            }
+            CpuKernel::Bmp(BmpMode::RangeFiltered { ratio }) => {
+                let ratio = *ratio;
+                let pool = BitmapPool::new(move || RfKernel::prevalidated(n.max(1), ratio));
+                drv.run_par_metered_workload(workload, &pool, cfg, &model)
+            }
+        }
+    }
+
+    /// Parallel CNC execution with merged per-task work tallies.
+    pub fn run_par_metered(&self, g: &CsrGraph, cfg: &ParConfig) -> (Vec<u32>, WorkCounts) {
+        self.run_par_metered_workload(&CncWorkload, g, cfg)
+    }
+
+    /// Sequential execution of the workload described by `kind`, dispatched
+    /// to the matching strategy object and type-erased into a
+    /// [`WorkloadOutput`].
+    pub fn run_seq_kind<M: Meter>(
+        &self,
+        g: &CsrGraph,
+        kind: WorkloadKind,
+        meter: &mut M,
+    ) -> WorkloadOutput {
+        match kind {
+            WorkloadKind::Cnc => {
+                WorkloadOutput::EdgeCounts(self.run_seq_workload(&CncWorkload, g, meter))
+            }
+            WorkloadKind::Triangle => {
+                WorkloadOutput::Global(self.run_seq_workload(&TriangleWorkload, g, meter))
+            }
+            WorkloadKind::KClique { k } => {
+                let w = KCliqueWorkload::new(k).expect("clique size validated at plan time");
+                WorkloadOutput::CliqueCounts {
+                    k,
+                    counts: self.run_seq_workload(&w, g, meter),
+                }
+            }
+        }
+    }
+
+    /// Parallel execution of the workload described by `kind`, type-erased
+    /// into a [`WorkloadOutput`].
+    pub fn run_par_kind(
+        &self,
+        g: &CsrGraph,
+        cfg: &ParConfig,
+        kind: WorkloadKind,
+    ) -> WorkloadOutput {
+        match kind {
+            WorkloadKind::Cnc => {
+                WorkloadOutput::EdgeCounts(self.run_par_workload(&CncWorkload, g, cfg))
+            }
+            WorkloadKind::Triangle => {
+                WorkloadOutput::Global(self.run_par_workload(&TriangleWorkload, g, cfg))
+            }
+            WorkloadKind::KClique { k } => {
+                let w = KCliqueWorkload::new(k).expect("clique size validated at plan time");
+                WorkloadOutput::CliqueCounts {
+                    k,
+                    counts: self.run_par_workload(&w, g, cfg),
+                }
+            }
+        }
+    }
+
+    /// Parallel metered execution of the workload described by `kind`,
+    /// type-erased into a [`WorkloadOutput`].
+    pub fn run_par_metered_kind(
+        &self,
+        g: &CsrGraph,
+        cfg: &ParConfig,
+        kind: WorkloadKind,
+    ) -> (WorkloadOutput, WorkCounts) {
+        match kind {
+            WorkloadKind::Cnc => {
+                let (c, w) = self.run_par_metered_workload(&CncWorkload, g, cfg);
+                (WorkloadOutput::EdgeCounts(c), w)
+            }
+            WorkloadKind::Triangle => {
+                let (t, w) = self.run_par_metered_workload(&TriangleWorkload, g, cfg);
+                (WorkloadOutput::Global(t), w)
+            }
+            WorkloadKind::KClique { k } => {
+                let wl = KCliqueWorkload::new(k).expect("clique size validated at plan time");
+                let (counts, w) = self.run_par_metered_workload(&wl, g, cfg);
+                (WorkloadOutput::CliqueCounts { k, counts }, w)
             }
         }
     }

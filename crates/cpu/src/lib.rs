@@ -30,20 +30,24 @@
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod driver;
 mod par;
 mod par_metered;
 mod pool;
-mod scatter;
 mod schedule;
 mod seq;
 
-pub use driver::{run_range, BmpMode, CloneFactory, CpuKernel, EdgeRangeDriver, KernelFactory};
+pub use driver::{
+    run_range, BmpMode, CloneFactory, CpuKernel, EdgeRangeDriver, KernelFactory, RangeTally,
+};
 pub use par::{par_bmp, par_merge_baseline, par_mps, ParConfig};
 pub use par_metered::{par_bmp_metered, par_mps_metered};
 pub use pool::{BitmapPool, PoolStats};
-pub use scatter::ScatterVec;
+// The scatter target moved to `cnc-workload` (it is the CNC workload's
+// shared state); re-exported here for source compatibility.
+pub use cnc_workload::ScatterVec;
 pub use schedule::{Schedule, SchedulePolicy, DEFAULT_TASK_SIZE};
 pub use seq::{seq_bmp, seq_merge_baseline, seq_mps};
 

@@ -22,6 +22,7 @@ use std::ops::Range;
 
 use cnc_graph::CsrGraph;
 use cnc_intersect::CostModel;
+use cnc_workload::Workload;
 
 /// How the parallel driver decomposes the edge range into tasks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,16 +84,20 @@ pub struct Schedule {
 }
 
 impl Schedule {
-    /// Decompose `g`'s directed edge range under `policy`.
+    /// Decompose `g`'s directed edge range under `policy`, pricing pairs
+    /// and sources through `workload` (CNC prices every pair with the raw
+    /// kernel model; pruning workloads zero out uncovered pairs, so their
+    /// balanced cuts visibly differ on the same graph).
     ///
     /// `with_estimates` controls whether per-task cost estimates are
     /// computed for the uniform policy (the balanced policy prices every
     /// source anyway, so its estimates are free). Skipping them keeps the
     /// unobserved uniform path free of the O(E) costing pass.
-    pub fn compute(
+    pub fn compute<W: Workload>(
         g: &CsrGraph,
         policy: SchedulePolicy,
         model: &CostModel,
+        workload: &W,
         with_estimates: bool,
     ) -> Self {
         let m = g.num_directed_edges();
@@ -116,7 +121,7 @@ impl Schedule {
                     })
                     .collect();
                 let (est_cost_max, est_cost_min) = if with_estimates {
-                    let prefix = source_cost_prefix(g, model);
+                    let prefix = source_cost_prefix(g, model, workload);
                     estimate_spread(g, &prefix, &tasks)
                 } else {
                     (0, 0)
@@ -129,7 +134,7 @@ impl Schedule {
             }
             SchedulePolicy::Balanced { tasks: want } => {
                 let want = want.max(1);
-                let prefix = source_cost_prefix(g, model);
+                let prefix = source_cost_prefix(g, model, workload);
                 let n = g.num_vertices();
                 let total = prefix[n];
                 let offsets = g.offsets();
@@ -177,26 +182,28 @@ impl Schedule {
 /// `offsets[a]..offsets[b]` costs exactly `prefix[b] - prefix[a]`.
 ///
 /// A source's cost is one unit per directed edge (the range walk itself),
-/// plus the model's pair cost for every counted pair (`v > u`), plus the
-/// model's per-source cost when the source has at least one counted pair
-/// (mirroring the driver, which only runs `begin_source` for such pairs).
-fn source_cost_prefix(g: &CsrGraph, model: &CostModel) -> Vec<u64> {
+/// plus the workload's pair cost for every counted *covered* pair
+/// (`v > u` and [`Workload::covers`]), plus the workload's per-source cost
+/// when the source has at least one such pair (mirroring the driver, which
+/// only runs `begin_source` for pairs it actually visits).
+fn source_cost_prefix<W: Workload>(g: &CsrGraph, model: &CostModel, workload: &W) -> Vec<u64> {
     let n = g.num_vertices();
     let mut prefix = vec![0u64; n + 1];
     for u in 0..n {
-        let du = g.degree(u as u32);
+        let u = u as u32;
+        let du = g.degree(u);
         let mut cost = du as u64;
         let mut counted = false;
-        for &v in g.neighbors(u as u32) {
-            if v > u as u32 {
+        for &v in g.neighbors(u) {
+            if v > u && workload.covers(g, u, v) {
                 counted = true;
-                cost = cost.saturating_add(model.pair_cost(du, g.degree(v)));
+                cost = cost.saturating_add(workload.pair_cost(model, g, u, v));
             }
         }
         if counted {
-            cost = cost.saturating_add(model.source_cost(du));
+            cost = cost.saturating_add(workload.source_cost(model, g, u));
         }
-        prefix[u + 1] = prefix[u].saturating_add(cost);
+        prefix[u as usize + 1] = prefix[u as usize].saturating_add(cost);
     }
     prefix
 }
@@ -237,6 +244,7 @@ mod tests {
     use super::*;
     use cnc_graph::generators::hub_web;
     use cnc_graph::EdgeList;
+    use cnc_workload::{CncWorkload, TriangleWorkload};
 
     fn hub_graph() -> CsrGraph {
         CsrGraph::from_edge_list(&hub_web(300, 6.0, 3, 0.5, 7))
@@ -264,7 +272,13 @@ mod tests {
         let g = hub_graph();
         let m = g.num_directed_edges();
         for t in [1usize, 3, 17, 8192, usize::MAX] {
-            let s = Schedule::compute(&g, SchedulePolicy::uniform(t), &CostModel::Merge, false);
+            let s = Schedule::compute(
+                &g,
+                SchedulePolicy::uniform(t),
+                &CostModel::Merge,
+                &CncWorkload,
+                false,
+            );
             assert_tiles(&s, m);
             let expect: Vec<Range<usize>> = (0..m.div_ceil(t))
                 .map(|k| (k.saturating_mul(t))..(k.saturating_mul(t).saturating_add(t)).min(m))
@@ -284,7 +298,13 @@ mod tests {
             (16, CostModel::Bmp),
             (10_000, CostModel::Merge),
         ] {
-            let s = Schedule::compute(&g, SchedulePolicy::balanced(want), &model, false);
+            let s = Schedule::compute(
+                &g,
+                SchedulePolicy::balanced(want),
+                &model,
+                &CncWorkload,
+                false,
+            );
             assert_tiles(&s, m);
             assert!(
                 s.tasks().len() <= want,
@@ -310,9 +330,11 @@ mod tests {
             &g,
             SchedulePolicy::uniform(g.num_directed_edges().div_ceil(8)),
             &model,
+            &CncWorkload,
             true,
         );
-        let balanced = Schedule::compute(&g, SchedulePolicy::balanced(8), &model, true);
+        let balanced =
+            Schedule::compute(&g, SchedulePolicy::balanced(8), &model, &CncWorkload, true);
         assert!(uniform.est_cost_max() > 0 && balanced.est_cost_max() > 0);
         // The balanced straggler must not be heavier than the uniform one
         // (on a hub-skewed graph it is strictly lighter).
@@ -327,7 +349,13 @@ mod tests {
     #[test]
     fn balanced_on_uniform_degrees_is_near_even() {
         let g = path_graph(2_000);
-        let s = Schedule::compute(&g, SchedulePolicy::balanced(8), &CostModel::Merge, true);
+        let s = Schedule::compute(
+            &g,
+            SchedulePolicy::balanced(8),
+            &CostModel::Merge,
+            &CncWorkload,
+            true,
+        );
         assert_tiles(&s, g.num_directed_edges());
         assert_eq!(s.tasks().len(), 8);
         // On a degree-uniform graph the spread collapses.
@@ -338,15 +366,46 @@ mod tests {
     fn empty_and_tiny_graphs_schedule_cleanly() {
         let empty = CsrGraph::from_edge_list(&EdgeList::from_pairs(std::iter::empty()));
         for policy in [SchedulePolicy::uniform(8), SchedulePolicy::balanced(8)] {
-            let s = Schedule::compute(&empty, policy, &CostModel::Merge, true);
+            let s = Schedule::compute(&empty, policy, &CostModel::Merge, &CncWorkload, true);
             assert!(s.tasks().is_empty());
             assert_eq!((s.est_cost_max(), s.est_cost_min()), (0, 0));
         }
         let two = path_graph(2);
         for policy in [SchedulePolicy::uniform(1), SchedulePolicy::balanced(64)] {
-            let s = Schedule::compute(&two, policy, &CostModel::Merge, true);
+            let s = Schedule::compute(&two, policy, &CostModel::Merge, &CncWorkload, true);
             assert_tiles(&s, two.num_directed_edges());
         }
+    }
+
+    #[test]
+    fn pruning_workload_reshapes_the_pricing() {
+        // A star plus a short tail: every star edge has a degree-1 endpoint,
+        // so the triangle workload covers almost nothing and its priced
+        // total (balanced(1) ⇒ est_cost_max = whole-range cost) drops
+        // strictly below CNC's on the same graph and model.
+        let g = CsrGraph::from_edge_list(&EdgeList::from_pairs(
+            (1u32..60).map(|v| (0, v)).chain([(1, 2), (2, 3)]),
+        ));
+        let cnc = Schedule::compute(
+            &g,
+            SchedulePolicy::balanced(1),
+            &CostModel::Merge,
+            &CncWorkload,
+            true,
+        );
+        let tri = Schedule::compute(
+            &g,
+            SchedulePolicy::balanced(1),
+            &CostModel::Merge,
+            &TriangleWorkload,
+            true,
+        );
+        assert!(
+            tri.est_cost_max() < cnc.est_cost_max(),
+            "triangle pricing {} must undercut cnc pricing {}",
+            tri.est_cost_max(),
+            cnc.est_cost_max()
+        );
     }
 
     #[test]

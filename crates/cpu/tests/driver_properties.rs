@@ -93,7 +93,7 @@ proptest! {
         let g = CsrGraph::from_edge_list(&generators::gnm(n, n * edge_factor, seed));
         let m = g.num_directed_edges();
         for kernel in kernels(g.num_vertices()) {
-            let s = Schedule::compute(&g, p, &kernel.cost_model(), true);
+            let s = Schedule::compute(&g, p, &kernel.cost_model(), &cnc_workload::CncWorkload, true);
             let mut next = 0usize;
             for r in s.tasks() {
                 prop_assert_eq!(r.start, next);

@@ -36,8 +36,10 @@ impl BsrSet {
         for &v in values {
             let b = v / BITS;
             let bit = 1u32 << (v % BITS);
-            match base.last() {
-                Some(&last) if last == b => *state.last_mut().unwrap() |= bit,
+            // `base` and `state` grow in lockstep, so matching on both
+            // lets the compiler see the pair exists together.
+            match (base.last(), state.last_mut()) {
+                (Some(&last), Some(s)) if last == b => *s |= bit,
                 _ => {
                     base.push(b);
                     state.push(bit);

@@ -100,6 +100,15 @@ counters! {
     ScheduleEstCostMax => "schedule.est_cost_max",
     /// Smallest estimated task cost in the computed schedule.
     ScheduleEstCostMin => "schedule.est_cost_min",
+    // --- workload layer (cnc-workload strategies on the shared driver) ----
+    /// Canonical pairs actually visited (covered by the active workload).
+    WorkloadEdgesVisited => "workload.edges_visited",
+    /// Canonical pairs skipped by the workload's cover predicate (always 0
+    /// for CNC, which covers every pair).
+    WorkloadEdgesSkipped => "workload.edges_skipped",
+    /// The headline global result for global-output workloads (triangle
+    /// total; largest-clique-size count). Absent for per-edge outputs.
+    WorkloadGlobalCount => "workload.global_count",
     // --- GPU simulator (cnc-gpu KernelStats + unified memory) ------------
     /// Warp instructions issued.
     GpuWarpInstrs => "gpu.warp_instrs",

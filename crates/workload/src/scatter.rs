@@ -12,7 +12,8 @@
 //!
 //! [`ScatterVec`] encapsulates the one `unsafe` block this requires, and in
 //! debug builds verifies the exactly-once discipline with an atomic flag per
-//! slot.
+//! slot. It lives in this crate because it is the CNC workload's
+//! [`Shared`](crate::Workload::Shared) state; `cnc-cpu` re-exports it.
 
 use std::cell::UnsafeCell;
 

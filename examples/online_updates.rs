@@ -29,7 +29,7 @@ fn main() {
     );
 
     // Hand the result to the incremental maintainer.
-    let mut live = IncrementalCnc::from_graph(&graph, &batch.counts)
+    let mut live = IncrementalCnc::from_graph(&graph, batch.counts())
         .expect("batch counts come straight from the runner");
 
     // A day of traffic: 20k interleaved purchases (edge inserts) and
@@ -68,7 +68,7 @@ fn main() {
     let t1 = Instant::now();
     let recount = Runner::new(Platform::cpu_parallel(), Algorithm::bmp_rf()).run(&snapshot);
     let recount_s = t1.elapsed().as_secs_f64();
-    assert_eq!(maintained, recount.counts, "incremental must stay exact");
+    assert_eq!(maintained, recount.counts(), "incremental must stay exact");
     println!(
         "verified against a fresh batch recount ({:.1} ms) — identical ✓",
         recount_s * 1e3

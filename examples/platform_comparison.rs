@@ -74,8 +74,8 @@ fn main() {
         let r = Runner::new(platform, algorithm).run(&graph);
         // Every configuration must agree bit-for-bit.
         match &reference {
-            None => reference = Some(r.counts.clone()),
-            Some(want) => assert_eq!(&r.counts, want, "{label} disagrees"),
+            None => reference = Some(r.counts().to_vec()),
+            Some(want) => assert_eq!(r.counts(), want.as_slice(), "{label} disagrees"),
         }
         let modeled = r.modeled_seconds.unwrap();
         let note = match &r.detail {

@@ -71,7 +71,7 @@ fn main() {
     let result = Runner::new(Platform::cpu_parallel(), Algorithm::bmp_rf()).run(&graph);
     println!(
         "refreshed {} co-recommendation scores in {:.1} ms",
-        result.counts.len(),
+        result.counts().len(),
         result.wall_seconds * 1e3
     );
     let view = result.view(&graph);

@@ -42,6 +42,9 @@ fn main() {
 
     // The same counts via the hybrid merge algorithm — identical results.
     let mps = Runner::new(Platform::cpu_parallel(), Algorithm::mps()).run(&graph);
-    assert_eq!(mps.counts, result.counts);
-    println!("MPS and BMP agree on all {} edge slots ✓", mps.counts.len());
+    assert_eq!(mps.counts(), result.counts());
+    println!(
+        "MPS and BMP agree on all {} edge slots ✓",
+        mps.counts().len()
+    );
 }

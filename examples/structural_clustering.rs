@@ -67,7 +67,7 @@ fn main() {
     // Step 3 — the k-truss decomposition from the *same* counts: the
     // planted cliques are 40-trusses, the noise is not.
     let truss =
-        truss_decomposition(&graph, &result.counts).expect("counts come straight from the runner");
+        truss_decomposition(&graph, result.counts()).expect("counts come straight from the runner");
     println!("\nk-truss decomposition: max k = {}", truss.max_k);
     for k in [3, 10, 20, truss.max_k] {
         println!("  {k}-truss: {} edges", truss.truss_edge_count(&graph, k));

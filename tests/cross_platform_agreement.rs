@@ -101,7 +101,7 @@ fn all_platforms_all_algorithms_all_graphs() {
             for algorithm in algorithms() {
                 let r = Runner::new(platform.clone(), algorithm).run(&g);
                 assert_eq!(
-                    r.counts,
+                    r.counts(),
                     want,
                     "graph={name} platform={pname} algorithm={}",
                     algorithm.label()
@@ -119,7 +119,7 @@ fn reordering_never_changes_counts() {
             let r = Runner::new(Platform::cpu_parallel(), Algorithm::bmp_rf())
                 .reorder(reorder)
                 .run(&g);
-            assert_eq!(r.counts, want, "graph={name} reorder={reorder}");
+            assert_eq!(r.counts(), want, "graph={name} reorder={reorder}");
         }
     }
 }

@@ -70,15 +70,15 @@ fn mapped_storage_counts_identically_everywhere() {
             let runner = Runner::new(platform.clone(), algorithm);
             let from_mapped = runner.run_prepared(&mapped);
             assert_eq!(
-                from_mapped.counts,
+                from_mapped.counts(),
                 want,
                 "platform={pname} algorithm={} diverges on mapped storage",
                 algorithm.label()
             );
             let from_owned = runner.run_prepared(&owned);
             assert_eq!(
-                from_owned.counts,
-                from_mapped.counts,
+                from_owned.counts(),
+                from_mapped.counts(),
                 "platform={pname} algorithm={}: owned vs mapped",
                 algorithm.label()
             );

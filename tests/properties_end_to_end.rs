@@ -16,7 +16,7 @@ proptest! {
         let g = CsrGraph::from_edge_list(&EdgeList::from_pairs(ps));
         for algorithm in [Algorithm::mps(), Algorithm::bmp_rf()] {
             let r = Runner::new(Platform::cpu_parallel(), algorithm).run(&g);
-            prop_assert!(verify_counts(&g, &r.counts).is_ok());
+            prop_assert!(verify_counts(&g, r.counts()).is_ok());
         }
     }
 
@@ -25,7 +25,7 @@ proptest! {
         let g = CsrGraph::from_edge_list(&EdgeList::from_pairs(ps));
         let cpu = Runner::new(Platform::cpu_parallel(), Algorithm::mps()).run(&g);
         let gpu = Runner::new(Platform::gpu(1e-4), Algorithm::bmp_rf()).run(&g);
-        prop_assert_eq!(cpu.counts, gpu.counts);
+        prop_assert_eq!(cpu.counts(), gpu.counts());
     }
 
     #[test]
@@ -60,8 +60,8 @@ proptest! {
             // Common neighbors exclude u and v themselves, so the count is
             // at most min degree minus one (v ∈ N(u) and u ∈ N(v) never
             // count).
-            prop_assert!(r.counts[eid] < bound.max(1),
-                "cnt[e({},{})]={} exceeds min-degree bound {}", u, v, r.counts[eid], bound);
+            prop_assert!(r.counts()[eid] < bound.max(1),
+                "cnt[e({},{})]={} exceeds min-degree bound {}", u, v, r.counts()[eid], bound);
         }
     }
 
@@ -71,7 +71,7 @@ proptest! {
         let r = Runner::new(Platform::cpu_parallel(), Algorithm::mps()).run(&g);
         for (eid, u, _v) in g.iter_edges() {
             let rev = g.reverse_offset(u, eid);
-            prop_assert_eq!(r.counts[eid], r.counts[rev]);
+            prop_assert_eq!(r.counts()[eid], r.counts()[rev]);
         }
     }
 }

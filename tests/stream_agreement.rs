@@ -84,7 +84,7 @@ fn streamed_preparation_counts_identically_everywhere() {
                 let runner = Runner::new(platform.clone(), algorithm);
                 let got = runner.run_prepared(&mapped);
                 assert_eq!(
-                    got.counts,
+                    got.counts(),
                     want,
                     "dataset={} policy={} platform={pname} algorithm={} \
                      diverges on streamed preparation",
