@@ -1,0 +1,74 @@
+//! The serving layer's batching claim, measured: 10k random edge point
+//! queries on the skewed tw-s analogue, answered three ways.
+//!
+//! * `batched` — one `BatchSession::count_batch` call over all 10k, the
+//!   way the daemon executes a coalescing window: deduplicated, sorted by
+//!   source, one balanced schedule, per-source kernel state built once.
+//! * `unbatched` — the same queries one `count_batch(&[q])` at a time,
+//!   the cost floor of a daemon with no coalescing window (every query
+//!   pays its own source rebuild and its own schedule).
+//! * `bulk_pass` — a full all-edge counting run, the price of answering
+//!   by recomputing everything.
+//!
+//! The interesting ratios: batched should sit within a small factor of
+//! one bulk pass (it touches only the queried sources) and far below
+//! unbatched (EXPERIMENTS.md records both).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::{Rng, SeedableRng, StdRng};
+
+use cnc_core::{Algorithm, BatchSession, Platform, Runner};
+use cnc_graph::datasets::{Dataset, Scale};
+use cnc_graph::PreparedGraph;
+
+const QUERIES: usize = 10_000;
+
+fn bench_serve_batching(c: &mut Criterion) {
+    let runner = Runner::new(Platform::cpu_parallel(), Algorithm::bmp_rf());
+    let g = Dataset::TwS.build(Scale::Tiny);
+    // 10k uniform-random canonical edges, duplicates and all — the shape a
+    // query flood actually has (hot edges repeat).
+    let edges: Vec<(u32, u32)> = g
+        .iter_edges()
+        .filter(|&(_, u, v)| u < v)
+        .map(|(_, u, v)| (u, v))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let queries: Vec<(u32, u32)> = (0..QUERIES)
+        .map(|_| edges[rng.gen_range(0..edges.len())])
+        .collect();
+    let prepared = PreparedGraph::from_csr(g, runner.reorder_policy());
+    // A twin runner for the bulk comparator: the session owns its own.
+    let bulk_runner = Runner::new(Platform::cpu_parallel(), Algorithm::bmp_rf());
+    let session =
+        BatchSession::new(runner, prepared.clone()).expect("CPU CNC session always plans");
+
+    let mut group = c.benchmark_group("serve_tw-s");
+    group.throughput(Throughput::Elements(QUERIES as u64));
+    group.sample_size(10);
+    group.bench_function("batched/10k", |b| b.iter(|| session.count_batch(&queries)));
+    group.bench_function("unbatched/10k", |b| {
+        b.iter(|| {
+            for &q in &queries {
+                session.count_batch(&[q]);
+            }
+        })
+    });
+    group.bench_function("bulk_pass", |b| {
+        b.iter(|| {
+            bulk_runner
+                .try_run_prepared(&prepared)
+                .expect("bulk run succeeds")
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    targets = bench_serve_batching
+}
+criterion_main!(benches);

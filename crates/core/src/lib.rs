@@ -36,6 +36,7 @@
 
 pub mod analytics;
 pub mod backend;
+pub mod batch;
 pub mod incremental;
 pub mod plan;
 pub mod remap;
@@ -49,6 +50,7 @@ pub use backend::{
     modeled_algo_of, Backend, CpuParBackend, CpuSeqBackend, Execution, GpuSimBackend,
     ModeledBackend,
 };
+pub use batch::{BatchAnswers, BatchSession, EdgeCount};
 pub use cnc_graph::{PreparedGraph, ReorderPolicy};
 pub use cnc_workload::{WorkloadError, WorkloadKind, WorkloadOutput};
 pub use incremental::{IncrementalCnc, IncrementalError};

@@ -38,6 +38,12 @@ pub enum PlanError {
         /// Label of the platform that cannot run it.
         platform: String,
     },
+    /// Point-query batch sessions execute on the real CPU backends only
+    /// (the modeled platforms have no point-query entry).
+    UnsupportedBatchPlatform {
+        /// Label of the platform that cannot serve batches.
+        platform: String,
+    },
 }
 
 impl std::fmt::Display for PlanError {
@@ -50,6 +56,11 @@ impl std::fmt::Display for PlanError {
                 "workload {workload} is not supported on platform {platform} \
                  (non-CNC workloads run on the real CPU backends only)"
             ),
+            PlanError::UnsupportedBatchPlatform { platform } => write!(
+                f,
+                "point-query batches are not supported on platform {platform} \
+                 (batch sessions run on the real CPU backends only)"
+            ),
         }
     }
 }
@@ -59,7 +70,9 @@ impl std::error::Error for PlanError {
         match self {
             PlanError::InvalidRfRatio(e) => Some(e),
             PlanError::InvalidWorkload(e) => Some(e),
-            PlanError::UnsupportedWorkload { .. } => None,
+            PlanError::UnsupportedWorkload { .. } | PlanError::UnsupportedBatchPlatform { .. } => {
+                None
+            }
         }
     }
 }

@@ -32,6 +32,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+mod batch;
 mod driver;
 mod par;
 mod par_metered;
@@ -39,6 +40,7 @@ mod pool;
 mod schedule;
 mod seq;
 
+pub use batch::{pair_task_ranges, run_pairs, BatchCounter};
 pub use driver::{
     run_range, BmpMode, CloneFactory, CpuKernel, EdgeRangeDriver, KernelFactory, RangeTally,
 };

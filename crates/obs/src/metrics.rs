@@ -128,6 +128,19 @@ counters! {
     GpuMigratedBytes => "gpu.migrated_bytes",
     /// Multi-pass executions performed.
     GpuPasses => "gpu.passes",
+    // --- query service (cnc-serve) ----------------------------------------
+    /// Point-query requests admitted by the serve layer (before
+    /// deduplication; rejected-overloaded requests are not counted).
+    ServeRequests => "serve.requests",
+    /// Coalesced batches executed by the serve layer.
+    ServeBatches => "serve.batches",
+    /// Requests answered without their own kernel work: duplicates folded
+    /// into an already-admitted query of the same batch
+    /// (`serve.requests - serve.coalesced` distinct pairs were executed).
+    ServeCoalesced => "serve.coalesced",
+    /// Deepest admission-queue occupancy observed (recorded once, at
+    /// report time).
+    ServeQueueDepthMax => "serve.queue_depth_max",
     // --- shared-memory machine model (cnc-machine) -----------------------
     /// Timing estimates computed by the machine model.
     ModelEstimates => "model.estimates",

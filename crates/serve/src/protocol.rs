@@ -1,0 +1,528 @@
+//! The wire protocol: length-prefixed frames with fixed little-endian
+//! payloads (DESIGN §3g).
+//!
+//! Every message — request or response — is one frame:
+//!
+//! ```text
+//! +----------------+---------------------+
+//! | len: u32 LE    | payload (len bytes) |
+//! +----------------+---------------------+
+//! ```
+//!
+//! `len` counts payload bytes only and must not exceed [`MAX_FRAME`];
+//! oversized lengths are rejected *before* any allocation, so a malformed
+//! prefix cannot balloon server memory. Request payloads start with an
+//! opcode byte, response payloads with a status byte; all integers are
+//! little-endian `u32`.
+//!
+//! | opcode | request | payload after opcode |
+//! |--------|---------|----------------------|
+//! | 1 | `count(u, v)` | `u: u32, v: u32` |
+//! | 2 | `topk(k)` | `k: u32` |
+//! | 3 | `scan(threshold)` | `threshold: u32` |
+//! | 4 | `stats` | — |
+//! | 5 | `shutdown` | — |
+//!
+//! | status | meaning | payload after status |
+//! |--------|---------|----------------------|
+//! | 0 | OK | per-request body (below) |
+//! | 1 | overloaded | UTF-8 message |
+//! | 2 | not an edge | UTF-8 message |
+//! | 3 | bad request | UTF-8 message |
+//! | 4 | shutting down | UTF-8 message |
+//!
+//! OK bodies: `count` → `u32`; `topk`/`scan` → `total: u32, returned: u32`
+//! then `returned` × `(u: u32, v: u32, count: u32)` triples; `stats` →
+//! UTF-8 cnc-metrics v1 JSON; `shutdown` → empty.
+//!
+//! Decoding is strict: unknown opcode/status bytes, short payloads and
+//! trailing bytes all yield a typed [`ProtocolError`] — never a panic —
+//! so a server can answer garbage with status 3 and move on.
+
+use std::io::{Read, Write};
+
+use cnc_core::EdgeCount;
+
+/// Hard cap on one frame's payload size (1 MiB: a `scan` response of
+/// [`MAX_REPLY_EDGES`] triples fits with room to spare).
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Largest number of `(u, v, count)` triples one response carries; `scan`
+/// responses report the untruncated total alongside.
+pub const MAX_REPLY_EDGES: usize = 65_536;
+
+const OP_COUNT: u8 = 1;
+const OP_TOPK: u8 = 2;
+const OP_SCAN: u8 = 3;
+const OP_STATS: u8 = 4;
+const OP_SHUTDOWN: u8 = 5;
+
+const ST_OK: u8 = 0;
+const ST_OVERLOADED: u8 = 1;
+const ST_NOT_AN_EDGE: u8 = 2;
+const ST_BAD_REQUEST: u8 = 3;
+const ST_SHUTTING_DOWN: u8 = 4;
+
+/// A client request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// `|N(u) ∩ N(v)|` for one edge (input-graph vertex ids, any order).
+    Count {
+        /// One endpoint.
+        u: u32,
+        /// The other endpoint.
+        v: u32,
+    },
+    /// The `k` highest-count edges.
+    TopK {
+        /// How many edges to return.
+        k: u32,
+    },
+    /// Every edge with `count >= threshold`.
+    Scan {
+        /// Minimum count.
+        threshold: u32,
+    },
+    /// The server's cnc-metrics v1 JSON snapshot.
+    Stats,
+    /// Drain in-flight batches and stop the server.
+    Shutdown,
+}
+
+/// Why a request was refused (response statuses 1–4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Refusal {
+    /// The admission queue is full — retry later (backpressure, not
+    /// failure).
+    Overloaded,
+    /// The queried pair is not an edge of the graph.
+    NotAnEdge,
+    /// The frame decoded to no valid request.
+    BadRequest,
+    /// The server is draining and accepts no new work.
+    ShuttingDown,
+}
+
+impl Refusal {
+    fn status(self) -> u8 {
+        match self {
+            Refusal::Overloaded => ST_OVERLOADED,
+            Refusal::NotAnEdge => ST_NOT_AN_EDGE,
+            Refusal::BadRequest => ST_BAD_REQUEST,
+            Refusal::ShuttingDown => ST_SHUTTING_DOWN,
+        }
+    }
+
+    /// Human label (used in error displays).
+    pub fn label(self) -> &'static str {
+        match self {
+            Refusal::Overloaded => "overloaded",
+            Refusal::NotAnEdge => "not_an_edge",
+            Refusal::BadRequest => "bad_request",
+            Refusal::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// OK body of a `count` request.
+    Count(u32),
+    /// OK body of a `topk`/`scan` request: the untruncated total plus the
+    /// (possibly truncated) matching edges.
+    Edges {
+        /// Total matches, before response truncation.
+        total: u32,
+        /// Up to [`MAX_REPLY_EDGES`] matches.
+        edges: Vec<EdgeCount>,
+    },
+    /// OK body of a `stats` request: cnc-metrics v1 JSON.
+    Stats(String),
+    /// OK body of a `shutdown` request.
+    ShutdownAck,
+    /// Any non-OK status, with its diagnostic message.
+    Refused {
+        /// Which status byte was sent.
+        refusal: Refusal,
+        /// Diagnostic message (may be empty).
+        message: String,
+    },
+}
+
+/// Malformed bytes, as a typed value (the server turns these into status-3
+/// responses; a panic is never acceptable on attacker-controlled input).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The length prefix exceeds [`MAX_FRAME`].
+    FrameTooLarge(u32),
+    /// The payload ended before the field being decoded.
+    Truncated(&'static str),
+    /// The request opcode byte is not assigned.
+    UnknownOpcode(u8),
+    /// The response status byte is not assigned.
+    UnknownStatus(u8),
+    /// Bytes remained after a complete message.
+    TrailingBytes(usize),
+    /// A message field is not valid UTF-8.
+    BadUtf8(&'static str),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::FrameTooLarge(n) => {
+                write!(f, "frame length {n} exceeds the {MAX_FRAME}-byte cap")
+            }
+            ProtocolError::Truncated(what) => write!(f, "payload truncated while reading {what}"),
+            ProtocolError::UnknownOpcode(op) => write!(f, "unknown request opcode {op}"),
+            ProtocolError::UnknownStatus(st) => write!(f, "unknown response status {st}"),
+            ProtocolError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            ProtocolError::BadUtf8(what) => write!(f, "{what} is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+// --- encoding ----------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Encode a request payload (no frame prefix).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9);
+    match *req {
+        Request::Count { u, v } => {
+            out.push(OP_COUNT);
+            put_u32(&mut out, u);
+            put_u32(&mut out, v);
+        }
+        Request::TopK { k } => {
+            out.push(OP_TOPK);
+            put_u32(&mut out, k);
+        }
+        Request::Scan { threshold } => {
+            out.push(OP_SCAN);
+            put_u32(&mut out, threshold);
+        }
+        Request::Stats => out.push(OP_STATS),
+        Request::Shutdown => out.push(OP_SHUTDOWN),
+    }
+    out
+}
+
+/// Encode a response payload (no frame prefix).
+pub fn encode_reply(reply: &Reply) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    match reply {
+        Reply::Count(c) => {
+            out.push(ST_OK);
+            put_u32(&mut out, *c);
+        }
+        Reply::Edges { total, edges } => {
+            out.push(ST_OK);
+            put_u32(&mut out, *total);
+            put_u32(&mut out, edges.len() as u32);
+            for e in edges {
+                put_u32(&mut out, e.u);
+                put_u32(&mut out, e.v);
+                put_u32(&mut out, e.count);
+            }
+        }
+        Reply::Stats(json) => {
+            out.push(ST_OK);
+            out.extend_from_slice(json.as_bytes());
+        }
+        Reply::ShutdownAck => out.push(ST_OK),
+        Reply::Refused { refusal, message } => {
+            out.push(refusal.status());
+            out.extend_from_slice(message.as_bytes());
+        }
+    }
+    out
+}
+
+// --- decoding ----------------------------------------------------------
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self, what: &'static str) -> Result<u8, ProtocolError> {
+        let b = *self
+            .buf
+            .get(self.at)
+            .ok_or(ProtocolError::Truncated(what))?;
+        self.at += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, ProtocolError> {
+        let end = self.at + 4;
+        let bytes = self
+            .buf
+            .get(self.at..end)
+            .ok_or(ProtocolError::Truncated(what))?;
+        self.at = end;
+        Ok(u32::from_le_bytes(
+            bytes.try_into().expect("slice is 4 bytes"),
+        ))
+    }
+
+    fn rest_utf8(&mut self, what: &'static str) -> Result<String, ProtocolError> {
+        let s = std::str::from_utf8(&self.buf[self.at..])
+            .map_err(|_| ProtocolError::BadUtf8(what))?
+            .to_string();
+        self.at = self.buf.len();
+        Ok(s)
+    }
+
+    fn done(&self) -> Result<(), ProtocolError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtocolError::TrailingBytes(self.buf.len() - self.at))
+        }
+    }
+}
+
+/// Decode a request payload.
+pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
+    let mut c = Cursor {
+        buf: payload,
+        at: 0,
+    };
+    let req = match c.u8("opcode")? {
+        OP_COUNT => Request::Count {
+            u: c.u32("count.u")?,
+            v: c.u32("count.v")?,
+        },
+        OP_TOPK => Request::TopK {
+            k: c.u32("topk.k")?,
+        },
+        OP_SCAN => Request::Scan {
+            threshold: c.u32("scan.threshold")?,
+        },
+        OP_STATS => Request::Stats,
+        OP_SHUTDOWN => Request::Shutdown,
+        op => return Err(ProtocolError::UnknownOpcode(op)),
+    };
+    c.done()?;
+    Ok(req)
+}
+
+/// Decode a response payload. OK bodies are request-shaped, so the decoder
+/// needs the request this response answers.
+pub fn decode_reply(payload: &[u8], request: &Request) -> Result<Reply, ProtocolError> {
+    let mut c = Cursor {
+        buf: payload,
+        at: 0,
+    };
+    let status = c.u8("status")?;
+    let refusal = match status {
+        ST_OK => {
+            let reply = match request {
+                Request::Count { .. } => Reply::Count(c.u32("count")?),
+                Request::TopK { .. } | Request::Scan { .. } => {
+                    let total = c.u32("total")?;
+                    let returned = c.u32("returned")? as usize;
+                    if returned > MAX_REPLY_EDGES {
+                        return Err(ProtocolError::Truncated("edge list overlong"));
+                    }
+                    let mut edges = Vec::with_capacity(returned);
+                    for _ in 0..returned {
+                        edges.push(EdgeCount {
+                            u: c.u32("edge.u")?,
+                            v: c.u32("edge.v")?,
+                            count: c.u32("edge.count")?,
+                        });
+                    }
+                    Reply::Edges { total, edges }
+                }
+                Request::Stats => Reply::Stats(c.rest_utf8("stats json")?),
+                Request::Shutdown => Reply::ShutdownAck,
+            };
+            c.done()?;
+            return Ok(reply);
+        }
+        ST_OVERLOADED => Refusal::Overloaded,
+        ST_NOT_AN_EDGE => Refusal::NotAnEdge,
+        ST_BAD_REQUEST => Refusal::BadRequest,
+        ST_SHUTTING_DOWN => Refusal::ShuttingDown,
+        st => return Err(ProtocolError::UnknownStatus(st)),
+    };
+    let message = c.rest_utf8("refusal message")?;
+    Ok(Reply::Refused { refusal, message })
+}
+
+// --- framing -----------------------------------------------------------
+
+/// What one blocking frame read produced.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete payload.
+    Payload(Vec<u8>),
+    /// The peer closed the stream cleanly (before any prefix byte).
+    Closed,
+    /// The length prefix was valid but oversized — the stream is still in
+    /// sync only if the peer stops, so callers should respond and close.
+    TooLarge(u32),
+}
+
+/// Write one frame: length prefix + payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame. Clean EOF at a frame boundary is [`FrameRead::Closed`];
+/// EOF *inside* a frame surfaces as `UnexpectedEof` (the peer truncated).
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<FrameRead> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        let n = r.read(&mut prefix[got..])?;
+        if n == 0 {
+            if got == 0 {
+                return Ok(FrameRead::Closed);
+            }
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "stream closed inside a frame prefix",
+            ));
+        }
+        got += n;
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len as usize > MAX_FRAME {
+        return Ok(FrameRead::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(FrameRead::Payload(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Count { u: 7, v: 123456 },
+            Request::TopK { k: 10 },
+            Request::Scan { threshold: 3 },
+            Request::Stats,
+            Request::Shutdown,
+        ] {
+            assert_eq!(decode_request(&encode_request(&req)), Ok(req));
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let cases: Vec<(Request, Reply)> = vec![
+            (Request::Count { u: 0, v: 1 }, Reply::Count(42)),
+            (
+                Request::TopK { k: 2 },
+                Reply::Edges {
+                    total: 9,
+                    edges: vec![
+                        EdgeCount {
+                            u: 1,
+                            v: 2,
+                            count: 8,
+                        },
+                        EdgeCount {
+                            u: 0,
+                            v: 9,
+                            count: 7,
+                        },
+                    ],
+                },
+            ),
+            (
+                Request::Scan { threshold: 1 },
+                Reply::Edges {
+                    total: 0,
+                    edges: vec![],
+                },
+            ),
+            (Request::Stats, Reply::Stats("{\"schema\":1}".to_string())),
+            (Request::Shutdown, Reply::ShutdownAck),
+            (
+                Request::Count { u: 0, v: 1 },
+                Reply::Refused {
+                    refusal: Refusal::Overloaded,
+                    message: "queue full".to_string(),
+                },
+            ),
+        ];
+        for (req, reply) in cases {
+            assert_eq!(decode_reply(&encode_reply(&reply), &req), Ok(reply));
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_yield_typed_errors() {
+        assert_eq!(decode_request(&[]), Err(ProtocolError::Truncated("opcode")));
+        assert_eq!(decode_request(&[99]), Err(ProtocolError::UnknownOpcode(99)));
+        assert_eq!(
+            decode_request(&[OP_COUNT, 1, 2]),
+            Err(ProtocolError::Truncated("count.u"))
+        );
+        assert_eq!(
+            decode_request(&[OP_STATS, 0]),
+            Err(ProtocolError::TrailingBytes(1))
+        );
+        assert_eq!(
+            decode_reply(&[7], &Request::Stats),
+            Err(ProtocolError::UnknownStatus(7))
+        );
+        assert_eq!(
+            decode_reply(&[ST_OK, 1], &Request::Count { u: 0, v: 0 }),
+            Err(ProtocolError::Truncated("count"))
+        );
+    }
+
+    #[test]
+    fn framing_detects_close_truncation_and_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &encode_request(&Request::Stats)).expect("vec write");
+        let mut r = &buf[..];
+        match read_frame(&mut r).expect("read") {
+            FrameRead::Payload(p) => assert_eq!(decode_request(&p), Ok(Request::Stats)),
+            other => panic!("expected payload, got {other:?}"),
+        }
+        assert!(matches!(
+            read_frame(&mut r).expect("eof"),
+            FrameRead::Closed
+        ));
+        // Truncated inside the prefix.
+        let mut short = &buf[..2];
+        assert_eq!(
+            read_frame(&mut short).expect_err("truncated").kind(),
+            std::io::ErrorKind::UnexpectedEof
+        );
+        // Truncated inside the payload (the full frame is 5 bytes).
+        let mut cut = &buf[..4];
+        assert_eq!(
+            read_frame(&mut cut).expect_err("truncated").kind(),
+            std::io::ErrorKind::UnexpectedEof
+        );
+        // Oversized prefix: rejected before allocation.
+        let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
+        let mut r = &huge[..];
+        assert!(matches!(
+            read_frame(&mut r).expect("prefix read"),
+            FrameRead::TooLarge(n) if n as usize == MAX_FRAME + 1
+        ));
+    }
+}

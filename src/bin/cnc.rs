@@ -14,6 +14,12 @@
 //! cnc prepare GRAPH [--out FILE.prep] [--mem-budget BYTES] [--spill-dir D]
 //!            [--reorder degdesc|none] [--metrics FILE]
 //! cnc cache  [ls|gc|clear] [--dir D] [--max-bytes N]
+//! cnc serve  (GRAPH | --dataset NAME [--scale S]) [--algo A]
+//!            [--listen ADDR | --socket PATH] [--batch-window-us N]
+//!            [--queue-cap N] [--reply-limit N] [--schedule uniform|balanced]
+//!            [--metrics FILE]
+//! cnc query  (--connect ADDR | --socket PATH)
+//!            (count U V | topk K | scan THRESHOLD | stats | shutdown)
 //! ```
 //!
 //! `GRAPH` is a SNAP-style edge-list text file (`u v` per line, `#`
@@ -51,6 +57,18 @@
 //! `--trace` prints each run's span tree (prepare → plan → execute)
 //! human-readably. Both flags also work on `count` for ad-hoc graphs.
 //!
+//! `cnc serve` keeps one prepared graph resident and answers point queries
+//! over a length-prefixed socket protocol (DESIGN.md §3g). Requests that
+//! arrive within the coalescing window (`--batch-window-us`, default 200)
+//! are deduplicated, sorted by source vertex, and executed as one
+//! source-aligned balanced schedule; the admission queue is bounded
+//! (`--queue-cap`), refusing with a typed `overloaded` reply when full.
+//! The daemon runs until a client sends `shutdown` (`cnc query ...
+//! shutdown`); in-flight queries are drained and answered first.
+//! `--metrics FILE` writes the final cnc-metrics JSON — including the
+//! `serve.*` counters — when the daemon exits. `cnc query` is the matching
+//! one-shot client.
+//!
 //! `cnc cache` manages the on-disk prepared-graph cache (default
 //! directory: `$CNC_CACHE_DIR` or `results/cache`): `ls` lists entries
 //! most-recently-used first, `gc --max-bytes N` evicts least-recently-used
@@ -72,7 +90,8 @@ use cnc_graph::prepare;
 use cnc_graph::stats::{skew_percentage, GraphStats};
 use cnc_graph::stream::{self, StreamConfig};
 use cnc_graph::{io, CsrGraph};
-use cnc_obs::{MetricsFile, ObsContext, RunReport};
+use cnc_obs::{Counter, MetricsFile, ObsContext, RunReport};
+use cnc_serve::{Client, Endpoint, ServeConfig};
 
 /// Environment variable overriding the prepared-CSR size (bytes) above
 /// which counting commands default to the unified-memory GPU platform.
@@ -465,11 +484,188 @@ fn run_suite(mut args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse `--connect ADDR | --socket PATH` into the endpoint both `serve`
+/// and `query` share. Exactly one must be given (`serve` also accepts
+/// neither, defaulting to TCP loopback).
+fn parse_endpoint(
+    args: &mut Vec<String>,
+    default_listen: Option<&str>,
+    flag: &str,
+) -> Result<Endpoint, String> {
+    let addr = parse_flag(args, flag);
+    let socket = parse_flag(args, "--socket").map(PathBuf::from);
+    match (addr, socket) {
+        (Some(_), Some(_)) => Err(format!("{flag} and --socket are mutually exclusive")),
+        (Some(a), None) => Ok(Endpoint::Tcp(a)),
+        (None, Some(p)) => Ok(Endpoint::Unix(p)),
+        (None, None) => default_listen
+            .map(|d| Endpoint::Tcp(d.to_string()))
+            .ok_or_else(|| format!("query needs {flag} ADDR or --socket PATH")),
+    }
+}
+
+/// `cnc serve` — keep one prepared graph resident and answer point queries
+/// over the batching daemon until a client requests shutdown.
+fn run_serve(mut args: Vec<String>) -> Result<(), String> {
+    let algo = parse_algo(&mut args)?;
+    let schedule = parse_schedule(&mut args)?;
+    let endpoint = parse_endpoint(&mut args, Some("127.0.0.1:7071"), "--listen")?;
+    let window_us: u64 = parse_flag(&mut args, "--batch-window-us")
+        .map(|s| s.parse().map_err(|e| format!("bad --batch-window-us: {e}")))
+        .transpose()?
+        .unwrap_or(200);
+    let queue_cap: usize = parse_flag(&mut args, "--queue-cap")
+        .map(|s| s.parse().map_err(|e| format!("bad --queue-cap: {e}")))
+        .transpose()?
+        .unwrap_or(1024);
+    let reply_limit: usize = parse_flag(&mut args, "--reply-limit")
+        .map(|s| s.parse().map_err(|e| format!("bad --reply-limit: {e}")))
+        .transpose()?
+        .unwrap_or(1000);
+    let metrics_path = parse_flag(&mut args, "--metrics");
+    let dataset = parse_flag(&mut args, "--dataset");
+    let scale = match parse_flag(&mut args, "--scale").as_deref() {
+        None | Some("tiny") => Scale::Tiny,
+        Some("small") => Scale::Small,
+        Some("medium") => Scale::Medium,
+        Some(other) => return Err(format!("unknown --scale {other:?}")),
+    };
+
+    // The session plans on the real CPU backends only (the plan layer
+    // rejects modeled platforms), so the runner is built directly on the
+    // parallel CPU platform with the chosen schedule.
+    let platform = platform_for("cpu", 1.0, schedule)?;
+    let runner = Runner::new(platform, algo);
+    let (label, prepared) = match (dataset, args.first().cloned()) {
+        (Some(_), Some(path)) => {
+            return Err(format!(
+                "give --dataset or a GRAPH file, not both ({path:?})"
+            ))
+        }
+        (Some(name), None) => {
+            let d = *Dataset::ALL
+                .iter()
+                .find(|d| d.name() == name)
+                .ok_or_else(|| {
+                    format!("unknown --dataset {name:?} (try lj-s|or-s|wi-s|tw-s|fr-s)")
+                })?;
+            let label = format!("{}:{}", d.name(), scale.name());
+            (label, d.prepare(scale, runner.reorder_policy()))
+        }
+        (None, Some(path)) => {
+            let prepared = if is_prepared_file(&path) {
+                load_prepared(&path)?
+            } else {
+                PreparedGraph::from_csr(load_graph(&path)?, runner.reorder_policy())
+            };
+            (path, prepared)
+        }
+        (None, None) => return Err("serve needs a GRAPH file or --dataset NAME".to_string()),
+    };
+    if let Some(stray) = args.get(1) {
+        return Err(format!("unexpected argument {stray:?}"));
+    }
+
+    let algo_label = algo.label().to_string();
+    let session = cnc_core::BatchSession::new(runner, prepared).map_err(|e| e.to_string())?;
+    let cfg = ServeConfig {
+        batch_window: std::time::Duration::from_micros(window_us),
+        queue_cap,
+        reply_limit,
+        graph_label: label.clone(),
+    };
+    let handle = cnc_serve::serve(&endpoint, session, cfg).map_err(|e| e.to_string())?;
+    let where_ = match (&endpoint, handle.local_addr()) {
+        (_, Some(addr)) => addr.to_string(),
+        (Endpoint::Unix(p), None) => p.display().to_string(),
+        (Endpoint::Tcp(a), None) => a.clone(),
+    };
+    eprintln!(
+        "cnc serve: {label} [{algo_label}] on {where_} \
+         (window {window_us}us, queue cap {queue_cap}); \
+         stop with `cnc query ... shutdown`"
+    );
+    handle.wait();
+    let report = handle.join();
+    eprintln!(
+        "cnc serve: drained; {} requests in {} batches ({} coalesced away, \
+         max queue depth {})",
+        report.counter(Counter::ServeRequests),
+        report.counter(Counter::ServeBatches),
+        report.counter(Counter::ServeCoalesced),
+        report.counter(Counter::ServeQueueDepthMax),
+    );
+    if let Some(path) = metrics_path {
+        // The same envelope the live `stats` reply serves.
+        let mut metrics = MetricsFile::new();
+        metrics.begin_run();
+        metrics.field_str("graph", &label);
+        metrics.field_str("platform", "serve");
+        metrics.field_str("algorithm", &algo_label);
+        metrics.end_run(&report);
+        std::fs::write(&path, metrics.finish()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `cnc query` — one-shot client for a running `cnc serve` daemon.
+fn run_query(mut args: Vec<String>) -> Result<(), String> {
+    let endpoint = parse_endpoint(&mut args, None, "--connect")?;
+    let mut client = Client::connect(&endpoint).map_err(|e| e.to_string())?;
+    let mut words = args.into_iter();
+    let action = words.next().ok_or_else(|| {
+        "query needs an action: count U V | topk K | scan THRESHOLD | stats | shutdown".to_string()
+    })?;
+    let mut arg = |name: &str| -> Result<u32, String> {
+        words
+            .next()
+            .ok_or_else(|| format!("query {action} needs {name}"))?
+            .parse()
+            .map_err(|e| format!("bad {name}: {e}"))
+    };
+    let print_edges = |edges: &[cnc_core::EdgeCount]| {
+        for e in edges {
+            println!("{}\t{}\t{}", e.u, e.v, e.count);
+        }
+    };
+    match action.as_str() {
+        "count" => {
+            let (u, v) = (arg("U")?, arg("V")?);
+            match client.count(u, v).map_err(|e| e.to_string())? {
+                Some(c) => println!("{c}"),
+                None => return Err(format!("({u},{v}) is not an edge")),
+            }
+        }
+        "topk" => {
+            let k = arg("K")?;
+            print_edges(&client.topk(k).map_err(|e| e.to_string())?);
+        }
+        "scan" => {
+            let threshold = arg("THRESHOLD")?;
+            let (total, edges) = client.scan(threshold).map_err(|e| e.to_string())?;
+            println!("total\t{total}");
+            print_edges(&edges);
+        }
+        "stats" => println!("{}", client.stats().map_err(|e| e.to_string())?),
+        "shutdown" => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            eprintln!("cnc query: server is draining and shutting down");
+        }
+        other => {
+            return Err(format!(
+                "unknown query action {other:?} (try count|topk|scan|stats|shutdown)"
+            ))
+        }
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         eprintln!(
-            "usage: cnc <count|stats|scan|truss> GRAPH [--algo A] [--platform P] [--workload cnc|triangle|kclique] [--k K] [--schedule uniform|balanced] [--out F] [--eps E] [--mu M] [--stats] [--metrics F] [--trace]\n       cnc run [--scale S] [--dataset D] [--algo A] [--platform P] [--workload cnc|triangle|kclique] [--k K] [--schedule uniform|balanced] [--metrics F] [--trace]\n       cnc prepare GRAPH [--out F.prep] [--mem-budget BYTES] [--spill-dir D] [--reorder degdesc|none] [--metrics F]\n       cnc cache [ls|gc|clear] [--dir D] [--max-bytes N]"
+            "usage: cnc <count|stats|scan|truss> GRAPH [--algo A] [--platform P] [--workload cnc|triangle|kclique] [--k K] [--schedule uniform|balanced] [--out F] [--eps E] [--mu M] [--stats] [--metrics F] [--trace]\n       cnc run [--scale S] [--dataset D] [--algo A] [--platform P] [--workload cnc|triangle|kclique] [--k K] [--schedule uniform|balanced] [--metrics F] [--trace]\n       cnc prepare GRAPH [--out F.prep] [--mem-budget BYTES] [--spill-dir D] [--reorder degdesc|none] [--metrics F]\n       cnc cache [ls|gc|clear] [--dir D] [--max-bytes N]\n       cnc serve (GRAPH | --dataset D [--scale S]) [--algo A] [--listen ADDR | --socket PATH] [--batch-window-us N] [--queue-cap N] [--reply-limit N] [--schedule uniform|balanced] [--metrics F]\n       cnc query (--connect ADDR | --socket PATH) (count U V | topk K | scan T | stats | shutdown)"
         );
         return Ok(());
     }
@@ -482,6 +678,12 @@ fn run() -> Result<(), String> {
     }
     if command == "prepare" {
         return run_prepare(args);
+    }
+    if command == "serve" {
+        return run_serve(args);
+    }
+    if command == "query" {
+        return run_query(args);
     }
     let algo = parse_algo(&mut args)?;
     let workload = parse_workload(&mut args)?;
