@@ -215,8 +215,10 @@ impl BatchSession {
     }
 
     /// The `k` highest-count edges, ordered by descending count then
-    /// ascending `(u, v)` (deterministic across runs).
-    pub fn topk(&self, k: usize) -> Vec<EdgeCount> {
+    /// ascending `(u, v)` (deterministic across runs), plus the number of
+    /// candidate edges *before* truncation to `k` — the untruncated total
+    /// the serve protocol reports, mirroring [`BatchSession::scan`].
+    pub fn topk(&self, k: usize) -> (usize, Vec<EdgeCount>) {
         let bulk = self.bulk_counts();
         let g = self.prepared.graph();
         let mut all: Vec<EdgeCount> = g
@@ -233,8 +235,9 @@ impl BatchSession {
                 .cmp(&a.count)
                 .then_with(|| (a.u, a.v).cmp(&(b.u, b.v)))
         });
+        let total = all.len();
         all.truncate(k);
-        all
+        (total, all)
     }
 
     /// Every edge with `count >= threshold`, in `(u, v)` order, truncated
@@ -376,7 +379,8 @@ mod tests {
                 .cmp(&a.count)
                 .then_with(|| (a.u, a.v).cmp(&(b.u, b.v)))
         });
-        let top = s.topk(5);
+        let (top_total, top) = s.topk(5);
+        assert_eq!(top_total, all.len(), "topk total is pre-truncation");
         assert_eq!(top, all[..5.min(all.len())].to_vec());
         let threshold = top[0].count;
         let (total, hits) = s.scan(threshold, 1_000_000);

@@ -466,6 +466,48 @@ impl CpuKernel {
         self.run_seq_workload(&CncWorkload, g, meter)
     }
 
+    /// Sequential execution of one edge-offset `range` of `g` through
+    /// [`run_range`], with caller-owned shared / accumulator state. This is
+    /// the shard worker's entry point: the coordinator cuts the edge range
+    /// on source boundaries ([`cut_source_blocks`](crate::cut_source_blocks))
+    /// and each worker process drives exactly its block, so every kernel
+    /// sees the same source-aligned ranges a balanced thread schedule would.
+    pub fn run_range_workload<W: Workload, M: Meter>(
+        &self,
+        workload: &W,
+        g: &CsrGraph,
+        range: Range<usize>,
+        shared: &W::Shared,
+        acc: &mut W::Accum,
+        meter: &mut M,
+    ) -> RangeTally {
+        match self {
+            CpuKernel::Merge => run_range(g, range, workload, shared, acc, &mut MergeKernel, meter),
+            CpuKernel::Mps(cfg) => run_range(
+                g,
+                range,
+                workload,
+                shared,
+                acc,
+                &mut MpsKernel::new(*cfg),
+                meter,
+            ),
+            CpuKernel::Bmp(BmpMode::Plain) => run_range(
+                g,
+                range,
+                workload,
+                shared,
+                acc,
+                &mut BmpKernel::new(g.num_vertices()),
+                meter,
+            ),
+            CpuKernel::Bmp(BmpMode::RangeFiltered { ratio }) => {
+                let mut k = RfKernel::prevalidated(g.num_vertices().max(1), *ratio);
+                run_range(g, range, workload, shared, acc, &mut k, meter)
+            }
+        }
+    }
+
     /// Parallel execution of any workload on `g` (Algorithm 3), unmetered.
     pub fn run_par_workload<W: Workload>(
         &self,

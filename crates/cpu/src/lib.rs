@@ -50,7 +50,7 @@ pub use pool::{BitmapPool, PoolStats};
 // The scatter target moved to `cnc-workload` (it is the CNC workload's
 // shared state); re-exported here for source compatibility.
 pub use cnc_workload::ScatterVec;
-pub use schedule::{Schedule, SchedulePolicy, DEFAULT_TASK_SIZE};
+pub use schedule::{cut_source_blocks, RangeBlock, Schedule, SchedulePolicy, DEFAULT_TASK_SIZE};
 pub use seq::{seq_bmp, seq_merge_baseline, seq_mps};
 
 /// Run a closure on a dedicated rayon pool with `threads` workers.

@@ -135,21 +135,7 @@ impl Schedule {
             SchedulePolicy::Balanced { tasks: want } => {
                 let want = want.max(1);
                 let prefix = source_cost_prefix(g, model, workload);
-                let n = g.num_vertices();
-                let total = prefix[n];
-                let offsets = g.offsets();
-                let mut bounds: Vec<usize> = vec![0];
-                for k in 1..want {
-                    // Ideal cut at cost k/want of the total; snap to the
-                    // first source boundary at or past it.
-                    let target = ((total as u128 * k as u128) / want as u128) as u64;
-                    let s = prefix.partition_point(|&c| c < target).min(n);
-                    let cut = offsets[s];
-                    if cut > *bounds.last().expect("bounds starts non-empty") && cut < m {
-                        bounds.push(cut);
-                    }
-                }
-                bounds.push(m);
+                let bounds = balanced_bounds(g, &prefix, want);
                 let tasks: Vec<Range<usize>> = bounds.windows(2).map(|w| w[0]..w[1]).collect();
                 let (est_cost_max, est_cost_min) = estimate_spread(g, &prefix, &tasks);
                 Schedule {
@@ -175,6 +161,69 @@ impl Schedule {
     pub fn est_cost_min(&self) -> u64 {
         self.est_cost_min
     }
+}
+
+/// One contiguous, source-aligned block of the directed edge range, with
+/// the cost model's estimate of its work. Cuts land on source boundaries,
+/// so the estimate is exact under the model (no interpolation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeBlock {
+    /// The directed-edge range this block covers.
+    pub range: Range<usize>,
+    /// The model's estimated kernel cost of the block.
+    pub est_cost: u64,
+}
+
+/// Cut `g`'s directed edge range into at most `blocks` contiguous,
+/// source-aligned blocks of near-equal estimated cost — the exact cuts
+/// [`SchedulePolicy::Balanced`] would pick for the same inputs, exposed
+/// for callers that distribute ranges across processes rather than
+/// threads (the shard coordinator assigns one block per worker and feeds
+/// the estimates into its `shard.range_cost_*` counters).
+pub fn cut_source_blocks<W: Workload>(
+    g: &CsrGraph,
+    model: &CostModel,
+    workload: &W,
+    blocks: usize,
+) -> Vec<RangeBlock> {
+    if g.num_directed_edges() == 0 {
+        return Vec::new();
+    }
+    let prefix = source_cost_prefix(g, model, workload);
+    let bounds = balanced_bounds(g, &prefix, blocks.max(1));
+    bounds
+        .windows(2)
+        .map(|w| RangeBlock {
+            range: w[0]..w[1],
+            est_cost: prefix_at_edge(g, &prefix, w[1]) - prefix_at_edge(g, &prefix, w[0]),
+        })
+        .collect()
+}
+
+/// Source-aligned cut points for a cost-balanced decomposition into at
+/// most `want` pieces: `bounds[0] = 0`, `bounds.last() = m`, interior
+/// bounds snap the ideal `k/want`-of-total cost points to the first
+/// source boundary at or past them, dropping degenerate (empty) cuts.
+/// Shared by [`SchedulePolicy::Balanced`] and [`cut_source_blocks`] so
+/// thread tasks and process shards agree byte-for-byte.
+fn balanced_bounds(g: &CsrGraph, prefix: &[u64], want: usize) -> Vec<usize> {
+    let m = g.num_directed_edges();
+    let n = g.num_vertices();
+    let total = prefix[n];
+    let offsets = g.offsets();
+    let mut bounds: Vec<usize> = vec![0];
+    for k in 1..want {
+        // Ideal cut at cost k/want of the total; snap to the first
+        // source boundary at or past it.
+        let target = ((total as u128 * k as u128) / want as u128) as u64;
+        let s = prefix.partition_point(|&c| c < target).min(n);
+        let cut = offsets[s];
+        if cut > *bounds.last().expect("bounds starts non-empty") && cut < m {
+            bounds.push(cut);
+        }
+    }
+    bounds.push(m);
+    bounds
 }
 
 /// Per-source cost prefix sums: `prefix[u]` is the estimated cost of the
@@ -406,6 +455,32 @@ mod tests {
             tri.est_cost_max(),
             cnc.est_cost_max()
         );
+    }
+
+    #[test]
+    fn cut_source_blocks_matches_balanced_schedule() {
+        let g = hub_graph();
+        for (want, model) in [
+            (1usize, CostModel::Merge),
+            (4, CostModel::Bmp),
+            (8, CostModel::Mps { skew_threshold: 50 }),
+        ] {
+            let s = Schedule::compute(
+                &g,
+                SchedulePolicy::balanced(want),
+                &model,
+                &CncWorkload,
+                true,
+            );
+            let blocks = cut_source_blocks(&g, &model, &CncWorkload, want);
+            let ranges: Vec<Range<usize>> = blocks.iter().map(|b| b.range.clone()).collect();
+            assert_eq!(ranges, s.tasks(), "cuts must match Balanced exactly");
+            let max = blocks.iter().map(|b| b.est_cost).max().unwrap();
+            let min = blocks.iter().map(|b| b.est_cost).min().unwrap();
+            assert_eq!((max, min), (s.est_cost_max(), s.est_cost_min()));
+        }
+        let empty = CsrGraph::from_edge_list(&EdgeList::from_pairs(std::iter::empty()));
+        assert!(cut_source_blocks(&empty, &CostModel::Merge, &CncWorkload, 4).is_empty());
     }
 
     #[test]

@@ -141,6 +141,16 @@ counters! {
     /// Deepest admission-queue occupancy observed (recorded once, at
     /// report time).
     ServeQueueDepthMax => "serve.queue_depth_max",
+    // --- sharded multi-process execution (cnc-shard) ----------------------
+    /// Worker processes the shard coordinator spawned (retries included).
+    ShardWorkers => "shard.workers",
+    /// Largest estimated per-shard range cost in the coordinator's cut.
+    ShardRangeCostMax => "shard.range_cost_max",
+    /// Smallest estimated per-shard range cost in the coordinator's cut.
+    ShardRangeCostMin => "shard.range_cost_min",
+    /// Worker processes that died or mis-spoke and were retried (a run that
+    /// completes with failures > 0 recovered through its bounded retry).
+    ShardWorkerFailures => "shard.worker_failures",
     // --- shared-memory machine model (cnc-machine) -----------------------
     /// Timing estimates computed by the machine model.
     ModelEstimates => "model.estimates",

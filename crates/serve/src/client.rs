@@ -84,17 +84,19 @@ impl Client {
         }
     }
 
-    /// `topk(k)`: the highest-count edges.
-    pub fn topk(&mut self, k: u32) -> Result<Vec<EdgeCount>, ServeError> {
+    /// `topk(k)`: `(untruncated candidate total, highest-count edges)`.
+    /// The total counts every candidate edge, not the (possibly
+    /// server-clamped) reply length.
+    pub fn topk(&mut self, k: u32) -> Result<(u64, Vec<EdgeCount>), ServeError> {
         match self.request(&Request::TopK { k })? {
-            Reply::Edges { edges, .. } => Ok(edges),
+            Reply::Edges { total, edges } => Ok((total, edges)),
             Reply::Refused { refusal, message } => Err(ServeError::Refused { refusal, message }),
             other => Err(ServeError::UnexpectedReply(format!("{other:?}"))),
         }
     }
 
     /// `scan(threshold)`: `(untruncated total, matching edges)`.
-    pub fn scan(&mut self, threshold: u32) -> Result<(u32, Vec<EdgeCount>), ServeError> {
+    pub fn scan(&mut self, threshold: u32) -> Result<(u64, Vec<EdgeCount>), ServeError> {
         match self.request(&Request::Scan { threshold })? {
             Reply::Edges { total, edges } => Ok((total, edges)),
             Reply::Refused { refusal, message } => Err(ServeError::Refused { refusal, message }),

@@ -23,11 +23,13 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod client;
+pub mod framing;
 pub mod protocol;
 mod server;
 
 pub use client::Client;
-pub use protocol::{ProtocolError, Refusal, Reply, Request, MAX_FRAME, MAX_REPLY_EDGES};
+pub use framing::{read_frame, write_frame, FrameRead, MAX_FRAME};
+pub use protocol::{ProtocolError, Refusal, Reply, Request, MAX_REPLY_EDGES, PROTOCOL_VERSION};
 pub use server::{serve, Endpoint, ServeConfig, ServerHandle};
 
 use cnc_core::PlanError;

@@ -11,9 +11,10 @@
 //!
 //! `len` counts payload bytes only and must not exceed [`MAX_FRAME`];
 //! oversized lengths are rejected *before* any allocation, so a malformed
-//! prefix cannot balloon server memory. Request payloads start with an
-//! opcode byte, response payloads with a status byte; all integers are
-//! little-endian `u32`.
+//! prefix cannot balloon server memory (framing lives in
+//! [`crate::framing`] and is shared with the shard wire protocol).
+//! Request payloads start with an opcode byte, response payloads with a
+//! status byte; integers are little-endian (`u32` unless noted).
 //!
 //! | opcode | request | payload after opcode |
 //! |--------|---------|----------------------|
@@ -31,7 +32,7 @@
 //! | 3 | bad request | UTF-8 message |
 //! | 4 | shutting down | UTF-8 message |
 //!
-//! OK bodies: `count` → `u32`; `topk`/`scan` → `total: u32, returned: u32`
+//! OK bodies: `count` → `u32`; `topk`/`scan` → `total: u64, returned: u32`
 //! then `returned` × `(u: u32, v: u32, count: u32)` triples; `stats` →
 //! UTF-8 cnc-metrics v1 JSON; `shutdown` → empty.
 //!
@@ -39,13 +40,16 @@
 //! trailing bytes all yield a typed [`ProtocolError`] — never a panic —
 //! so a server can answer garbage with status 3 and move on.
 
-use std::io::{Read, Write};
-
 use cnc_core::EdgeCount;
 
-/// Hard cap on one frame's payload size (1 MiB: a `scan` response of
-/// [`MAX_REPLY_EDGES`] triples fits with room to spare).
-pub const MAX_FRAME: usize = 1 << 20;
+pub use crate::framing::{read_frame, write_frame, FrameRead, MAX_FRAME};
+
+/// Generation of the wire layout. Version 2 widened the `topk`/`scan`
+/// `total` field to `u64` (a graph can hold ≥ 2³² matching edges; the old
+/// `u32` field wrapped silently). The protocol is pre-1.0: peers must be
+/// built from the same generation, and mixed-version conversations are not
+/// supported or detected.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Largest number of `(u, v, count)` triples one response carries; `scan`
 /// responses report the untruncated total alongside.
@@ -132,8 +136,10 @@ pub enum Reply {
     /// OK body of a `topk`/`scan` request: the untruncated total plus the
     /// (possibly truncated) matching edges.
     Edges {
-        /// Total matches, before response truncation.
-        total: u32,
+        /// Total matches, before response truncation. 64-bit on the wire:
+        /// a directed edge count can exceed `u32` long before the reply
+        /// edge list does.
+        total: u64,
         /// Up to [`MAX_REPLY_EDGES`] matches.
         edges: Vec<EdgeCount>,
     },
@@ -191,6 +197,10 @@ fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
 /// Encode a request payload (no frame prefix).
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut out = Vec::with_capacity(9);
@@ -224,7 +234,7 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
         }
         Reply::Edges { total, edges } => {
             out.push(ST_OK);
-            put_u32(&mut out, *total);
+            put_u64(&mut out, *total);
             put_u32(&mut out, edges.len() as u32);
             for e in edges {
                 put_u32(&mut out, e.u);
@@ -271,6 +281,18 @@ impl<'a> Cursor<'a> {
         self.at = end;
         Ok(u32::from_le_bytes(
             bytes.try_into().expect("slice is 4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, ProtocolError> {
+        let end = self.at + 8;
+        let bytes = self
+            .buf
+            .get(self.at..end)
+            .ok_or(ProtocolError::Truncated(what))?;
+        self.at = end;
+        Ok(u64::from_le_bytes(
+            bytes.try_into().expect("slice is 8 bytes"),
         ))
     }
 
@@ -329,7 +351,7 @@ pub fn decode_reply(payload: &[u8], request: &Request) -> Result<Reply, Protocol
             let reply = match request {
                 Request::Count { .. } => Reply::Count(c.u32("count")?),
                 Request::TopK { .. } | Request::Scan { .. } => {
-                    let total = c.u32("total")?;
+                    let total = c.u64("total")?;
                     let returned = c.u32("returned")? as usize;
                     if returned > MAX_REPLY_EDGES {
                         return Err(ProtocolError::Truncated("edge list overlong"));
@@ -358,55 +380,6 @@ pub fn decode_reply(payload: &[u8], request: &Request) -> Result<Reply, Protocol
     };
     let message = c.rest_utf8("refusal message")?;
     Ok(Reply::Refused { refusal, message })
-}
-
-// --- framing -----------------------------------------------------------
-
-/// What one blocking frame read produced.
-#[derive(Debug)]
-pub enum FrameRead {
-    /// A complete payload.
-    Payload(Vec<u8>),
-    /// The peer closed the stream cleanly (before any prefix byte).
-    Closed,
-    /// The length prefix was valid but oversized — the stream is still in
-    /// sync only if the peer stops, so callers should respond and close.
-    TooLarge(u32),
-}
-
-/// Write one frame: length prefix + payload.
-pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
-    debug_assert!(payload.len() <= MAX_FRAME);
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
-    w.write_all(payload)?;
-    w.flush()
-}
-
-/// Read one frame. Clean EOF at a frame boundary is [`FrameRead::Closed`];
-/// EOF *inside* a frame surfaces as `UnexpectedEof` (the peer truncated).
-pub fn read_frame(r: &mut impl Read) -> std::io::Result<FrameRead> {
-    let mut prefix = [0u8; 4];
-    let mut got = 0;
-    while got < 4 {
-        let n = r.read(&mut prefix[got..])?;
-        if n == 0 {
-            if got == 0 {
-                return Ok(FrameRead::Closed);
-            }
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "stream closed inside a frame prefix",
-            ));
-        }
-        got += n;
-    }
-    let len = u32::from_le_bytes(prefix);
-    if len as usize > MAX_FRAME {
-        return Ok(FrameRead::TooLarge(len));
-    }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
-    Ok(FrameRead::Payload(payload))
 }
 
 #[cfg(test)]
@@ -493,36 +466,14 @@ mod tests {
     }
 
     #[test]
-    fn framing_detects_close_truncation_and_oversize() {
-        let mut buf = Vec::new();
-        write_frame(&mut buf, &encode_request(&Request::Stats)).expect("vec write");
-        let mut r = &buf[..];
-        match read_frame(&mut r).expect("read") {
-            FrameRead::Payload(p) => assert_eq!(decode_request(&p), Ok(Request::Stats)),
-            other => panic!("expected payload, got {other:?}"),
-        }
-        assert!(matches!(
-            read_frame(&mut r).expect("eof"),
-            FrameRead::Closed
-        ));
-        // Truncated inside the prefix.
-        let mut short = &buf[..2];
-        assert_eq!(
-            read_frame(&mut short).expect_err("truncated").kind(),
-            std::io::ErrorKind::UnexpectedEof
-        );
-        // Truncated inside the payload (the full frame is 5 bytes).
-        let mut cut = &buf[..4];
-        assert_eq!(
-            read_frame(&mut cut).expect_err("truncated").kind(),
-            std::io::ErrorKind::UnexpectedEof
-        );
-        // Oversized prefix: rejected before allocation.
-        let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
-        let mut r = &huge[..];
-        assert!(matches!(
-            read_frame(&mut r).expect("prefix read"),
-            FrameRead::TooLarge(n) if n as usize == MAX_FRAME + 1
-        ));
+    fn edge_totals_survive_past_u32() {
+        // The regression the u64 widening exists for: a total that the old
+        // u32 field would have wrapped to 1.
+        let reply = Reply::Edges {
+            total: (1u64 << 32) + 1,
+            edges: vec![],
+        };
+        let back = decode_reply(&encode_reply(&reply), &Request::Scan { threshold: 0 });
+        assert_eq!(back, Ok(reply));
     }
 }

@@ -39,7 +39,7 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -110,6 +110,15 @@ impl Shared {
         self.shutdown.load(Ordering::Acquire)
     }
 
+    /// The admission queue, recovering from poisoning. The queue is a plain
+    /// `VecDeque` mutated only by whole-value `push_back`/`drain`, so a
+    /// thread that panicked while holding the lock cannot have left it
+    /// half-updated — propagating the poison would turn one dead connection
+    /// handler into a cascading daemon death for no integrity gain.
+    fn lock_queue(&self) -> MutexGuard<'_, VecDeque<Pending>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Admit one point query, or refuse with backpressure / drain status.
     fn admit(&self, u: u32, v: u32) -> Result<mpsc::Receiver<Option<u32>>, Refusal> {
         if self.shutting_down() {
@@ -117,7 +126,7 @@ impl Shared {
         }
         let (tx, rx) = mpsc::channel();
         let depth = {
-            let mut q = self.queue.lock().expect("queue lock poisoned");
+            let mut q = self.lock_queue();
             if q.len() >= self.cfg.queue_cap {
                 return Err(Refusal::Overloaded);
             }
@@ -162,12 +171,14 @@ fn batcher(shared: &Arc<Shared>) {
     loop {
         // IDLE: wait for work (or for shutdown with an empty queue).
         {
-            let mut q = shared.queue.lock().expect("queue lock poisoned");
+            let mut q = shared.lock_queue();
             while q.is_empty() && !shared.shutting_down() {
+                // Same poison-recovery reasoning as `lock_queue`: the wait
+                // re-acquires the same always-consistent mutex.
                 q = shared
                     .queue_cv
                     .wait_timeout(q, Duration::from_millis(50))
-                    .expect("queue lock poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .0;
             }
             if q.is_empty() {
@@ -181,7 +192,7 @@ fn batcher(shared: &Arc<Shared>) {
         }
         // DRAIN.
         let items: Vec<Pending> = {
-            let mut q = shared.queue.lock().expect("queue lock poisoned");
+            let mut q = shared.lock_queue();
             q.drain(..).collect()
         };
         if items.is_empty() {
@@ -295,9 +306,12 @@ fn answer(shared: &Arc<Shared>, req: Request) -> Reply {
             let limit = (k as usize)
                 .min(shared.cfg.reply_limit)
                 .min(MAX_REPLY_EDGES);
-            let edges = shared.session.topk(limit);
+            // The session reports the candidate total before the limit
+            // clamps the edge list — `edges.len()` here would understate
+            // whenever the reply is truncated.
+            let (total, edges) = shared.session.topk(limit);
             Reply::Edges {
-                total: edges.len() as u32,
+                total: total as u64,
                 edges,
             }
         }
@@ -305,7 +319,7 @@ fn answer(shared: &Arc<Shared>, req: Request) -> Reply {
             let limit = shared.cfg.reply_limit.min(MAX_REPLY_EDGES);
             let (total, edges) = shared.session.scan(threshold, limit);
             Reply::Edges {
-                total: total as u32,
+                total: total as u64,
                 edges,
             }
         }
@@ -464,4 +478,48 @@ pub fn serve(
         local_addr,
         unix_path,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Client;
+    use cnc_core::{Algorithm, Platform, Runner};
+    use cnc_graph::{CsrGraph, PreparedGraph};
+
+    /// A deliberately panicked thread poisons the queue mutex while holding
+    /// it; admission and the batcher must recover via `into_inner` and keep
+    /// answering — one dead handler must not cascade into daemon death.
+    #[test]
+    fn poisoned_queue_mutex_leaves_the_server_answering() {
+        // 0-1-2 triangle: count(0, 1) == 1.
+        let g = CsrGraph::from_undirected_pairs(3, [(0u32, 1), (0, 2), (1, 2)].into_iter());
+        let runner = Runner::new(Platform::cpu_parallel(), Algorithm::mps());
+        let pg = PreparedGraph::from_csr(g, runner.reorder_policy());
+        let session = BatchSession::new(runner, pg).expect("plannable session");
+        let handle = serve(
+            &Endpoint::Tcp("127.0.0.1:0".to_string()),
+            session,
+            ServeConfig::default(),
+        )
+        .expect("server starts");
+        let addr = handle.local_addr().expect("tcp address").to_string();
+        // Poison: panic while holding the queue lock, exactly what a
+        // panicking handler that raced the admission path would do.
+        let shared = Arc::clone(&handle.shared);
+        let poisoner = std::thread::spawn(move || {
+            let _q = shared.queue.lock().expect("first locker sees no poison");
+            panic!("deliberate poison");
+        });
+        assert!(poisoner.join().is_err(), "poisoner must have panicked");
+        assert!(
+            handle.shared.queue.lock().is_err(),
+            "mutex must actually be poisoned for the test to mean anything"
+        );
+        // The server still admits, batches, and answers.
+        let mut client = Client::connect_tcp(&addr).expect("connect");
+        assert_eq!(client.count(0, 1).expect("count after poison"), Some(1));
+        let report = handle.join();
+        assert_eq!(report.counter(Counter::ServeRequests), 1);
+    }
 }

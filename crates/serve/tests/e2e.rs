@@ -229,6 +229,46 @@ fn graceful_shutdown_drains_in_flight_batches() {
     }
 }
 
+/// The `total` regression suite: with `reply_limit` far below the match
+/// count, both `topk` and `scan` must still report the sequential oracle's
+/// *untruncated* totals — not the length of the clamped edge list.
+#[test]
+fn truncated_replies_report_untruncated_totals() {
+    let (handle, addr, g, want) = start_tcp(ServeConfig {
+        reply_limit: 2,
+        ..ServeConfig::default()
+    });
+    let canonical: Vec<(usize, u32, u32)> = g.iter_edges().filter(|&(_, u, v)| u < v).collect();
+    assert!(
+        canonical.len() > 2,
+        "the fixture must have more matches than the reply limit"
+    );
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    // topk: every canonical edge is a candidate; the reply carries 2.
+    let (top_total, top) = client.topk(1000).expect("topk");
+    assert_eq!(top_total, canonical.len() as u64);
+    assert_eq!(top.len(), 2);
+    // scan at threshold 0 matches every canonical edge; the reply carries 2.
+    let (scan_total, hits) = client.scan(0).expect("scan");
+    assert_eq!(scan_total, canonical.len() as u64);
+    assert_eq!(hits.len(), 2);
+    // A selective threshold: the total still tracks the oracle, truncated
+    // or not.
+    let threshold = canonical
+        .iter()
+        .map(|&(eid, _, _)| want[eid])
+        .max()
+        .expect("edges");
+    let oracle = canonical
+        .iter()
+        .filter(|&&(eid, _, _)| want[eid] >= threshold)
+        .count();
+    let (sel_total, sel_hits) = client.scan(threshold).expect("selective scan");
+    assert_eq!(sel_total, oracle as u64);
+    assert_eq!(sel_hits.len(), oracle.min(2));
+    handle.join();
+}
+
 #[test]
 fn unix_socket_topk_scan_and_stats_work_end_to_end() {
     let runner = Runner::new(Platform::cpu_parallel(), Algorithm::mps());
@@ -252,7 +292,8 @@ fn unix_socket_topk_scan_and_stats_work_end_to_end() {
         .map(|(eid, u, v)| (want[eid], u, v))
         .collect();
     all.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| (a.1, a.2).cmp(&(b.1, b.2))));
-    let top = client.topk(3).expect("topk");
+    let (top_total, top) = client.topk(3).expect("topk");
+    assert_eq!(top_total, all.len() as u64, "topk total is pre-truncation");
     assert_eq!(top.len(), 3.min(all.len()));
     for (got, &(count, u, v)) in top.iter().zip(&all) {
         assert_eq!((got.count, got.u, got.v), (count, u, v));

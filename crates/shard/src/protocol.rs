@@ -1,0 +1,362 @@
+//! The worker → coordinator wire protocol.
+//!
+//! Workers stream their results to the coordinator over their stdout pipe
+//! as length-prefixed frames — the exact framing `cnc-serve` speaks on its
+//! sockets (`cnc_serve::framing`, re-exported here), reused rather than
+//! reinvented: one `u32` little-endian length prefix per frame, payloads
+//! bounded by [`MAX_FRAME`].
+//!
+//! A healthy worker speaks a fixed monologue:
+//!
+//! ```text
+//! Hello → Counts* → Spills* → Report? → Done
+//! ```
+//!
+//! * [`WorkerMsg::Hello`] echoes the wire version, shard index and edge
+//!   range so the coordinator can reject a mismatched pairing before
+//!   buffering anything;
+//! * [`WorkerMsg::Counts`] chunks carry the per-edge count *section* for
+//!   the worker's own range, in edge order ([`COUNTS_PER_FRAME`] values
+//!   per frame keeps every frame far below the cap);
+//! * [`WorkerMsg::Spills`] chunks carry the symmetric-assignment mirror
+//!   writes whose directed slot falls *outside* the worker's range (the
+//!   canonical `u < v` pair lives in this shard, its `(v, u)` mirror in
+//!   another), as `(directed offset, count)` pairs;
+//! * [`WorkerMsg::Report`] optionally carries the worker's own
+//!   observability snapshot as cnc-metrics report JSON;
+//! * [`WorkerMsg::Done`] closes the stream with the work evidence
+//!   ([`ShardTally`]). Anything else — an [`WorkerMsg::Error`], a closed
+//!   pipe, a malformed frame — marks the attempt failed and triggers the
+//!   coordinator's bounded retry.
+
+use cnc_intersect::WorkCounts;
+
+pub use cnc_serve::{read_frame, write_frame, FrameRead, MAX_FRAME};
+
+/// Version of this wire dialect; [`WorkerMsg::Hello`] carries it and the
+/// coordinator refuses a mismatch (coordinator and workers are the same
+/// binary, so a mismatch means a stale executable on one side).
+pub const SHARD_WIRE_VERSION: u32 = 1;
+
+/// Count values per [`WorkerMsg::Counts`] frame (256 KiB of payload —
+/// comfortably under [`MAX_FRAME`]).
+pub const COUNTS_PER_FRAME: usize = 65_536;
+
+/// Spill pairs per [`WorkerMsg::Spills`] frame (384 KiB of payload).
+pub const SPILLS_PER_FRAME: usize = 32_768;
+
+const OP_HELLO: u8 = 1;
+const OP_COUNTS: u8 = 2;
+const OP_SPILLS: u8 = 3;
+const OP_REPORT: u8 = 4;
+const OP_DONE: u8 = 5;
+const OP_ERROR: u8 = 6;
+
+/// One frame of the worker's monologue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerMsg {
+    /// Stream opener: wire version plus the (shard, range) assignment the
+    /// worker believes it is executing.
+    Hello {
+        /// The worker's [`SHARD_WIRE_VERSION`].
+        version: u32,
+        /// Shard index assigned on the command line.
+        shard: u32,
+        /// First directed edge offset of the assigned range.
+        start: u64,
+        /// One-past-last directed edge offset of the assigned range.
+        end: u64,
+    },
+    /// A chunk of the per-edge count section, in edge order.
+    Counts(Vec<u32>),
+    /// Mirror writes landing outside the worker's own range:
+    /// `(directed edge offset, count)`.
+    Spills(Vec<(u64, u32)>),
+    /// The worker's cnc-metrics report JSON (optional).
+    Report(String),
+    /// Stream closer: the work evidence for the completed range.
+    Done(ShardTally),
+    /// The worker failed; human-readable reason. Terminal.
+    Error(String),
+}
+
+/// Work evidence one worker ships home in [`WorkerMsg::Done`]: the range
+/// loop's tallies, the metered kernel work, and the worker's wall clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardTally {
+    /// `begin_source` kernel rebuilds in the range.
+    pub rebuilds: u64,
+    /// Covered canonical pairs visited.
+    pub visited: u64,
+    /// Canonical pairs skipped by the workload's cover predicate.
+    pub skipped: u64,
+    /// Exact metered kernel work for the range.
+    pub work: WorkCounts,
+    /// Worker wall clock, nanoseconds (load + plan + execute + extract).
+    pub wall_nanos: u64,
+}
+
+/// A malformed frame payload (truncation, unknown opcode, bad UTF-8).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Encode one message into a frame payload (pass to [`write_frame`]).
+pub fn encode_msg(msg: &WorkerMsg) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    match msg {
+        WorkerMsg::Hello {
+            version,
+            shard,
+            start,
+            end,
+        } => {
+            out.push(OP_HELLO);
+            put_u32(&mut out, *version);
+            put_u32(&mut out, *shard);
+            put_u64(&mut out, *start);
+            put_u64(&mut out, *end);
+        }
+        WorkerMsg::Counts(counts) => {
+            debug_assert!(counts.len() <= COUNTS_PER_FRAME, "oversized counts chunk");
+            out.reserve(4 + counts.len() * 4);
+            out.push(OP_COUNTS);
+            put_u32(&mut out, counts.len() as u32);
+            for &c in counts {
+                put_u32(&mut out, c);
+            }
+        }
+        WorkerMsg::Spills(spills) => {
+            debug_assert!(spills.len() <= SPILLS_PER_FRAME, "oversized spills chunk");
+            out.reserve(4 + spills.len() * 12);
+            out.push(OP_SPILLS);
+            put_u32(&mut out, spills.len() as u32);
+            for &(eid, c) in spills {
+                put_u64(&mut out, eid);
+                put_u32(&mut out, c);
+            }
+        }
+        WorkerMsg::Report(json) => {
+            out.push(OP_REPORT);
+            put_u32(&mut out, json.len() as u32);
+            out.extend_from_slice(json.as_bytes());
+        }
+        WorkerMsg::Done(t) => {
+            out.push(OP_DONE);
+            for v in [
+                t.rebuilds,
+                t.visited,
+                t.skipped,
+                t.work.scalar_ops,
+                t.work.vector_ops,
+                t.work.seq_bytes,
+                t.work.rand_accesses,
+                t.work.rand_accesses_small,
+                t.work.write_bytes,
+                t.work.intersections,
+                t.wall_nanos,
+            ] {
+                put_u64(&mut out, v);
+            }
+        }
+        WorkerMsg::Error(message) => {
+            out.push(OP_ERROR);
+            put_u32(&mut out, message.len() as u32);
+            out.extend_from_slice(message.as_bytes());
+        }
+    }
+    out
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| WireError(format!("truncated frame reading {what}")))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, WireError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, WireError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, WireError> {
+        let len = self.u32(what)? as usize;
+        let b = self.take(len, what)?;
+        String::from_utf8(b.to_vec()).map_err(|_| WireError(format!("{what} is not UTF-8")))
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+/// Decode one frame payload back into a message.
+pub fn decode_msg(payload: &[u8]) -> Result<WorkerMsg, WireError> {
+    let mut c = Cursor {
+        buf: payload,
+        pos: 0,
+    };
+    let op = c.take(1, "opcode")?[0];
+    let msg = match op {
+        OP_HELLO => WorkerMsg::Hello {
+            version: c.u32("version")?,
+            shard: c.u32("shard")?,
+            start: c.u64("start")?,
+            end: c.u64("end")?,
+        },
+        OP_COUNTS => {
+            let n = c.u32("counts length")? as usize;
+            if n > COUNTS_PER_FRAME {
+                return Err(WireError(format!("counts chunk of {n} exceeds the cap")));
+            }
+            let mut counts = Vec::with_capacity(n);
+            for _ in 0..n {
+                counts.push(c.u32("count")?);
+            }
+            WorkerMsg::Counts(counts)
+        }
+        OP_SPILLS => {
+            let n = c.u32("spills length")? as usize;
+            if n > SPILLS_PER_FRAME {
+                return Err(WireError(format!("spills chunk of {n} exceeds the cap")));
+            }
+            let mut spills = Vec::with_capacity(n);
+            for _ in 0..n {
+                spills.push((c.u64("spill offset")?, c.u32("spill count")?));
+            }
+            WorkerMsg::Spills(spills)
+        }
+        OP_REPORT => WorkerMsg::Report(c.string("report")?),
+        OP_DONE => {
+            let mut v = [0u64; 11];
+            for (i, slot) in v.iter_mut().enumerate() {
+                *slot = c.u64(&format!("done field {i}"))?;
+            }
+            WorkerMsg::Done(ShardTally {
+                rebuilds: v[0],
+                visited: v[1],
+                skipped: v[2],
+                work: WorkCounts {
+                    scalar_ops: v[3],
+                    vector_ops: v[4],
+                    seq_bytes: v[5],
+                    rand_accesses: v[6],
+                    rand_accesses_small: v[7],
+                    write_bytes: v[8],
+                    intersections: v[9],
+                },
+                wall_nanos: v[10],
+            })
+        }
+        OP_ERROR => WorkerMsg::Error(c.string("error message")?),
+        other => return Err(WireError(format!("unknown shard opcode {other}"))),
+    };
+    c.finish()?;
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_message_round_trips() {
+        let msgs = [
+            WorkerMsg::Hello {
+                version: SHARD_WIRE_VERSION,
+                shard: 3,
+                start: 1_000,
+                end: 5_000,
+            },
+            WorkerMsg::Counts(vec![0, 1, u32::MAX, 7]),
+            WorkerMsg::Counts(Vec::new()),
+            WorkerMsg::Spills(vec![(u64::MAX, 9), (0, 0)]),
+            WorkerMsg::Spills(Vec::new()),
+            WorkerMsg::Report("{\"enabled\":true}".into()),
+            WorkerMsg::Done(ShardTally {
+                rebuilds: 1,
+                visited: 2,
+                skipped: 3,
+                work: WorkCounts {
+                    scalar_ops: 4,
+                    vector_ops: 5,
+                    seq_bytes: 6,
+                    rand_accesses: 7,
+                    rand_accesses_small: 8,
+                    write_bytes: 9,
+                    intersections: 10,
+                },
+                wall_nanos: 11,
+            }),
+            WorkerMsg::Error("worker died: out of cheese".into()),
+        ];
+        for msg in &msgs {
+            let bytes = encode_msg(msg);
+            assert!(bytes.len() < MAX_FRAME, "{msg:?} overflows a frame");
+            assert_eq!(&decode_msg(&bytes).expect("round trip"), msg);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        assert!(decode_msg(&[]).is_err(), "empty payload");
+        assert!(decode_msg(&[99]).is_err(), "unknown opcode");
+        // Truncated Hello.
+        let mut hello = encode_msg(&WorkerMsg::Hello {
+            version: 1,
+            shard: 0,
+            start: 0,
+            end: 1,
+        });
+        hello.pop();
+        assert!(decode_msg(&hello).is_err(), "truncated hello");
+        // Counts chunk whose declared length exceeds the cap.
+        let mut huge = vec![super::OP_COUNTS];
+        huge.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(decode_msg(&huge).is_err(), "oversized counts");
+        // Trailing garbage.
+        let mut noisy = encode_msg(&WorkerMsg::Counts(vec![1]));
+        noisy.push(0);
+        assert!(decode_msg(&noisy).is_err(), "trailing bytes");
+    }
+}

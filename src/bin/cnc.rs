@@ -1,10 +1,11 @@
 //! `cnc` — command-line all-edge common neighbor counting.
 //!
 //! ```text
-//! cnc count  GRAPH [--algo mps|bmp|bmp-rf|m] [--platform cpu|cpu-seq|knl|gpu]
+//! cnc count  (GRAPH | --dataset NAME [--scale S])
+//!            [--algo mps|bmp|bmp-rf|m] [--platform cpu|cpu-seq|knl|gpu]
 //!            [--workload cnc|triangle|kclique] [--k K]
-//!            [--schedule uniform|balanced] [--out FILE] [--stats]
-//!            [--metrics FILE] [--trace]
+//!            [--schedule uniform|balanced] [--shards N] [--out FILE]
+//!            [--stats] [--metrics FILE] [--trace]
 //! cnc run    [--scale tiny|small|medium] [--dataset NAME] [--algo A]
 //!            [--platform P] [--workload cnc|triangle|kclique] [--k K]
 //!            [--schedule uniform|balanced] [--metrics FILE] [--trace]
@@ -36,6 +37,15 @@
 //! The result is byte-identical to what the in-memory pipeline caches, and
 //! every other subcommand accepts it as `GRAPH`, skipping preparation
 //! entirely.
+//!
+//! `cnc count --shards N` runs the count as N cooperating *processes*: the
+//! coordinator cuts the edge range into cost-balanced source-aligned blocks
+//! (the balanced scheduler's own cuts), each worker (`cnc shard-worker`, an
+//! internal subcommand) loads the one shared prepared-graph file and
+//! executes its block, and the per-shard sections are reassembled into
+//! per-edge counts byte-identical to a single-process run (DESIGN.md §3h).
+//! A worker that dies mid-stream is retried once; metrics land under the
+//! `shard.*` counters. `--shards` accepts a `GRAPH` file or `--dataset`.
 //!
 //! When `--platform` is omitted, counting commands pick the parallel CPU
 //! platform unless the prepared CSR is at least `$CNC_GPU_UM_THRESHOLD_BYTES`
@@ -92,6 +102,7 @@ use cnc_graph::stream::{self, StreamConfig};
 use cnc_graph::{io, CsrGraph};
 use cnc_obs::{Counter, MetricsFile, ObsContext, RunReport};
 use cnc_serve::{Client, Endpoint, ServeConfig};
+use cnc_shard::{ShardConfig, WorkerArgs};
 
 /// Environment variable overriding the prepared-CSR size (bytes) above
 /// which counting commands default to the unified-memory GPU platform.
@@ -161,6 +172,26 @@ fn parse_switch(args: &mut Vec<String>, flag: &str) -> bool {
     } else {
         false
     }
+}
+
+/// Write per-edge counts to `path`: binary when it ends in `.bin` (aligned
+/// to the CSR's directed edge slots, load with `cnc_graph::io::read_counts`),
+/// `u v count` text lines (canonical `u < v` edges once each) otherwise.
+fn write_counts_file(path: &str, g: &CsrGraph, counts: &[u32]) -> Result<(), String> {
+    let f = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    if path.ends_with(".bin") {
+        cnc_graph::io::write_counts(counts, f).map_err(|e| e.to_string())?;
+    } else {
+        let mut w = BufWriter::new(f);
+        for (eid, u, v) in g.iter_edges() {
+            if u < v {
+                writeln!(w, "{u}\t{v}\t{}", counts[eid]).map_err(|e| e.to_string())?;
+            }
+        }
+        w.flush().map_err(|e| e.to_string())?;
+    }
+    eprintln!("wrote {path}");
+    Ok(())
 }
 
 fn print_stats(g: &CsrGraph) {
@@ -639,7 +670,9 @@ fn run_query(mut args: Vec<String>) -> Result<(), String> {
         }
         "topk" => {
             let k = arg("K")?;
-            print_edges(&client.topk(k).map_err(|e| e.to_string())?);
+            let (total, edges) = client.topk(k).map_err(|e| e.to_string())?;
+            println!("total\t{total}");
+            print_edges(&edges);
         }
         "scan" => {
             let threshold = arg("THRESHOLD")?;
@@ -661,11 +694,173 @@ fn run_query(mut args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `cnc shard-worker` — the hidden per-process entry of sharded counting.
+/// Spawned by the coordinator (`cnc count --shards N`), never by hand: it
+/// executes one edge range of the shared prepared graph and streams the
+/// section back over stdout (see `cnc-shard::protocol`).
+fn run_shard_worker(mut args: Vec<String>) -> Result<(), String> {
+    let prep = parse_flag(&mut args, "--prep")
+        .ok_or_else(|| "shard-worker needs --prep FILE".to_string())?;
+    let algo = match parse_flag(&mut args, "--algo") {
+        Some(token) => cnc_shard::parse_algo_token(&token)?,
+        None => Algorithm::bmp_rf(),
+    };
+    let reorder = match parse_flag(&mut args, "--reorder").as_deref() {
+        None => None,
+        Some("on") => Some(true),
+        Some("off") => Some(false),
+        Some(other) => return Err(format!("bad --reorder {other:?} (try on|off)")),
+    };
+    let mut req = |flag: &str| -> Result<usize, String> {
+        parse_flag(&mut args, flag)
+            .ok_or_else(|| format!("shard-worker needs {flag}"))?
+            .parse()
+            .map_err(|e| format!("bad {flag}: {e}"))
+    };
+    let shard = req("--shard")?;
+    let start = req("--start")?;
+    let end = req("--end")?;
+    let attempt = req("--attempt").unwrap_or(0);
+    if let Some(stray) = args.first() {
+        return Err(format!("unexpected argument {stray:?}"));
+    }
+    let stdout = std::io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    cnc_shard::worker_main(
+        &WorkerArgs {
+            prep: PathBuf::from(prep),
+            algo,
+            reorder,
+            shard,
+            start,
+            end,
+            attempt,
+        },
+        &mut out,
+    )
+}
+
+/// `cnc count --shards N` — scatter-gather the count across N worker
+/// processes sharing one prepared graph file; output is byte-identical to
+/// the single-process run.
+#[allow(clippy::too_many_arguments)]
+fn run_count_sharded(
+    prepared: &PreparedGraph,
+    algo: Algorithm,
+    workload: WorkloadKind,
+    platform_name: &str,
+    workers: usize,
+    prep_file: Option<PathBuf>,
+    label: &str,
+    scale_label: &str,
+    ctx: Option<&Arc<ObsContext>>,
+    trace: bool,
+    metrics_path: Option<&str>,
+    out_path: Option<&str>,
+    want_stats: bool,
+) -> Result<(), String> {
+    if workload != WorkloadKind::Cnc {
+        return Err("--shards runs the cnc workload only".to_string());
+    }
+    if !matches!(platform_name, "cpu" | "cpu-seq") {
+        return Err(format!(
+            "--shards runs on the CPU; --platform {platform_name:?} is not shardable"
+        ));
+    }
+    if workers == 0 {
+        return Err("--shards needs at least one worker".to_string());
+    }
+    // Workers load the preparation from disk; reuse the input/cached image
+    // when one exists, otherwise write a temporary one next to the cache.
+    let (prep_path, temp) = match prep_file {
+        Some(p) => (p, None),
+        None => {
+            let dir = prepare::default_cache_dir();
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+            let p = dir.join(format!("shard-adhoc-{}.prep", std::process::id()));
+            let f = std::fs::File::create(&p)
+                .map_err(|e| format!("cannot create {}: {e}", p.display()))?;
+            prepare::write_prepared(prepared, f)
+                .map_err(|e| format!("cannot write {}: {e}", p.display()))?;
+            (p.clone(), Some(p))
+        }
+    };
+    let cfg = ShardConfig {
+        workers,
+        algorithm: algo,
+        reorder: None,
+        worker_exe: std::env::current_exe().map_err(|e| format!("cannot find own exe: {e}"))?,
+        prep_path,
+        // Children inherit the coordinator's environment, so fault
+        // injection (CNC_SHARD_FAIL) needs no explicit forwarding here.
+        fail_spec: None,
+    };
+    let result = cnc_shard::run_sharded(prepared, &cfg);
+    if let Some(p) = &temp {
+        let _ = std::fs::remove_file(p);
+    }
+    let out = result.map_err(|e| e.to_string())?;
+    let failures = if out.worker_failures > 0 {
+        format!(" ({} worker failure(s) retried)", out.worker_failures)
+    } else {
+        String::new()
+    };
+    eprintln!(
+        "{label}: cpu-shard [cnc {}] counted {} directed edge slots in {:.1} ms wall \
+         across {} workers{failures}",
+        algo.label(),
+        out.counts.len(),
+        out.wall_seconds * 1e3,
+        out.workers,
+    );
+    let g = prepared.graph();
+    eprintln!(
+        "triangles: {}",
+        CncView::new(g, &out.counts).triangle_count()
+    );
+    if let Some(ctx) = ctx {
+        let report = RunReport::from_context(ctx);
+        if trace {
+            print!("{}", report.render_trace());
+        }
+        if let Some(path) = metrics_path {
+            let mut metrics = MetricsFile::new();
+            metrics.begin_run();
+            metrics.field_str("dataset", label);
+            metrics.field_str("scale", scale_label);
+            metrics.field_str("platform", "cpu-shard");
+            metrics.field_str("workload", "cnc");
+            metrics.field_str("algorithm", algo.label());
+            metrics.field_raw("shard_workers", &out.workers.to_string());
+            metrics.field_raw("wall_seconds", &out.wall_seconds.to_string());
+            let reports: Vec<&str> = out
+                .worker_reports
+                .iter()
+                .map(String::as_str)
+                .filter(|r| !r.is_empty())
+                .collect();
+            metrics.field_raw("worker_reports", &format!("[{}]", reports.join(",")));
+            metrics.end_run(&report);
+            std::fs::write(path, metrics.finish())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+    }
+    if want_stats {
+        print_stats(g);
+    }
+    if let Some(path) = out_path {
+        write_counts_file(path, g, &out.counts)?;
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         eprintln!(
-            "usage: cnc <count|stats|scan|truss> GRAPH [--algo A] [--platform P] [--workload cnc|triangle|kclique] [--k K] [--schedule uniform|balanced] [--out F] [--eps E] [--mu M] [--stats] [--metrics F] [--trace]\n       cnc run [--scale S] [--dataset D] [--algo A] [--platform P] [--workload cnc|triangle|kclique] [--k K] [--schedule uniform|balanced] [--metrics F] [--trace]\n       cnc prepare GRAPH [--out F.prep] [--mem-budget BYTES] [--spill-dir D] [--reorder degdesc|none] [--metrics F]\n       cnc cache [ls|gc|clear] [--dir D] [--max-bytes N]\n       cnc serve (GRAPH | --dataset D [--scale S]) [--algo A] [--listen ADDR | --socket PATH] [--batch-window-us N] [--queue-cap N] [--reply-limit N] [--schedule uniform|balanced] [--metrics F]\n       cnc query (--connect ADDR | --socket PATH) (count U V | topk K | scan T | stats | shutdown)"
+            "usage: cnc <count|stats|scan|truss> (GRAPH | --dataset D [--scale S]) [--algo A] [--platform P] [--workload cnc|triangle|kclique] [--k K] [--schedule uniform|balanced] [--shards N] [--out F] [--eps E] [--mu M] [--stats] [--metrics F] [--trace]\n       cnc run [--scale S] [--dataset D] [--algo A] [--platform P] [--workload cnc|triangle|kclique] [--k K] [--schedule uniform|balanced] [--metrics F] [--trace]\n       cnc prepare GRAPH [--out F.prep] [--mem-budget BYTES] [--spill-dir D] [--reorder degdesc|none] [--metrics F]\n       cnc cache [ls|gc|clear] [--dir D] [--max-bytes N]\n       cnc serve (GRAPH | --dataset D [--scale S]) [--algo A] [--listen ADDR | --socket PATH] [--batch-window-us N] [--queue-cap N] [--reply-limit N] [--schedule uniform|balanced] [--metrics F]\n       cnc query (--connect ADDR | --socket PATH) (count U V | topk K | scan T | stats | shutdown)"
         );
         return Ok(());
     }
@@ -685,6 +880,9 @@ fn run() -> Result<(), String> {
     if command == "query" {
         return run_query(args);
     }
+    if command == "shard-worker" {
+        return run_shard_worker(args);
+    }
     let algo = parse_algo(&mut args)?;
     let workload = parse_workload(&mut args)?;
     let out_path = parse_flag(&mut args, "--out");
@@ -701,10 +899,45 @@ fn run() -> Result<(), String> {
     let trace = parse_switch(&mut args, "--trace");
     let platform_arg = parse_flag(&mut args, "--platform");
     let schedule = parse_schedule(&mut args)?;
-    let graph_path = args
-        .first()
-        .ok_or_else(|| "missing GRAPH argument".to_string())?
-        .clone();
+    let shards: Option<usize> = parse_flag(&mut args, "--shards")
+        .map(|s| s.parse().map_err(|e| format!("bad --shards: {e}")))
+        .transpose()?;
+    if shards.is_some() && command != "count" {
+        return Err("--shards applies to cnc count only".to_string());
+    }
+    let dataset =
+        match parse_flag(&mut args, "--dataset") {
+            Some(name) => Some(*Dataset::ALL.iter().find(|d| d.name() == name).ok_or_else(
+                || format!("unknown --dataset {name:?} (try lj-s|or-s|wi-s|tw-s|fr-s)"),
+            )?),
+            None => None,
+        };
+    let ds_scale = match parse_flag(&mut args, "--scale").as_deref() {
+        None | Some("tiny") => Scale::Tiny,
+        Some("small") => Scale::Small,
+        Some("medium") => Scale::Medium,
+        Some(other) => return Err(format!("unknown --scale {other:?}")),
+    };
+    let graph_path = match (&dataset, args.first()) {
+        (Some(_), Some(path)) => {
+            return Err(format!(
+                "give --dataset or a GRAPH file, not both ({path:?})"
+            ))
+        }
+        (None, None) => return Err("missing GRAPH argument (or --dataset NAME)".to_string()),
+        (None, Some(path)) => Some(path.clone()),
+        (Some(_), None) => None,
+    };
+    let label = match (&graph_path, &dataset) {
+        (Some(path), _) => path.clone(),
+        (None, Some(d)) => format!("{}:{}", d.name(), ds_scale.name()),
+        (None, None) => unreachable!("resolved above"),
+    };
+    let scale_label = if graph_path.is_some() {
+        "file".to_string()
+    } else {
+        ds_scale.name().to_string()
+    };
     // Observability is opt-in: install a context before preparation so the
     // report covers the prepare spans too. Without the flags nothing is
     // recorded and execution takes the unobserved code paths.
@@ -712,15 +945,35 @@ fn run() -> Result<(), String> {
     let _obs = ctx.as_ref().map(|c| c.install());
     // A CNCPREP4 image (from `cnc prepare` or the run cache) skips
     // preparation entirely — zero-copy mapped where the platform allows.
-    // Text and binary-CSR inputs are prepared in-process as before.
-    let preloaded = if is_prepared_file(&graph_path) {
-        Some(load_prepared(&graph_path)?)
-    } else {
-        None
+    // Text and binary-CSR inputs are prepared in-process as before;
+    // built-in datasets prepare through the shared disk cache.
+    // `prep_file` remembers an on-disk image sharded workers can share.
+    let mut prep_file: Option<PathBuf> = None;
+    let preloaded = match (&graph_path, &dataset) {
+        (Some(path), _) if is_prepared_file(path) => {
+            prep_file = Some(PathBuf::from(path));
+            Some(load_prepared(path)?)
+        }
+        (Some(_), _) => None,
+        (None, Some(d)) => {
+            // The reorder policy depends on the algorithm only, so a
+            // provisional sequential runner decides how to prepare.
+            let policy = Runner::new(Platform::CpuSequential, algo)
+                .workload(workload)
+                .reorder_policy();
+            let pg = d.prepare(ds_scale, policy);
+            let cached = prepare::cache_path(&prepare::default_cache_dir(), *d, ds_scale, policy);
+            if cached.is_file() {
+                prep_file = Some(cached);
+            }
+            Some(pg)
+        }
+        (None, None) => unreachable!("resolved above"),
     };
-    let raw = match &preloaded {
-        Some(_) => None,
-        None => Some(load_graph(&graph_path)?),
+    let raw = match (&preloaded, &graph_path) {
+        (Some(_), _) => None,
+        (None, Some(path)) => Some(load_graph(path)?),
+        (None, None) => unreachable!("one of the loaders ran"),
     };
     let (csr_bytes, und_edges) = {
         let g = preloaded
@@ -769,10 +1022,27 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "count" => {
+            if let Some(n) = shards {
+                return run_count_sharded(
+                    &prepared,
+                    algo,
+                    workload,
+                    &platform_name,
+                    n,
+                    prep_file,
+                    &label,
+                    &scale_label,
+                    ctx.as_ref(),
+                    trace,
+                    metrics_path.as_deref(),
+                    out_path.as_deref(),
+                    want_stats,
+                );
+            }
             let result = runner
                 .try_run_prepared(&prepared)
                 .map_err(|e| e.to_string())?;
-            print_run_summary(&graph_path, &result);
+            print_run_summary(&label, &result);
             // Derived analytics exist for per-edge counts only; global
             // workloads already printed their tally in the summary.
             if result.edge_counts().is_some() {
@@ -785,7 +1055,7 @@ fn run() -> Result<(), String> {
                 }
                 if let Some(path) = &metrics_path {
                     let mut metrics = MetricsFile::new();
-                    push_metrics_entry(&mut metrics, &graph_path, "file", &result, &report);
+                    push_metrics_entry(&mut metrics, &label, &scale_label, &result, &report);
                     std::fs::write(path, metrics.finish())
                         .map_err(|e| format!("cannot write {path}: {e}"))?;
                     eprintln!("wrote {path}");
@@ -798,22 +1068,7 @@ fn run() -> Result<(), String> {
                 let counts = result.edge_counts().ok_or_else(|| {
                     "--out writes per-edge counts; use --workload cnc".to_string()
                 })?;
-                let f = std::fs::File::create(&path)
-                    .map_err(|e| format!("cannot create {path}: {e}"))?;
-                if path.ends_with(".bin") {
-                    // Binary counts aligned to the CSR's directed edge
-                    // slots (load with cnc_graph::io::read_counts).
-                    cnc_graph::io::write_counts(counts, f).map_err(|e| e.to_string())?;
-                } else {
-                    let mut w = BufWriter::new(f);
-                    for (eid, u, v) in g.iter_edges() {
-                        if u < v {
-                            writeln!(w, "{u}\t{v}\t{}", counts[eid]).map_err(|e| e.to_string())?;
-                        }
-                    }
-                    w.flush().map_err(|e| e.to_string())?;
-                }
-                eprintln!("wrote {path}");
+                write_counts_file(&path, g, counts)?;
             }
             Ok(())
         }

@@ -1,0 +1,193 @@
+//! Differential tests for multi-process sharded execution (`cnc-shard`).
+//!
+//! The layer's acceptance property is byte-identity: for every worker
+//! count, the assembled per-edge counts must equal a single-process run of
+//! the same plan exactly. These tests spawn real worker processes — the
+//! `cnc` binary built by this package (`CARGO_BIN_EXE_cnc`) — against
+//! prepared-graph files written to the system temp directory, so they
+//! exercise the full coordinator/worker wire path, not an in-process
+//! simulation. Fault injection is passed per-child via `ShardConfig`
+//! (never `std::env::set_var` — tests run in parallel threads).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use cnc_core::{Algorithm, Platform, Runner};
+use cnc_graph::datasets::{Dataset, Scale};
+use cnc_graph::{prepare, PreparedGraph, ReorderPolicy};
+use cnc_obs::{Counter, ObsContext};
+use cnc_shard::{run_sharded, ShardConfig, ShardError};
+
+fn worker_exe() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_cnc"))
+}
+
+/// Write `pg` to a uniquely named prep file; returns the path.
+fn write_prep(pg: &PreparedGraph, tag: &str) -> PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("cnc-shard-test-{}-{tag}.prep", std::process::id()));
+    let f = std::fs::File::create(&path).expect("create prep file");
+    prepare::write_prepared(pg, f).expect("write prep file");
+    path
+}
+
+fn config(prep: PathBuf, workers: usize, algorithm: Algorithm) -> ShardConfig {
+    ShardConfig {
+        workers,
+        algorithm,
+        reorder: None,
+        worker_exe: worker_exe(),
+        prep_path: prep,
+        fail_spec: None,
+    }
+}
+
+fn oracle(pg: &PreparedGraph, algorithm: Algorithm, reorder: Option<bool>) -> Vec<u32> {
+    let mut runner = Runner::new(Platform::CpuSequential, algorithm);
+    if let Some(r) = reorder {
+        runner = runner.reorder(r);
+    }
+    runner.run_prepared(pg).into_counts()
+}
+
+#[test]
+fn sharded_counts_match_single_process_on_every_dataset() {
+    for d in Dataset::ALL {
+        for (reorder, policy) in [
+            (None, ReorderPolicy::DegreeDescending),
+            (Some(false), ReorderPolicy::None),
+        ] {
+            let pg = PreparedGraph::from_csr(d.build(Scale::Tiny), policy);
+            let tag = format!("{}-{policy:?}", d.name());
+            let prep = write_prep(&pg, &tag);
+            let want = oracle(&pg, Algorithm::bmp_rf(), reorder);
+            for workers in [2usize, 4, 8] {
+                let mut cfg = config(prep.clone(), workers, Algorithm::bmp_rf());
+                cfg.reorder = reorder;
+                let out =
+                    run_sharded(&pg, &cfg).unwrap_or_else(|e| panic!("{tag} x{workers}: {e}"));
+                assert_eq!(
+                    out.counts, want,
+                    "{tag} with {workers} workers must be byte-identical"
+                );
+                assert_eq!(out.worker_failures, 0, "{tag} x{workers}");
+                assert!(out.workers >= 1 && out.workers <= workers);
+                assert!(out.range_cost_max >= out.range_cost_min);
+                assert!(out.work.intersections > 0, "workers must ship work counts");
+            }
+            let _ = std::fs::remove_file(&prep);
+        }
+    }
+}
+
+#[test]
+fn every_tokenizable_algorithm_shards_identically() {
+    let pg = PreparedGraph::from_csr(
+        Dataset::TwS.build(Scale::Tiny),
+        ReorderPolicy::DegreeDescending,
+    );
+    let prep = write_prep(&pg, "algos");
+    for algorithm in [Algorithm::MergeBaseline, Algorithm::mps(), Algorithm::bmp()] {
+        let want = oracle(&pg, algorithm, None);
+        for workers in [3usize, 5] {
+            let out = run_sharded(&pg, &config(prep.clone(), workers, algorithm))
+                .unwrap_or_else(|e| panic!("{} x{workers}: {e}", algorithm.label()));
+            assert_eq!(
+                out.counts,
+                want,
+                "{} with {workers} workers",
+                algorithm.label()
+            );
+        }
+    }
+    let _ = std::fs::remove_file(&prep);
+}
+
+#[test]
+fn killed_worker_is_retried_once_and_counted() {
+    let pg = PreparedGraph::from_csr(
+        Dataset::TwS.build(Scale::Tiny),
+        ReorderPolicy::DegreeDescending,
+    );
+    let prep = write_prep(&pg, "kill");
+    let want = oracle(&pg, Algorithm::bmp_rf(), None);
+
+    // Shard 1's first attempt dies mid-stream; the retry must succeed and
+    // the output must stay byte-identical.
+    let ctx = Arc::new(ObsContext::new());
+    let out = {
+        let _obs = ctx.install();
+        let mut cfg = config(prep.clone(), 4, Algorithm::bmp_rf());
+        cfg.fail_spec = Some("1:0".into());
+        run_sharded(&pg, &cfg).expect("retry must recover")
+    };
+    assert_eq!(out.counts, want, "retried run must stay byte-identical");
+    assert_eq!(out.worker_failures, 1);
+    let report = cnc_obs::RunReport::from_context(&ctx);
+    assert_eq!(report.counter(Counter::ShardWorkerFailures), 1);
+    assert_eq!(
+        report.counter(Counter::ShardWorkers),
+        out.workers as u64 + 1,
+        "the failed attempt counts as a spawned worker"
+    );
+    assert!(report.counter(Counter::ShardRangeCostMax) > 0);
+    let shard_span = report
+        .spans
+        .iter()
+        .find(|s| s.name == "shard")
+        .expect("shard span at the root");
+    assert_eq!(shard_span.children.len(), out.workers);
+    assert!(shard_span.children.iter().all(|c| c.name == "execute"));
+    assert!(shard_span.children.iter().all(|c| c.items > 0));
+
+    // Both attempts dying exhausts the retry budget: a typed error naming
+    // the shard and the attempt count.
+    let mut cfg = config(prep.clone(), 4, Algorithm::bmp_rf());
+    cfg.fail_spec = Some("1:0,1:1".into());
+    match run_sharded(&pg, &cfg) {
+        Err(ShardError::Worker {
+            shard, attempts, ..
+        }) => {
+            assert_eq!(shard, 1);
+            assert_eq!(attempts, 2);
+        }
+        other => panic!("expected ShardError::Worker, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&prep);
+}
+
+#[test]
+fn missing_worker_executable_is_a_spawn_error() {
+    let pg = PreparedGraph::from_csr(
+        Dataset::WiS.build(Scale::Tiny),
+        ReorderPolicy::DegreeDescending,
+    );
+    let prep = write_prep(&pg, "spawn");
+    let mut cfg = config(prep.clone(), 2, Algorithm::bmp_rf());
+    cfg.worker_exe = PathBuf::from("/nonexistent/cnc-no-such-binary");
+    match run_sharded(&pg, &cfg) {
+        Err(ShardError::Spawn { .. }) => {}
+        other => panic!("expected ShardError::Spawn, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&prep);
+}
+
+#[test]
+fn custom_mps_config_is_rejected_with_a_typed_error() {
+    let pg = PreparedGraph::from_csr(
+        Dataset::WiS.build(Scale::Tiny),
+        ReorderPolicy::DegreeDescending,
+    );
+    let prep = write_prep(&pg, "algo-reject");
+    let custom = Algorithm::Mps(cnc_intersect::MpsConfig {
+        skew_threshold: 7,
+        ..cnc_intersect::MpsConfig::default()
+    });
+    match run_sharded(&pg, &config(prep.clone(), 2, custom)) {
+        Err(ShardError::Algorithm(msg)) => {
+            assert!(msg.contains("MPS"), "unhelpful error: {msg}")
+        }
+        other => panic!("expected ShardError::Algorithm, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&prep);
+}
