@@ -185,6 +185,11 @@ pub struct RunStats {
     pub wall_seconds: f64,
     /// Modeled elapsed seconds, for modeled platforms.
     pub modeled_seconds: Option<f64>,
+    /// The SIMD instruction tier the host kernels dispatched to
+    /// (`scalar`/`portable`/`avx2`/`avx512`), so measured numbers are
+    /// attributable to the tier that actually ran. Modeled platforms emulate
+    /// their own lane widths regardless of this tier.
+    pub simd_tier: String,
 }
 
 /// The outcome of a counting run, for any workload.
@@ -434,6 +439,7 @@ impl Runner {
             work: exec.work.take(),
             wall_seconds,
             modeled_seconds: exec.modeled_seconds,
+            simd_tier: cnc_intersect::SimdTier::resolve().label().to_string(),
         };
         // Counters are diffed against the run's start so one long-lived
         // context (a CLI session, a bench sweep) still yields per-run

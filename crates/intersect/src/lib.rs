@@ -28,6 +28,14 @@
 //! operation counts which the machine models (`cnc-machine`) turn into
 //! modeled elapsed times for the simulated KNL and GPU processors.
 //!
+//! Wide-vector hot loops (BMP word probes, the galloping stages, VB block
+//! compares) dispatch on a process-wide [`SimdTier`] resolved once from the
+//! `CNC_SIMD` environment variable / `--simd` CLI flag / host detection.
+//! Forcing `scalar` runs the bit-pinned oracle loops; `portable` runs the
+//! same 8-wide block shape without vector instructions; `avx2`/`avx512` use
+//! real intrinsics. Per-edge counts and the architecture-neutral meter
+//! events are identical at every tier.
+//!
 //! # Preconditions
 //!
 //! All array inputs are neighbor lists: **strictly increasing** `u32` slices.
@@ -66,7 +74,7 @@ mod search;
 mod simd;
 mod vb;
 
-pub use bitmap::{bmp_count, Bitmap};
+pub use bitmap::{bmp_count, bmp_count_tier, Bitmap};
 pub use bsr::{bsr_count, bsr_intersect, BsrSet};
 pub use collect::{merge_collect, mps_collect, ps_collect};
 pub use cost::CostModel;
@@ -80,9 +88,10 @@ pub use range_filter::{
     rf_count, scaled_rf_ratio, validate_rf_ratio, RfBitmap, RfRatioError, DEFAULT_RF_RATIO,
 };
 pub use search::{
-    gallop_lower_bound, gallop_lower_bound_no_prefix, linear_lower_bound, lower_bound,
+    gallop_lower_bound, gallop_lower_bound_no_prefix, gallop_lower_bound_tier, linear_lower_bound,
+    linear_lower_bound_tier, lower_bound,
 };
-pub use simd::SimdLevel;
+pub use simd::{SimdLevel, SimdTier, SimdTierError};
 pub use vb::{vb_count, vb_count_lanes};
 
 /// Reference intersection count via a fresh two-pointer walk.

@@ -29,6 +29,25 @@ pub trait Meter {
     fn write_bytes(&mut self, n: u64);
     /// One neighbor-set intersection completed.
     fn intersection_done(&mut self);
+    /// `n` wide probe blocks (8/16 keys each) executed by a vector or
+    /// chunked-portable path (BMP word probes, gallop pivot blocks).
+    ///
+    /// Unlike the counts above, this event is **tier-dependent**: it
+    /// attributes measured wall-clock to the [`SimdTier`] that actually ran
+    /// and is deliberately *not* consumed by the machine models, whose
+    /// inputs must be identical on every host.
+    ///
+    /// [`SimdTier`]: crate::SimdTier
+    #[inline]
+    fn simd_blocks(&mut self, n: u64) {
+        let _ = n;
+    }
+    /// `n` keys handled by the scalar tail after a wide probe loop ran out
+    /// of full blocks. Tier-dependent, like [`Meter::simd_blocks`].
+    #[inline]
+    fn simd_tail_elems(&mut self, n: u64) {
+        let _ = n;
+    }
 }
 
 /// A meter that ignores everything; compiles to no code.
@@ -69,6 +88,12 @@ pub struct WorkCounts {
     pub write_bytes: u64,
     /// Number of completed set intersections.
     pub intersections: u64,
+    /// Wide probe blocks executed (tier-dependent; see
+    /// [`Meter::simd_blocks`]).
+    pub simd_blocks: u64,
+    /// Keys handled by scalar tails after wide probe loops
+    /// (tier-dependent; see [`Meter::simd_tail_elems`]).
+    pub simd_tail_elems: u64,
 }
 
 impl WorkCounts {
@@ -81,6 +106,8 @@ impl WorkCounts {
         self.rand_accesses_small += other.rand_accesses_small;
         self.write_bytes += other.write_bytes;
         self.intersections += other.intersections;
+        self.simd_blocks += other.simd_blocks;
+        self.simd_tail_elems += other.simd_tail_elems;
     }
 
     /// Total dynamic operations (scalar + vector), a rough work measure.
@@ -100,6 +127,8 @@ impl WorkCounts {
         sink.add(C::KernelRandAccessesSmall, self.rand_accesses_small);
         sink.add(C::KernelWriteBytes, self.write_bytes);
         sink.add(C::KernelIntersections, self.intersections);
+        sink.add(C::KernelSimdBlocks, self.simd_blocks);
+        sink.add(C::KernelSimdTailElems, self.simd_tail_elems);
     }
 }
 
@@ -146,6 +175,14 @@ impl Meter for CountingMeter {
     fn intersection_done(&mut self) {
         self.counts.intersections += 1;
     }
+    #[inline]
+    fn simd_blocks(&mut self, n: u64) {
+        self.counts.simd_blocks += n;
+    }
+    #[inline]
+    fn simd_tail_elems(&mut self, n: u64) {
+        self.counts.simd_tail_elems += n;
+    }
 }
 
 impl Meter for &mut CountingMeter {
@@ -177,6 +214,14 @@ impl Meter for &mut CountingMeter {
     fn intersection_done(&mut self) {
         (**self).intersection_done()
     }
+    #[inline]
+    fn simd_blocks(&mut self, n: u64) {
+        (**self).simd_blocks(n)
+    }
+    #[inline]
+    fn simd_tail_elems(&mut self, n: u64) {
+        (**self).simd_tail_elems(n)
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +239,8 @@ mod tests {
         m.rand_accesses_small(6);
         m.write_bytes(8);
         m.intersection_done();
+        m.simd_blocks(9);
+        m.simd_tail_elems(10);
         assert_eq!(
             m.counts,
             WorkCounts {
@@ -204,6 +251,8 @@ mod tests {
                 rand_accesses_small: 6,
                 write_bytes: 8,
                 intersections: 1,
+                simd_blocks: 9,
+                simd_tail_elems: 10,
             }
         );
     }
@@ -218,11 +267,15 @@ mod tests {
             rand_accesses_small: 5,
             write_bytes: 6,
             intersections: 7,
+            simd_blocks: 8,
+            simd_tail_elems: 9,
         };
         let mut b = a;
         b.merge(&a);
         assert_eq!(b.scalar_ops, 2);
         assert_eq!(b.intersections, 14);
+        assert_eq!(b.simd_blocks, 16);
+        assert_eq!(b.simd_tail_elems, 18);
         assert_eq!(b.total_ops(), 6);
     }
 
@@ -238,6 +291,8 @@ mod tests {
             rand_accesses_small: 5,
             write_bytes: 6,
             intersections: 7,
+            simd_blocks: 8,
+            simd_tail_elems: 9,
         };
         w.record_to(&r);
         let s = r.snapshot();
@@ -248,6 +303,8 @@ mod tests {
         assert_eq!(s.get(C::KernelRandAccessesSmall), 5);
         assert_eq!(s.get(C::KernelWriteBytes), 6);
         assert_eq!(s.get(C::KernelIntersections), 7);
+        assert_eq!(s.get(C::KernelSimdBlocks), 8);
+        assert_eq!(s.get(C::KernelSimdTailElems), 9);
     }
 
     #[test]

@@ -8,16 +8,19 @@
 //! degree (Section 3.1).
 
 use crate::meter::Meter;
-use crate::search::gallop_lower_bound;
+use crate::search::gallop_lower_bound_tier;
+use crate::simd::SimdTier;
 
 /// Count `|a ∩ b|` with the pivot-skip merge.
 ///
 /// Mirrors Algorithm 1 lines 13–22: alternately advance each side to the
 /// lower bound of the other side's current element; on a match advance both
-/// and increment the count.
+/// and increment the count. The [`SimdTier`] is resolved once per
+/// intersection and governs the staged lower-bound search.
 pub fn ps_count<M: Meter>(a: &[u32], b: &[u32], meter: &mut M) -> u32 {
     crate::debug_check_sorted(a);
     crate::debug_check_sorted(b);
+    let tier = SimdTier::resolve();
     let mut c = 0u32;
     let (mut i, mut j) = (0usize, 0usize);
     if a.is_empty() || b.is_empty() {
@@ -26,12 +29,12 @@ pub fn ps_count<M: Meter>(a: &[u32], b: &[u32], meter: &mut M) -> u32 {
     }
     loop {
         // Advance i to the lower bound of b[j] in a.
-        i = gallop_lower_bound(a, i, b[j], meter);
+        i = gallop_lower_bound_tier(a, i, b[j], tier, meter);
         if i >= a.len() {
             break;
         }
         // Advance j to the lower bound of a[i] in b.
-        j = gallop_lower_bound(b, j, a[i], meter);
+        j = gallop_lower_bound_tier(b, j, a[i], tier, meter);
         if j >= b.len() {
             break;
         }

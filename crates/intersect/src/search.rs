@@ -4,9 +4,21 @@
 //! a short *vectorized linear search* over the next few elements (cheap when
 //! the lower bound is nearby, the common case), then *galloping* with
 //! exponentially growing skips starting at 2⁴ (Baeza-Yates / Demaine et al.),
-//! and finally a branchless *binary search* inside the last gallop window.
+//! and finally a lower bound inside the last gallop window.
+//!
+//! At the wide [`SimdTier`]s the gallop stages are themselves vectorized:
+//! the exponential phase probes the next **8 pivot positions per step** with
+//! one 8-wide gather + compare (covering up to `skip·255` elements per
+//! step), and the final window is halved branchlessly to ≤16 elements and
+//! resolved with a single masked vector compare instead of a branchy binary
+//! search. The scalar staged loop is kept verbatim as the oracle
+//! (`SimdTier::Scalar`), and every tier reports identical
+//! architecture-neutral meter events — the vector phases compute the same
+//! `steps`/`probes` tallies the scalar loop would have counted, so the
+//! modeled platforms are unaffected by the host's tier.
 
 use crate::meter::Meter;
+use crate::simd::SimdTier;
 
 /// Number of elements covered by the vectorized linear-search prefix.
 ///
@@ -16,6 +28,9 @@ pub const LINEAR_PREFIX: usize = 16;
 
 /// First galloping skip is `2^GALLOP_FIRST_SHIFT`, matching the paper's 2⁴.
 const GALLOP_FIRST_SHIFT: u32 = 4;
+
+/// Pivots probed per vectorized exponential-phase step.
+const GALLOP_PIVOTS: usize = 8;
 
 /// Branchless binary lower bound: smallest index `i` with `a[i] >= target`,
 /// or `a.len()` if no such element exists.
@@ -40,18 +55,33 @@ pub fn lower_bound(a: &[u32], target: u32) -> usize {
 }
 
 /// Linear lower bound over at most `LINEAR_PREFIX` (16) elements starting at
-/// `start`. Returns `Some(index)` if found within the prefix, `None` to tell
-/// the caller to continue with galloping.
-///
-/// On x86-64 with AVX2 the scan is performed with two 8-lane vector
-/// comparisons; elsewhere an unrolled scalar scan is used. Both report one
-/// `vector_op` per 8 elements scanned so the machine models see identical
-/// work regardless of host ISA.
+/// `start`, at the process-wide resolved [`SimdTier`]. Returns `Some(index)`
+/// if found within the prefix, `None` to tell the caller to continue with
+/// galloping.
 #[inline]
 pub fn linear_lower_bound<M: Meter>(
     a: &[u32],
     start: usize,
     target: u32,
+    meter: &mut M,
+) -> Option<usize> {
+    linear_lower_bound_tier(a, start, target, SimdTier::resolve(), meter)
+}
+
+/// [`linear_lower_bound`] at an explicit [`SimdTier`].
+///
+/// On the AVX2/AVX-512 tiers the scan is two 8-lane vector comparisons;
+/// windows shorter than 16 (end of array) are padded with `u32::MAX` — a pad
+/// lane can never satisfy `x < target`, so short windows vectorize too
+/// instead of falling back to the scalar scan. Every tier reports one
+/// `vector_op` per 8 elements scanned so the machine models see identical
+/// work regardless of host ISA.
+#[inline]
+pub fn linear_lower_bound_tier<M: Meter>(
+    a: &[u32],
+    start: usize,
+    target: u32,
+    tier: SimdTier,
     meter: &mut M,
 ) -> Option<usize> {
     let end = a.len().min(start + LINEAR_PREFIX);
@@ -67,16 +97,21 @@ pub fn linear_lower_bound<M: Meter>(
     meter.seq_bytes(4 * window.len() as u64);
     #[cfg(target_arch = "x86_64")]
     {
-        if crate::simd::avx2_available() && window.len() == LINEAR_PREFIX {
-            // SAFETY: avx2 presence checked at runtime; window length is 16.
-            let lt = unsafe { crate::simd::count_less_than_16(window, target) };
-            return if lt < LINEAR_PREFIX {
+        if tier.use_avx2() {
+            // SAFETY: `use_avx2` re-checks host support; the helper pads
+            // short windows to the fixed 16-lane width.
+            let lt = unsafe { count_less_than_upto_16(window, target) };
+            meter.simd_blocks(1);
+            return if lt < window.len() {
                 Some(start + lt)
+            } else if end == a.len() {
+                Some(a.len())
             } else {
                 None
             };
         }
     }
+    let _ = tier;
     match window.iter().position(|&x| x >= target) {
         Some(p) => Some(start + p),
         None => {
@@ -89,22 +124,74 @@ pub fn linear_lower_bound<M: Meter>(
     }
 }
 
-/// Galloping (exponential) lower bound of `target` in `a[start..]`.
+/// `count_less_than_16` for windows of 1..=16 sorted elements: short windows
+/// are copied into a `u32::MAX`-padded buffer (pads never compare below the
+/// target, so they are never counted).
+///
+/// # Safety
+/// Caller must ensure AVX2 is available and `1 <= window.len() <= 16`.
+#[cfg(target_arch = "x86_64")]
+unsafe fn count_less_than_upto_16(window: &[u32], target: u32) -> usize {
+    debug_assert!(!window.is_empty() && window.len() <= 16);
+    if window.len() == 16 {
+        // SAFETY: AVX2 per caller contract; window length is exactly 16.
+        unsafe { crate::simd::count_less_than_16(window, target) }
+    } else {
+        let mut buf = [u32::MAX; 16];
+        buf[..window.len()].copy_from_slice(window);
+        // SAFETY: AVX2 per caller contract; `buf` is exactly 16 elements.
+        unsafe { crate::simd::count_less_than_16(&buf, target) }
+    }
+}
+
+/// Galloping (exponential) lower bound of `target` in `a[start..]` at the
+/// process-wide resolved [`SimdTier`].
 ///
 /// Stages: vectorized linear prefix → exponential skips `2^4, 2^5, …` →
-/// binary search in the final window. This is the paper's `LowerBound`
+/// lower bound in the final window. This is the paper's `LowerBound`
 /// implementation for `IntersectPS` (Section 3.1).
 #[inline]
 pub fn gallop_lower_bound<M: Meter>(a: &[u32], start: usize, target: u32, meter: &mut M) -> usize {
+    gallop_lower_bound_tier(a, start, target, SimdTier::resolve(), meter)
+}
+
+/// [`gallop_lower_bound`] at an explicit [`SimdTier`] — lets benchmarks and
+/// differential tests sweep tiers inside one process.
+///
+/// The architecture-neutral meter events are identical at every tier: the
+/// wide exponential phase tallies the `steps` the scalar loop would have
+/// executed (passed windows + the breaking probe), and the final window
+/// reports the same `ilog2(len)+1` probe count as the scalar binary search.
+#[inline]
+pub fn gallop_lower_bound_tier<M: Meter>(
+    a: &[u32],
+    start: usize,
+    target: u32,
+    tier: SimdTier,
+    meter: &mut M,
+) -> usize {
     crate::debug_check_sorted(a);
     if start >= a.len() {
         return a.len();
     }
-    if let Some(idx) = linear_lower_bound(a, start, target, meter) {
+    if let Some(idx) = linear_lower_bound_tier(a, start, target, tier, meter) {
         return idx;
     }
     // The linear prefix (16 = 2^4 elements) was all < target.
-    let mut lo = start + LINEAR_PREFIX; // first unchecked index
+    let lo = start + LINEAR_PREFIX;
+    // The gather path uses signed 32-bit offsets; arrays that large fall
+    // back to the scalar oracle (never hit by u32-vertex neighbor lists).
+    if tier == SimdTier::Scalar || a.len() > i32::MAX as usize {
+        gallop_tail_scalar(a, lo, target, meter)
+    } else {
+        gallop_tail_wide(a, lo, target, tier, meter)
+    }
+}
+
+/// The scalar exponential phase + branchless binary search — the bit-pinned
+/// oracle for [`gallop_tail_wide`] and the `SimdTier::Scalar` path.
+fn gallop_tail_scalar<M: Meter>(a: &[u32], start_lo: usize, target: u32, meter: &mut M) -> usize {
+    let mut lo = start_lo; // first unchecked index
     let mut skip = 1usize << GALLOP_FIRST_SHIFT;
     let mut steps = 0u64;
     loop {
@@ -128,6 +215,128 @@ pub fn gallop_lower_bound<M: Meter>(a: &[u32], start: usize, target: u32, meter:
     meter.scalar_ops(probes);
     meter.rand_accesses(probes);
     lo + w
+}
+
+/// The wide exponential phase: probe the next [`GALLOP_PIVOTS`] gallop pivot
+/// positions with one gather + compare per step, then resolve the bracketing
+/// window with a masked vector compare.
+///
+/// Pivot `k` of a step sits where scalar iteration `k` would probe:
+/// `lo + skip·(2^(k+1) − 1) − 1`. For sorted input the pass lanes form a
+/// prefix, so the pass count `c` identifies the bracketing window directly:
+/// `c = 8` consumes all 8 windows (advance `lo` by `skip·255`, scale `skip`
+/// by 256 and repeat — each step covers 255× more than the last), while
+/// `c < 8` means the target lies in window `c`.
+fn gallop_tail_wide<M: Meter>(
+    a: &[u32],
+    start_lo: usize,
+    target: u32,
+    tier: SimdTier,
+    meter: &mut M,
+) -> usize {
+    let len = a.len() as u64;
+    let mut lo = start_lo as u64;
+    let mut skip = 1u64 << GALLOP_FIRST_SHIFT;
+    let mut steps = 0u64;
+    let mut blocks = 0u64;
+    let (win_lo, win_len) = loop {
+        let mut idx = [0i32; GALLOP_PIVOTS];
+        let mut nvalid = 0u32;
+        for (k, slot) in idx.iter_mut().enumerate() {
+            let p = lo + skip * ((1u64 << (k + 1)) - 1) - 1;
+            if p < len {
+                nvalid = k as u32 + 1;
+                *slot = p as i32;
+            } else {
+                // Clamp for the gather; masked off via `nvalid`.
+                *slot = (len - 1) as i32;
+            }
+        }
+        let c = count_pass(a, &idx, nvalid, target, tier);
+        blocks += 1;
+        if c as usize == GALLOP_PIVOTS {
+            // All 8 probes passed — the scalar loop would have taken these
+            // 8 iterations and kept going.
+            steps += GALLOP_PIVOTS as u64;
+            lo += skip * 255;
+            skip *= 256;
+            continue;
+        }
+        // c passed iterations plus the breaking probe.
+        steps += c as u64 + 1;
+        let wl = lo + skip * ((1u64 << c) - 1);
+        let ws = skip << c;
+        break (wl, ws.min(len - wl));
+    };
+    meter.scalar_ops(steps);
+    meter.rand_accesses(steps);
+    let window = &a[win_lo as usize..(win_lo + win_len) as usize];
+    let probes = (window.len().max(1)).ilog2() as u64 + 1;
+    meter.scalar_ops(probes);
+    meter.rand_accesses(probes);
+    let w = resolve_window(window, target, tier, &mut blocks);
+    meter.simd_blocks(blocks);
+    win_lo as usize + w
+}
+
+/// Pass count of one pivot block: how many *leading* pivots satisfy
+/// `k < nvalid && a[idx[k]] < target`.
+#[inline]
+fn count_pass(
+    a: &[u32],
+    idx: &[i32; GALLOP_PIVOTS],
+    nvalid: u32,
+    target: u32,
+    tier: SimdTier,
+) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if tier.use_avx2() {
+            // SAFETY: `use_avx2` re-checks host support; every index is
+            // clamped below `a.len()`, which the caller bounds by i32::MAX.
+            return unsafe { crate::simd::gather_count_less_than_8(a, idx, nvalid, target) };
+        }
+    }
+    let _ = tier;
+    // Portable: the pass lanes form a prefix, so stop at the first failing
+    // probe — lanes past it cannot change the count, and skipping them
+    // avoids the far-away wasted reads a real gather has to issue.
+    let mut c = 0u32;
+    while c < nvalid && a[idx[c as usize] as usize] < target {
+        c += 1;
+    }
+    c
+}
+
+/// Lower bound inside the final gallop window: halve branchlessly until at
+/// most 16 candidates remain, then count them with one masked vector compare
+/// (or the portable equivalent) instead of finishing the binary search.
+fn resolve_window(window: &[u32], target: u32, tier: SimdTier, blocks: &mut u64) -> usize {
+    let mut base = 0usize;
+    let mut size = window.len();
+    while size > LINEAR_PREFIX {
+        let half = size / 2;
+        let mid = base + half;
+        // Invariant: the lower bound stays within [base, base + size].
+        if window[mid] < target {
+            base = mid;
+        }
+        size -= half;
+    }
+    let sub = &window[base..base + size];
+    if sub.is_empty() {
+        return base;
+    }
+    *blocks += 1;
+    #[cfg(target_arch = "x86_64")]
+    {
+        if tier.use_avx2() {
+            // SAFETY: `use_avx2` re-checks host support; 1 <= len <= 16.
+            return base + unsafe { count_less_than_upto_16(sub, target) };
+        }
+    }
+    let _ = tier;
+    base + sub.iter().filter(|&&x| x < target).count()
 }
 
 /// Galloping lower bound *without* the vectorized linear-search prefix —
@@ -213,6 +422,25 @@ mod tests {
     }
 
     #[test]
+    fn linear_prefix_short_windows_all_tiers() {
+        // The satellite fix: end-of-array windows shorter than 16 must give
+        // the same answers on the vector path (padded compare) as scalar.
+        let mut m = NullMeter;
+        for n in 1usize..=20 {
+            let a: Vec<u32> = (0..n as u32).map(|x| x * 3).collect();
+            for start in 0..=n {
+                for t in 0..(3 * n as u32 + 2) {
+                    let want = linear_lower_bound_tier(&a, start, t, SimdTier::Scalar, &mut m);
+                    for tier in SimdTier::ALL {
+                        let got = linear_lower_bound_tier(&a, start, t, tier, &mut m);
+                        assert_eq!(got, want, "n={n} start={start} t={t} tier={tier:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn gallop_matches_reference_on_grid() {
         let a: Vec<u32> = (0..500).map(|x| x * 2).collect();
         let mut m = NullMeter;
@@ -221,6 +449,59 @@ mod tests {
                 let got = gallop_lower_bound(&a, start, t, &mut m);
                 let want = start + reference_lower_bound(&a[start.min(a.len())..], t);
                 assert_eq!(got, want, "start={start} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn gallop_all_tiers_agree_with_scalar() {
+        // Targets landing in every phase: linear prefix, first/late
+        // exponential windows, past-the-end, plus multi-step gallops that
+        // exhaust one full 8-pivot block (needs > 16·255 elements).
+        let a: Vec<u32> = (0..10_000).map(|x| x * 3 + 7).collect();
+        let mut m = NullMeter;
+        for start in [0usize, 1, 13, 16, 17, 100, 5000, 9999, 10_000] {
+            for t in [
+                0u32, 7, 8, 40, 55, 56, 100, 500, 1000, 5000, 12_345, 29_999, 30_004, 30_005,
+                40_000,
+            ] {
+                let want = gallop_lower_bound_tier(&a, start, t, SimdTier::Scalar, &mut m);
+                for tier in SimdTier::ALL {
+                    let got = gallop_lower_bound_tier(&a, start, t, tier, &mut m);
+                    assert_eq!(got, want, "start={start} t={t} tier={tier:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gallop_meter_events_are_tier_invariant() {
+        // The wide exponential phase must tally exactly the steps/probes the
+        // scalar loop counts, so the machine models see identical work.
+        let a: Vec<u32> = (0..50_000).map(|x| x * 2).collect();
+        for t in [40u32, 700, 5_000, 33_333, 99_998, 100_000, 200_000] {
+            let mut ms = CountingMeter::new();
+            let ws = gallop_lower_bound_tier(&a, 0, t, SimdTier::Scalar, &mut ms);
+            for tier in [SimdTier::Portable, SimdTier::Avx2, SimdTier::Avx512] {
+                let mut mw = CountingMeter::new();
+                let ww = gallop_lower_bound_tier(&a, 0, t, tier, &mut mw);
+                assert_eq!(ws, ww, "t={t} tier={tier:?}");
+                assert_eq!(
+                    ms.counts.scalar_ops, mw.counts.scalar_ops,
+                    "t={t} tier={tier:?}"
+                );
+                assert_eq!(
+                    ms.counts.vector_ops, mw.counts.vector_ops,
+                    "t={t} tier={tier:?}"
+                );
+                assert_eq!(
+                    ms.counts.rand_accesses, mw.counts.rand_accesses,
+                    "t={t} tier={tier:?}"
+                );
+                assert_eq!(
+                    ms.counts.seq_bytes, mw.counts.seq_bytes,
+                    "t={t} tier={tier:?}"
+                );
             }
         }
     }
@@ -259,6 +540,29 @@ mod tests {
             let got = gallop_lower_bound(&a, start, t, &mut m);
             let want = start + reference_lower_bound(&a[start..], t);
             assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn gallop_high_bit_values_all_tiers() {
+        // Values above i32::MAX exercise the unsigned-compare bias in both
+        // the gather compare and the masked window compare.
+        let a: Vec<u32> = (0..2000).map(|x| u32::MAX - 4000 + x * 2).collect();
+        let mut m = NullMeter;
+        for t in [
+            0u32,
+            u32::MAX - 4001,
+            u32::MAX - 4000,
+            u32::MAX - 1999,
+            u32::MAX - 2,
+            u32::MAX - 1,
+            u32::MAX,
+        ] {
+            let want = gallop_lower_bound_tier(&a, 0, t, SimdTier::Scalar, &mut m);
+            for tier in SimdTier::ALL {
+                let got = gallop_lower_bound_tier(&a, 0, t, tier, &mut m);
+                assert_eq!(got, want, "t={t} tier={tier:?}");
+            }
         }
     }
 }

@@ -10,7 +10,7 @@
 
 use crate::merge::merge_count;
 use crate::meter::Meter;
-use crate::simd::SimdLevel;
+use crate::simd::{SimdLevel, SimdTier};
 
 /// All-pair equality count of `a[i..i+L]` vs `b[j..j+L]`, portable version.
 #[inline]
@@ -34,12 +34,13 @@ fn block_loop<const LANES: usize, M: Meter>(
     mut j: usize,
     meter: &mut M,
 ) -> (usize, usize, u32) {
+    let tier = SimdTier::resolve();
     let mut c = 0u32;
     let mut blocks = 0u64;
     while i + LANES <= a.len() && j + LANES <= b.len() {
         let ab = &a[i..i + LANES];
         let bb = &b[j..j + LANES];
-        c += dispatch_block::<LANES>(ab, bb);
+        c += dispatch_block::<LANES>(ab, bb, tier);
         blocks += 1;
         let (alast, blast) = (ab[LANES - 1], bb[LANES - 1]);
         // Advance the exhausted side(s); on equal last elements both move.
@@ -108,24 +109,37 @@ fn tail_merge<M: Meter>(a: &[u32], b: &[u32], meter: &mut M) -> u32 {
         }
         #[inline]
         fn intersection_done(&mut self) {}
+        #[inline]
+        fn simd_blocks(&mut self, n: u64) {
+            self.0.simd_blocks(n)
+        }
+        #[inline]
+        fn simd_tail_elems(&mut self, n: u64) {
+            self.0.simd_tail_elems(n)
+        }
     }
     merge_count(a, b, &mut NoDone(meter))
 }
 
-/// Pick the fastest available implementation for one block pair.
+/// Pick the fastest implementation for one block pair that the resolved
+/// [`SimdTier`] permits. The lane count is the *work shape* (any level can
+/// be emulated anywhere); the tier decides whether real intrinsics run, so a
+/// forced `scalar`/`portable` run executes the same blocks without vector
+/// instructions.
 #[inline]
-fn dispatch_block<const LANES: usize>(ab: &[u32], bb: &[u32]) -> u32 {
+fn dispatch_block<const LANES: usize>(ab: &[u32], bb: &[u32], tier: SimdTier) -> u32 {
     #[cfg(target_arch = "x86_64")]
     {
-        if LANES == 8 && crate::simd::avx2_available() {
-            // SAFETY: AVX2 checked; slices have length LANES == 8.
+        if LANES == 8 && tier.use_avx2() {
+            // SAFETY: tier gate re-checks AVX2; slices have length LANES == 8.
             return unsafe { crate::simd::block_pairs_eq_8(ab, bb) };
         }
-        if LANES == 16 && crate::simd::avx512_available() {
-            // SAFETY: AVX-512F checked; slices have length LANES == 16.
+        if LANES == 16 && tier.use_avx512() {
+            // SAFETY: tier gate re-checks AVX-512F; slices have length LANES == 16.
             return unsafe { crate::simd::block_pairs_eq_16(ab, bb) };
         }
     }
+    let _ = tier;
     block_pairs_eq_scalar(ab, bb)
 }
 

@@ -66,6 +66,13 @@ counters! {
     /// `begin_source` invocations across all tasks: per-source state
     /// (BMP's bitmap) rebuilds. Source-aligned scheduling minimizes these.
     KernelSourceRebuilds => "kernel.source_rebuilds",
+    /// Wide probe blocks (8/16 keys each) executed by a vector or
+    /// chunked-portable path. Tier-dependent: attributes wall-clock to the
+    /// SIMD tier that actually ran; not consumed by the machine models.
+    KernelSimdBlocks => "kernel.simd_blocks",
+    /// Keys handled by the scalar tail after a wide probe loop.
+    /// Tier-dependent, like `kernel.simd_blocks`.
+    KernelSimdTailElems => "kernel.simd_tail_elems",
     // --- preparation layer (cnc-graph PrepareMetrics) --------------------
     /// Edge-list → CSR constructions.
     PrepareGraphBuilds => "prepare.graph_builds",

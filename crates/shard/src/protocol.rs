@@ -36,7 +36,7 @@ pub use cnc_serve::{read_frame, write_frame, FrameRead, MAX_FRAME};
 /// Version of this wire dialect; [`WorkerMsg::Hello`] carries it and the
 /// coordinator refuses a mismatch (coordinator and workers are the same
 /// binary, so a mismatch means a stale executable on one side).
-pub const SHARD_WIRE_VERSION: u32 = 1;
+pub const SHARD_WIRE_VERSION: u32 = 2;
 
 /// Count values per [`WorkerMsg::Counts`] frame (256 KiB of payload —
 /// comfortably under [`MAX_FRAME`]).
@@ -169,6 +169,8 @@ pub fn encode_msg(msg: &WorkerMsg) -> Vec<u8> {
                 t.work.rand_accesses_small,
                 t.work.write_bytes,
                 t.work.intersections,
+                t.work.simd_blocks,
+                t.work.simd_tail_elems,
                 t.wall_nanos,
             ] {
                 put_u64(&mut out, v);
@@ -268,7 +270,7 @@ pub fn decode_msg(payload: &[u8]) -> Result<WorkerMsg, WireError> {
         }
         OP_REPORT => WorkerMsg::Report(c.string("report")?),
         OP_DONE => {
-            let mut v = [0u64; 11];
+            let mut v = [0u64; 13];
             for (i, slot) in v.iter_mut().enumerate() {
                 *slot = c.u64(&format!("done field {i}"))?;
             }
@@ -284,8 +286,10 @@ pub fn decode_msg(payload: &[u8]) -> Result<WorkerMsg, WireError> {
                     rand_accesses_small: v[7],
                     write_bytes: v[8],
                     intersections: v[9],
+                    simd_blocks: v[10],
+                    simd_tail_elems: v[11],
                 },
-                wall_nanos: v[10],
+                wall_nanos: v[12],
             })
         }
         OP_ERROR => WorkerMsg::Error(c.string("error message")?),
@@ -325,8 +329,10 @@ mod tests {
                     rand_accesses_small: 8,
                     write_bytes: 9,
                     intersections: 10,
+                    simd_blocks: 11,
+                    simd_tail_elems: 12,
                 },
-                wall_nanos: 11,
+                wall_nanos: 13,
             }),
             WorkerMsg::Error("worker died: out of cheese".into()),
         ];

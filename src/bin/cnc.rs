@@ -23,6 +23,13 @@
 //!            (count U V | topk K | scan THRESHOLD | stats | shutdown)
 //! ```
 //!
+//! Every subcommand additionally accepts the global flag
+//! `--simd scalar|portable|avx2|avx512`, which pins the instruction tier the
+//! intersection kernels dispatch to (equivalent to setting `CNC_SIMD=`, but
+//! an unsupported or unknown tier is a hard error instead of a fallback).
+//! The forced tier is exported to child processes, so `--shards N` workers
+//! execute at the same tier as the coordinator.
+//!
 //! `GRAPH` is a SNAP-style edge-list text file (`u v` per line, `#`
 //! comments), a binary CSR written by `cnc-graph::io::write_csr`, or a
 //! prepared `CNCPREP4` image written by `cnc prepare` (all detected by
@@ -419,6 +426,7 @@ fn push_metrics_entry(
     file.field_str("workload", &result.stats.workload);
     file.field_str("algorithm", &result.stats.requested_algorithm);
     file.field_str("effective_algorithm", &result.stats.effective_algorithm);
+    file.field_str("simd_tier", &result.stats.simd_tier);
     file.field_raw(
         "reordered",
         if result.stats.reordered {
@@ -633,6 +641,7 @@ fn run_serve(mut args: Vec<String>) -> Result<(), String> {
         metrics.field_str("graph", &label);
         metrics.field_str("platform", "serve");
         metrics.field_str("algorithm", &algo_label);
+        metrics.field_str("simd_tier", cnc_intersect::SimdTier::resolve().label());
         metrics.end_run(&report);
         std::fs::write(&path, metrics.finish()).map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("wrote {path}");
@@ -832,6 +841,7 @@ fn run_count_sharded(
             metrics.field_str("platform", "cpu-shard");
             metrics.field_str("workload", "cnc");
             metrics.field_str("algorithm", algo.label());
+            metrics.field_str("simd_tier", cnc_intersect::SimdTier::resolve().label());
             metrics.field_raw("shard_workers", &out.workers.to_string());
             metrics.field_raw("wall_seconds", &out.wall_seconds.to_string());
             let reports: Vec<&str> = out
@@ -858,9 +868,16 @@ fn run_count_sharded(
 
 fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--simd` is global: it pins the instruction tier for every kernel in
+    // this process before anything resolves it, and is re-exported through
+    // the environment so child processes (shard workers) match.
+    if let Some(name) = parse_flag(&mut args, "--simd") {
+        let tier = cnc_intersect::SimdTier::force_named(&name).map_err(|e| e.to_string())?;
+        std::env::set_var("CNC_SIMD", tier.label());
+    }
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         eprintln!(
-            "usage: cnc <count|stats|scan|truss> (GRAPH | --dataset D [--scale S]) [--algo A] [--platform P] [--workload cnc|triangle|kclique] [--k K] [--schedule uniform|balanced] [--shards N] [--out F] [--eps E] [--mu M] [--stats] [--metrics F] [--trace]\n       cnc run [--scale S] [--dataset D] [--algo A] [--platform P] [--workload cnc|triangle|kclique] [--k K] [--schedule uniform|balanced] [--metrics F] [--trace]\n       cnc prepare GRAPH [--out F.prep] [--mem-budget BYTES] [--spill-dir D] [--reorder degdesc|none] [--metrics F]\n       cnc cache [ls|gc|clear] [--dir D] [--max-bytes N]\n       cnc serve (GRAPH | --dataset D [--scale S]) [--algo A] [--listen ADDR | --socket PATH] [--batch-window-us N] [--queue-cap N] [--reply-limit N] [--schedule uniform|balanced] [--metrics F]\n       cnc query (--connect ADDR | --socket PATH) (count U V | topk K | scan T | stats | shutdown)"
+            "usage: cnc <count|stats|scan|truss> (GRAPH | --dataset D [--scale S]) [--algo A] [--platform P] [--workload cnc|triangle|kclique] [--k K] [--schedule uniform|balanced] [--shards N] [--out F] [--eps E] [--mu M] [--stats] [--metrics F] [--trace]\n       cnc run [--scale S] [--dataset D] [--algo A] [--platform P] [--workload cnc|triangle|kclique] [--k K] [--schedule uniform|balanced] [--metrics F] [--trace]\n       cnc prepare GRAPH [--out F.prep] [--mem-budget BYTES] [--spill-dir D] [--reorder degdesc|none] [--metrics F]\n       cnc cache [ls|gc|clear] [--dir D] [--max-bytes N]\n       cnc serve (GRAPH | --dataset D [--scale S]) [--algo A] [--listen ADDR | --socket PATH] [--batch-window-us N] [--queue-cap N] [--reply-limit N] [--schedule uniform|balanced] [--metrics F]\n       cnc query (--connect ADDR | --socket PATH) (count U V | topk K | scan T | stats | shutdown)\n       global: [--simd scalar|portable|avx2|avx512] (or CNC_SIMD=) pins the vector instruction tier"
         );
         return Ok(());
     }
